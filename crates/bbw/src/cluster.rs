@@ -1,0 +1,505 @@
+//! An executable distributed brake-by-wire cluster.
+//!
+//! Where [`crate::analytic`] and [`crate::montecarlo`] treat nodes as rate
+//! processes, this module actually *runs* the system of Fig. 4: two central
+//! unit replicas executing the pedal→force distribution task and four wheel
+//! nodes executing PID force controllers — all as TM32 programs under the
+//! TEM kernel — exchanging frames over the time-triggered bus with
+//! membership, duplex selection and degraded-mode force redistribution.
+//!
+//! Fault injection happens at machine level (a bit flip inside a chosen
+//! node's task copy); its consequences then propagate through the real
+//! stack: TEM masks it, or the node omits its slot, membership notices,
+//! and the central unit redistributes brake force to the remaining wheels.
+
+use std::collections::BTreeMap;
+
+use nlft_kernel::tem::{InjectionPlan, JobOutcome, TemConfig, TemExecutor};
+use nlft_machine::fault::TransientFault;
+use nlft_machine::machine::Machine;
+use nlft_machine::workloads::{self, Workload};
+use nlft_net::bus::{Bus, BusConfig};
+use nlft_net::frame::NodeId;
+use nlft_net::membership::{Membership, MembershipEvent};
+use nlft_net::replication::{select_duplex, DuplexPair, DuplexValue};
+
+/// Bus node ids: two CU replicas then four wheel nodes.
+pub const CU_A: NodeId = NodeId(0);
+/// Second central-unit replica.
+pub const CU_B: NodeId = NodeId(1);
+/// Wheel nodes, front-left/front-right/rear-left/rear-right.
+pub const WHEELS: [NodeId; 4] = [NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+
+/// Cluster-level fault to inject in a specific communication cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterInjection {
+    /// Cycle in which the fault strikes.
+    pub cycle: u32,
+    /// Victim node.
+    pub node: NodeId,
+    /// TEM copy index hit.
+    pub copy: u32,
+    /// Cycle offset within the copy.
+    pub at_cycle: u64,
+    /// The machine-level fault.
+    pub fault: TransientFault,
+}
+
+/// Per-cycle observable record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRecord {
+    /// Communication cycle number.
+    pub cycle: u32,
+    /// Pedal input this cycle.
+    pub pedal: u32,
+    /// Commanded force per wheel (by wheel index), `None` when the wheel
+    /// received no set-point or delivered no result.
+    pub wheel_force: [Option<u32>; 4],
+    /// Nodes in the membership after this cycle.
+    pub members: usize,
+    /// Whether the CU pair value came from a single replica.
+    pub cu_single: bool,
+    /// Whether degraded-mode redistribution was active.
+    pub degraded: bool,
+    /// Membership changes this cycle.
+    pub events: Vec<MembershipEvent>,
+}
+
+/// Summary of a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Every cycle, in order.
+    pub records: Vec<CycleRecord>,
+    /// Cycles spent in degraded mode.
+    pub degraded_cycles: u32,
+    /// Omissions observed (a member node missing its slot).
+    pub omissions: u32,
+    /// `true` if braking service was lost (CU silent or <3 wheels serving).
+    pub service_lost: bool,
+}
+
+struct StationRuntime {
+    workload: Workload,
+    machine: Machine,
+    tem: TemExecutor,
+    /// Remaining cycles of enforced silence (fail-silent restart window).
+    silent_for: u32,
+}
+
+impl StationRuntime {
+    fn new(workload: Workload, budget: u64) -> Self {
+        let machine = workload.instantiate();
+        StationRuntime {
+            workload,
+            machine,
+            tem: TemExecutor::new(TemConfig::with_budget(budget)),
+            silent_for: 0,
+        }
+    }
+
+    fn run_job(&mut self, inputs: &[u32], plan: Option<InjectionPlan>) -> Option<Vec<u32>> {
+        if self.silent_for > 0 {
+            self.silent_for -= 1;
+            return None;
+        }
+        let report = self
+            .tem
+            .run_job(&mut self.machine, &self.workload, inputs, plan);
+        match report.outcome {
+            JobOutcome::DeliveredClean | JobOutcome::DeliveredMasked { .. } => {
+                let outputs = report.outputs.expect("delivered");
+                Some(
+                    self.workload
+                        .output_ports
+                        .iter()
+                        .map(|&p| outputs[p].unwrap_or(0))
+                        .collect(),
+                )
+            }
+            JobOutcome::Omission { .. } => None,
+        }
+    }
+}
+
+/// The running cluster.
+pub struct BbwCluster {
+    bus: Bus,
+    membership: Membership,
+    cu_pair: DuplexPair,
+    cu: BTreeMap<NodeId, StationRuntime>,
+    wheels: BTreeMap<NodeId, StationRuntime>,
+    injections: Vec<ClusterInjection>,
+    wire_corruptions: Vec<(u32, NodeId)>,
+}
+
+impl BbwCluster {
+    /// Builds the six-node cluster with the standard workloads.
+    pub fn new() -> Self {
+        let config = BusConfig::round_robin(6, 4);
+        let bus = Bus::new(config.clone());
+        // Exclusion after 2 silent cycles, reintegration after 2 good ones —
+        // scaled-down versions of the paper's 1.6 s / 3 s windows.
+        let membership = Membership::new(&config, 2, 2);
+
+        let dist = workloads::brake_distribution();
+        let (_, dist_cycles) = dist.golden_run(&[1000]);
+        let pid = workloads::pid_controller();
+        let (_, pid_cycles) = pid.golden_run(&[1000, 900]);
+
+        let mut cu = BTreeMap::new();
+        for id in [CU_A, CU_B] {
+            cu.insert(id, StationRuntime::new(dist.clone(), dist_cycles * 2 + 50));
+        }
+        let mut wheels = BTreeMap::new();
+        for id in WHEELS {
+            wheels.insert(id, StationRuntime::new(pid.clone(), pid_cycles * 2 + 50));
+        }
+        BbwCluster {
+            bus,
+            membership,
+            cu_pair: DuplexPair::new(CU_A, CU_B),
+            cu,
+            wheels,
+            injections: Vec::new(),
+            wire_corruptions: Vec::new(),
+        }
+    }
+
+    /// Schedules a machine-level fault injection.
+    pub fn inject(&mut self, injection: ClusterInjection) {
+        self.injections.push(injection);
+    }
+
+    /// Corrupts `node`'s frame on the wire in the given cycle: the CRC
+    /// rejects it at every receiver, so the node is effectively silent for
+    /// that cycle — the network-level end-to-end detection of §2.6.
+    pub fn corrupt_frame(&mut self, cycle: u32, node: NodeId) {
+        self.wire_corruptions.push((cycle, node));
+    }
+
+    /// Forces a node silent for `cycles` cycles (models a fail-silent
+    /// restart window without machine-level detail).
+    pub fn silence_node(&mut self, node: NodeId, cycles: u32) {
+        if let Some(s) = self.cu.get_mut(&node).or_else(|| self.wheels.get_mut(&node)) {
+            s.silent_for = cycles;
+        }
+    }
+
+    /// Runs the cluster for `cycles` communication cycles with the given
+    /// pedal profile (pedal position per cycle, 0..4095).
+    pub fn run(&mut self, cycles: u32, pedal: impl Fn(u32) -> u32) -> ClusterReport {
+        let mut records = Vec::with_capacity(cycles as usize);
+        let mut degraded_cycles = 0;
+        let mut omissions = 0;
+        let mut service_lost = false;
+        // Wheel set-points computed from the previous cycle's CU frames.
+        let mut setpoints: [Option<u32>; 4] = [None; 4];
+        let mut measured: [u32; 4] = [0; 4];
+
+        for cycle in 0..cycles {
+            let pedal_now = pedal(cycle).min(4095);
+            self.bus.start_cycle();
+
+            // Central units: compute the 4-way force distribution under TEM.
+            for (&id, station) in self.cu.iter_mut() {
+                let plan = plan_for(&self.injections, cycle, id);
+                if self.wire_corruptions.contains(&(cycle, id)) {
+                    self.bus.corrupt_next_frame(7, 0x40);
+                }
+                if let Some(outputs) = station.run_job(&[pedal_now], plan) {
+                    // Degraded-mode redistribution: scale the shares of the
+                    // serving wheels when some are out of the membership.
+                    let serving: Vec<usize> = (0..4)
+                        .filter(|&w| self.membership.is_member(WHEELS[w]))
+                        .collect();
+                    let mut payload = vec![0u32; 4];
+                    if !serving.is_empty() {
+                        let scale_num = 4 as u32;
+                        let scale_den = serving.len() as u32;
+                        for &w in &serving {
+                            payload[w] = outputs[w] * scale_num / scale_den;
+                        }
+                    }
+                    let _ = self.bus.transmit_static(id, payload);
+                }
+            }
+
+            // Wheel nodes: run PID on last cycle's set-point.
+            for (w, &id) in WHEELS.iter().enumerate() {
+                let station = self.wheels.get_mut(&id).expect("wheel exists");
+                let Some(sp) = setpoints[w] else {
+                    // No set-point yet (first cycle or CU silent): stay quiet.
+                    continue;
+                };
+                let plan = plan_for(&self.injections, cycle, id);
+                if self.wire_corruptions.contains(&(cycle, id)) {
+                    self.bus.corrupt_next_frame(7, 0x40);
+                }
+                if let Some(outputs) = station.run_job(&[sp, measured[w]], plan) {
+                    let force = outputs[0];
+                    // First-order actuator: the measured force moves toward
+                    // the command.
+                    measured[w] = (measured[w] * 3 + force) / 4;
+                    let _ = self.bus.transmit_static(id, vec![force]);
+                }
+            }
+
+            let delivery = self.bus.finish_cycle();
+
+            // Count omissions: nodes that were members going *into* this
+            // cycle but missed their slot. Wheels only start transmitting
+            // once the first set-points arrive (cycle 1), so their silent
+            // first cycle is not an omission.
+            for id in [CU_A, CU_B].iter().chain(WHEELS.iter()) {
+                let expected = *id == CU_A || *id == CU_B || cycle > 0;
+                if expected
+                    && self.membership.is_member(*id)
+                    && delivery.from_node(self.bus.config(), *id).is_none()
+                {
+                    omissions += 1;
+                }
+            }
+
+            let events = self.membership.observe(&delivery);
+
+            // Consume CU duplex value → next cycle's wheel set-points.
+            let cu_value = select_duplex(self.bus.config(), &delivery, self.cu_pair);
+            let cu_single = matches!(cu_value, DuplexValue::Single { .. });
+            match cu_value.payload() {
+                Some(forces) if forces.len() == 4 => {
+                    for w in 0..4 {
+                        setpoints[w] = Some(forces[w]);
+                    }
+                }
+                _ => {
+                    for s in &mut setpoints {
+                        *s = None;
+                    }
+                }
+            }
+
+            let serving_wheels = WHEELS
+                .iter()
+                .filter(|&&w| self.membership.is_member(w))
+                .count();
+            let degraded = serving_wheels < 4;
+            if degraded {
+                degraded_cycles += 1;
+            }
+            let cu_alive =
+                self.membership.is_member(CU_A) || self.membership.is_member(CU_B);
+            if !cu_alive || serving_wheels < 3 {
+                service_lost = true;
+            }
+
+            let mut wheel_force = [None; 4];
+            for (w, &id) in WHEELS.iter().enumerate() {
+                wheel_force[w] = delivery
+                    .from_node(self.bus.config(), id)
+                    .and_then(|f| f.payload.first().copied());
+            }
+
+            records.push(CycleRecord {
+                cycle,
+                pedal: pedal_now,
+                wheel_force,
+                members: self.membership.members().len(),
+                cu_single,
+                degraded,
+                events,
+            });
+        }
+
+        ClusterReport {
+            records,
+            degraded_cycles,
+            omissions,
+            service_lost,
+        }
+    }
+}
+
+impl Default for BbwCluster {
+    fn default() -> Self {
+        BbwCluster::new()
+    }
+}
+
+fn plan_for(
+    injections: &[ClusterInjection],
+    cycle: u32,
+    node: NodeId,
+) -> Option<InjectionPlan> {
+    injections
+        .iter()
+        .find(|i| i.cycle == cycle && i.node == node)
+        .map(|i| InjectionPlan {
+            copy: i.copy,
+            at_cycle: i.at_cycle,
+            fault: i.fault,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlft_machine::fault::FaultTarget;
+
+    fn constant_pedal(_: u32) -> u32 {
+        1000
+    }
+
+    #[test]
+    fn clean_run_brakes_all_wheels() {
+        let mut cluster = BbwCluster::new();
+        let report = cluster.run(10, constant_pedal);
+        assert!(!report.service_lost);
+        assert_eq!(report.degraded_cycles, 0);
+        let last = report.records.last().unwrap();
+        assert_eq!(last.members, 6);
+        // After the pipeline fills, every wheel transmits a force.
+        assert!(last.wheel_force.iter().all(|f| f.is_some()));
+        // Front wheels get more force than rear (60/40 split).
+        assert!(last.wheel_force[0].unwrap() > last.wheel_force[2].unwrap());
+    }
+
+    #[test]
+    fn pedal_profile_flows_through() {
+        let mut cluster = BbwCluster::new();
+        let report = cluster.run(12, |c| if c < 6 { 0 } else { 2000 });
+        let early = &report.records[4];
+        let late = report.records.last().unwrap();
+        let sum = |r: &CycleRecord| -> u32 {
+            r.wheel_force.iter().map(|f| f.unwrap_or(0)).sum()
+        };
+        assert!(sum(late) > sum(early), "harder pedal → more total force");
+    }
+
+    #[test]
+    fn masked_fault_is_invisible_at_cluster_level() {
+        let mut cluster = BbwCluster::new();
+        cluster.inject(ClusterInjection {
+            cycle: 5,
+            node: WHEELS[1],
+            copy: 0,
+            at_cycle: 5,
+            fault: TransientFault {
+                target: FaultTarget::Pc,
+                mask: 1 << 20,
+            },
+        });
+        let report = cluster.run(10, constant_pedal);
+        assert!(!report.service_lost);
+        assert_eq!(report.omissions, 0, "TEM recovery hides the fault entirely");
+        assert_eq!(report.records[5].members, 6);
+    }
+
+    #[test]
+    fn silenced_wheel_triggers_degraded_redistribution() {
+        let mut cluster = BbwCluster::new();
+        cluster.silence_node(WHEELS[3], 6);
+        let report = cluster.run(14, constant_pedal);
+        assert!(!report.service_lost, "3-of-4 wheels keep braking");
+        assert!(report.degraded_cycles > 0);
+        assert!(report.omissions > 0);
+        // Membership dropped to 5 at some point.
+        assert!(report.records.iter().any(|r| r.members == 5));
+        // During degraded operation, serving wheels carry scaled-up force:
+        // find a degraded cycle with forces present.
+        let degraded_rec = report
+            .records
+            .iter()
+            .rev()
+            .find(|r| r.degraded && r.wheel_force[0].is_some())
+            .expect("a degraded cycle with force data");
+        let clean_rec = report
+            .records
+            .iter()
+            .find(|r| !r.degraded && r.wheel_force[0].is_some())
+            .expect("a clean cycle");
+        assert!(
+            degraded_rec.wheel_force[0].unwrap() > clean_rec.wheel_force[0].unwrap(),
+            "remaining wheels must take over the lost wheel's share"
+        );
+        // And the silenced node reintegrates eventually.
+        assert_eq!(report.records.last().unwrap().members, 6);
+    }
+
+    #[test]
+    fn cu_replica_outage_is_transparent() {
+        let mut cluster = BbwCluster::new();
+        cluster.silence_node(CU_A, 5);
+        let report = cluster.run(12, constant_pedal);
+        assert!(!report.service_lost);
+        // While A is silent, the duplex value comes from a single replica.
+        assert!(report.records.iter().any(|r| r.cu_single));
+        // Wheels keep receiving set-points: no degraded mode from CU outage.
+        let mid = &report.records[6];
+        assert!(mid.wheel_force.iter().all(|f| f.is_some()));
+    }
+
+    #[test]
+    fn losing_both_cu_replicas_loses_service() {
+        let mut cluster = BbwCluster::new();
+        cluster.silence_node(CU_A, 8);
+        cluster.silence_node(CU_B, 8);
+        let report = cluster.run(10, constant_pedal);
+        assert!(report.service_lost);
+    }
+
+    #[test]
+    fn losing_two_wheels_loses_service() {
+        let mut cluster = BbwCluster::new();
+        cluster.silence_node(WHEELS[0], 8);
+        cluster.silence_node(WHEELS[1], 8);
+        let report = cluster.run(10, constant_pedal);
+        assert!(report.service_lost);
+    }
+
+    #[test]
+    fn wire_corruption_is_a_single_cycle_omission() {
+        let mut cluster = BbwCluster::new();
+        cluster.corrupt_frame(5, WHEELS[2]);
+        let report = cluster.run(12, constant_pedal);
+        assert!(!report.service_lost);
+        assert_eq!(report.omissions, 1, "one rejected frame = one omission");
+        // Below the exclusion threshold: membership never shrinks.
+        assert!(report.records.iter().all(|r| r.members == 6));
+        // The victim's force is absent exactly in cycle 5.
+        assert!(report.records[5].wheel_force[2].is_none());
+        assert!(report.records[6].wheel_force[2].is_some());
+    }
+
+    #[test]
+    fn repeated_wire_corruption_triggers_exclusion() {
+        let mut cluster = BbwCluster::new();
+        cluster.corrupt_frame(3, WHEELS[0]);
+        cluster.corrupt_frame(4, WHEELS[0]);
+        let report = cluster.run(12, constant_pedal);
+        assert!(!report.service_lost);
+        assert!(
+            report.records.iter().any(|r| r.members == 5),
+            "two consecutive losses must exclude the node"
+        );
+        // And it reintegrates once the wire is clean again.
+        assert_eq!(report.records.last().unwrap().members, 6);
+    }
+
+    #[test]
+    fn membership_events_reported() {
+        let mut cluster = BbwCluster::new();
+        cluster.silence_node(WHEELS[2], 4);
+        let report = cluster.run(12, constant_pedal);
+        let excluded: Vec<_> = report
+            .records
+            .iter()
+            .flat_map(|r| r.events.iter())
+            .collect();
+        assert!(excluded
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Excluded(n) if *n == WHEELS[2])));
+        assert!(excluded
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Reintegrated(n) if *n == WHEELS[2])));
+    }
+}

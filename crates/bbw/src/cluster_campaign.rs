@@ -1,0 +1,144 @@
+//! Distributed fault-injection campaigns over the executable cluster.
+//!
+//! The node-level campaigns of `nlft-core` classify outcomes at the node
+//! boundary; this campaign closes the loop at the *system* boundary: inject
+//! machine-level transients into random nodes of the running six-node BBW
+//! cluster and observe what the vehicle sees — nothing, a degraded-mode
+//! episode, or lost braking. With TEM doing its job, the overwhelming
+//! majority of faults must be invisible at this level.
+
+use nlft_machine::fault::FaultSpace;
+use nlft_net::frame::NodeId;
+use nlft_sim::rng::RngStream;
+
+use crate::cluster::{BbwCluster, ClusterInjection, CU_A, CU_B, WHEELS};
+
+/// Configuration of a cluster-level campaign.
+#[derive(Debug, Clone)]
+pub struct ClusterCampaignConfig {
+    /// Number of independent cluster runs, one injection each.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Communication cycles per run.
+    pub cycles: u32,
+    /// Fault space sampled for each injection.
+    pub space: FaultSpace,
+}
+
+impl ClusterCampaignConfig {
+    /// A standard campaign: CPU-only single-bit transients.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        ClusterCampaignConfig {
+            trials,
+            seed,
+            cycles: 10,
+            space: FaultSpace::cpu_only(),
+        }
+    }
+}
+
+/// System-boundary outcome classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCampaignResult {
+    /// Trials run.
+    pub trials: u64,
+    /// No externally visible effect at all.
+    pub unaffected: u64,
+    /// At least one omitted slot, but full membership throughout.
+    pub omission_only: u64,
+    /// A degraded-mode episode (membership dropped, force redistributed).
+    pub degraded_episode: u64,
+    /// Braking service lost.
+    pub service_lost: u64,
+}
+
+impl ClusterCampaignResult {
+    /// Fraction of faults invisible at the vehicle boundary.
+    pub fn masking_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.unaffected as f64 / self.trials as f64
+        }
+    }
+}
+
+const ALL_NODES: [NodeId; 6] = [CU_A, CU_B, WHEELS[0], WHEELS[1], WHEELS[2], WHEELS[3]];
+
+/// Runs the campaign. Deterministic in the seed.
+///
+/// # Panics
+///
+/// Panics if `trials` or `cycles` is zero.
+pub fn run_cluster_campaign(config: &ClusterCampaignConfig) -> ClusterCampaignResult {
+    assert!(config.trials > 0, "need trials");
+    assert!(config.cycles > 1, "need at least two cycles");
+    let root = RngStream::new(config.seed);
+    let mut result = ClusterCampaignResult {
+        trials: config.trials,
+        ..ClusterCampaignResult::default()
+    };
+    for trial in 0..config.trials {
+        let mut rng = root.fork_indexed("cluster-trial", trial);
+        let node = ALL_NODES[rng.uniform_range(0, ALL_NODES.len() as u64) as usize];
+        // Cycle ≥ 1 so wheel victims are actually executing (set-points
+        // arrive after the first cycle).
+        let cycle = rng.uniform_range(1, u64::from(config.cycles) - 1) as u32;
+        let injection = ClusterInjection {
+            cycle,
+            node,
+            copy: rng.uniform_range(0, 2) as u32,
+            at_cycle: rng.uniform_range(1, 40),
+            fault: config.space.sample(&mut rng),
+        };
+        let mut cluster = BbwCluster::new();
+        cluster.inject(injection);
+        let report = cluster.run(config.cycles, |_| 1200);
+        if report.service_lost {
+            result.service_lost += 1;
+        } else if report.degraded_cycles > 0 {
+            result.degraded_episode += 1;
+        } else if report.omissions > 0 {
+            result.omission_only += 1;
+        } else {
+            result.unaffected += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = ClusterCampaignConfig::new(40, 0xC1A5);
+        assert_eq!(run_cluster_campaign(&cfg), run_cluster_campaign(&cfg));
+    }
+
+    #[test]
+    fn single_transients_never_lose_braking() {
+        let cfg = ClusterCampaignConfig::new(150, 0xC1A5);
+        let r = run_cluster_campaign(&cfg);
+        assert_eq!(
+            r.service_lost, 0,
+            "a single CPU transient must never take the brakes out"
+        );
+        assert_eq!(
+            r.trials,
+            r.unaffected + r.omission_only + r.degraded_episode + r.service_lost
+        );
+    }
+
+    #[test]
+    fn vast_majority_of_faults_are_invisible() {
+        let cfg = ClusterCampaignConfig::new(150, 0x600D);
+        let r = run_cluster_campaign(&cfg);
+        assert!(
+            r.masking_fraction() > 0.9,
+            "TEM should hide almost everything at the vehicle boundary: {r:?}"
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Monte-Carlo cross-validation of the analytic models.
+//!
+//! An independent, discrete-event simulation of the full six-node BBW
+//! system: each node carries its own exponential fault process, faults are
+//! classified by coverage and the TEM split exactly as §3.2.1 describes,
+//! and repairs run at the paper's rates. Where the analytic route solves
+//! two *independent* subsystem chains and multiplies, the simulation rolls
+//! the joint system — agreement between the two validates both the chain
+//! construction and the independence assumption.
+
+use crossbeam::thread;
+use nlft_sim::event::EventQueue;
+use nlft_sim::rng::RngStream;
+use nlft_sim::stats::{OnlineStats, SurvivalCurve};
+use nlft_sim::time::{SimDuration, SimTime};
+
+use crate::analytic::{Functionality, Policy};
+use crate::params::BbwParams;
+
+/// Number of nodes: two central-unit replicas + four wheel nodes.
+pub const NUM_NODES: usize = 6;
+const CU_NODES: [usize; 2] = [0, 1];
+const WHEEL_NODES: [usize; 4] = [2, 3, 4, 5];
+
+/// Monte-Carlo experiment configuration.
+#[derive(Debug, Clone)]
+pub struct MonteCarloConfig {
+    /// Node dependability parameters.
+    pub params: BbwParams,
+    /// Node policy.
+    pub policy: Policy,
+    /// Wheel-subsystem requirement.
+    pub functionality: Functionality,
+    /// Mission horizon in hours.
+    pub horizon_hours: f64,
+    /// Number of replications.
+    pub replications: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Reliability evaluation grid (hours, strictly increasing).
+    pub grid_hours: Vec<f64>,
+    /// Worker threads (results independent of the count).
+    pub threads: usize,
+}
+
+impl MonteCarloConfig {
+    /// A one-year mission with a 12-point grid.
+    pub fn one_year(policy: Policy, functionality: Functionality, replications: u64, seed: u64) -> Self {
+        MonteCarloConfig {
+            params: BbwParams::paper(),
+            policy,
+            functionality,
+            horizon_hours: 8_760.0,
+            replications,
+            seed,
+            grid_hours: (1..=12).map(|m| m as f64 * 730.0).collect(),
+            threads: 1,
+        }
+    }
+}
+
+/// Monte-Carlo result.
+#[derive(Debug, Clone)]
+pub struct MonteCarloResult {
+    /// Empirical reliability curve with confidence bands.
+    pub curve: SurvivalCurve,
+    /// Replications that failed within the horizon.
+    pub failures: u64,
+    /// Failure-time statistics over failed replications (hours). This is a
+    /// *conditional* mean — with censoring it underestimates the true MTTF,
+    /// so compare against analysis only when most replications fail.
+    pub failure_times: OnlineStats,
+}
+
+impl MonteCarloResult {
+    /// Empirical reliability at the grid points.
+    pub fn reliability(&self) -> Vec<f64> {
+        self.curve.reliability()
+    }
+}
+
+/// Estimates the system MTTF by simulating replications to failure
+/// (horizon capped at `max_years` to bound pathological runs; replications
+/// still alive then are censored and reported).
+///
+/// Returns `(mean_hours, std_error_hours, censored)`.
+///
+/// # Panics
+///
+/// Panics on invalid configuration.
+pub fn estimate_mttf(
+    config: &MonteCarloConfig,
+    max_years: f64,
+) -> (f64, f64, u64) {
+    let mut cfg = config.clone();
+    cfg.horizon_hours = max_years * 8_760.0;
+    cfg.grid_hours = vec![cfg.horizon_hours];
+    let result = run_monte_carlo(&cfg);
+    let censored = result.curve.replications() - result.failures;
+    let mean = result.failure_times.mean();
+    let se = result.failure_times.std_dev()
+        / (result.failure_times.count().max(1) as f64).sqrt();
+    (mean, se, censored)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Up,
+    DownTransient,
+    DownOmission,
+    DownPermanent,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Fault(usize),
+    Repair(usize),
+}
+
+/// Runs the Monte-Carlo experiment.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (no replications, bad grid, bad params).
+pub fn run_monte_carlo(config: &MonteCarloConfig) -> MonteCarloResult {
+    config.params.validate().expect("valid parameters");
+    assert!(config.replications > 0, "need replications");
+    assert!(config.horizon_hours > 0.0, "need a positive horizon");
+    let threads = config.threads.max(1);
+    if threads == 1 {
+        return run_range(config, 0, config.replications);
+    }
+    let chunk = config.replications.div_ceil(threads as u64);
+    let mut parts: Vec<MonteCarloResult> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|i| {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(config.replications);
+                scope.spawn(move |_| run_range(config, start, end))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("monte-carlo shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut iter = parts.into_iter();
+    let mut total = iter.next().expect("at least one shard");
+    for p in iter {
+        total.curve.merge(&p.curve);
+        total.failures += p.failures;
+        total.failure_times.merge(&p.failure_times);
+    }
+    total
+}
+
+fn run_range(config: &MonteCarloConfig, start: u64, end: u64) -> MonteCarloResult {
+    let root = RngStream::new(config.seed);
+    let mut curve = SurvivalCurve::new(config.grid_hours.clone());
+    let mut failures = 0u64;
+    let mut failure_times = OnlineStats::new();
+    for rep in start..end {
+        let mut rng = root.fork_indexed("replication", rep);
+        match simulate_once(config, &mut rng) {
+            Some(t) => {
+                curve.record_failure(t);
+                failures += 1;
+                failure_times.record(t);
+            }
+            None => curve.record_survivor(),
+        }
+    }
+    MonteCarloResult {
+        curve,
+        failures,
+        failure_times,
+    }
+}
+
+/// Simulates one replication; returns the failure time in hours, or `None`
+/// if the system survives the horizon.
+fn simulate_once(config: &MonteCarloConfig, rng: &mut RngStream) -> Option<f64> {
+    let p = &config.params;
+    let horizon = SimTime::from_hours_f64(config.horizon_hours);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut states = [NodeState::Up; NUM_NODES];
+
+    for node in 0..NUM_NODES {
+        let dt = rng.exponential_hours(p.total_fault_rate());
+        if let Some(at) = SimTime::ZERO.checked_add(dt) {
+            if at <= horizon {
+                queue.schedule(at, Event::Fault(node)).expect("within horizon");
+            }
+        }
+    }
+
+    while let Some((now, event)) = queue.pop_before(horizon) {
+        match event {
+            Event::Fault(node) => {
+                debug_assert_eq!(states[node], NodeState::Up);
+                // Uncovered errors crash the whole system (pessimistic §3.2.1).
+                if !rng.bernoulli(p.coverage) {
+                    return Some(now.as_hours_f64());
+                }
+                let permanent =
+                    rng.bernoulli(p.lambda_p / (p.lambda_p + p.lambda_t));
+                if permanent {
+                    states[node] = NodeState::DownPermanent;
+                } else {
+                    match config.policy {
+                        Policy::FailSilent => {
+                            states[node] = NodeState::DownTransient;
+                            schedule_repair(&mut queue, rng, now, horizon, node, p.mu_r);
+                        }
+                        Policy::Nlft => {
+                            let split =
+                                rng.weighted_index(&[p.p_t, p.p_om, p.p_fs]);
+                            match split {
+                                0 => {
+                                    // Masked: node never leaves service.
+                                    schedule_next_fault(&mut queue, rng, now, horizon, node, p);
+                                    continue;
+                                }
+                                1 => {
+                                    states[node] = NodeState::DownOmission;
+                                    schedule_repair(
+                                        &mut queue, rng, now, horizon, node, p.mu_om,
+                                    );
+                                }
+                                _ => {
+                                    states[node] = NodeState::DownTransient;
+                                    schedule_repair(
+                                        &mut queue, rng, now, horizon, node, p.mu_r,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                if system_failed(&states, config.functionality) {
+                    return Some(now.as_hours_f64());
+                }
+            }
+            Event::Repair(node) => {
+                if states[node] != NodeState::DownPermanent {
+                    states[node] = NodeState::Up;
+                    schedule_next_fault(&mut queue, rng, now, horizon, node, p);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn schedule_repair(
+    queue: &mut EventQueue<Event>,
+    rng: &mut RngStream,
+    now: SimTime,
+    horizon: SimTime,
+    node: usize,
+    mu: f64,
+) {
+    let dt: SimDuration = rng.exponential_hours(mu);
+    if let Some(at) = now.checked_add(dt) {
+        if at <= horizon {
+            queue.schedule(at, Event::Repair(node)).expect("within horizon");
+        }
+    }
+}
+
+fn schedule_next_fault(
+    queue: &mut EventQueue<Event>,
+    rng: &mut RngStream,
+    now: SimTime,
+    horizon: SimTime,
+    node: usize,
+    p: &BbwParams,
+) {
+    let dt = rng.exponential_hours(p.total_fault_rate());
+    if let Some(at) = now.checked_add(dt) {
+        if at <= horizon {
+            queue.schedule(at, Event::Fault(node)).expect("within horizon");
+        }
+    }
+}
+
+fn system_failed(states: &[NodeState; NUM_NODES], functionality: Functionality) -> bool {
+    let cu_up = CU_NODES
+        .iter()
+        .filter(|&&n| states[n] == NodeState::Up)
+        .count();
+    if cu_up == 0 {
+        return true;
+    }
+    let wheels_up = WHEEL_NODES
+        .iter()
+        .filter(|&&n| states[n] == NodeState::Up)
+        .count();
+    match functionality {
+        Functionality::Full => wheels_up < 4,
+        Functionality::Degraded => wheels_up < 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::BbwSystem;
+    use nlft_reliability::model::ReliabilityModel;
+    use nlft_sim::stats::Confidence;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 200, 7);
+        let a = run_monte_carlo(&cfg);
+        let b = run_monte_carlo(&cfg);
+        assert_eq!(a.reliability(), b.reliability());
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut cfg = MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 300, 9);
+        let seq = run_monte_carlo(&cfg);
+        cfg.threads = 4;
+        let par = run_monte_carlo(&cfg);
+        assert_eq!(seq.failures, par.failures);
+        assert_eq!(seq.reliability(), par.reliability());
+    }
+
+    /// The simulation must reproduce the analytic Fig. 12 curves within its
+    /// confidence band — the core cross-validation of this reproduction.
+    #[test]
+    fn agrees_with_analytic_model() {
+        for (policy, functionality) in [
+            (Policy::FailSilent, Functionality::Degraded),
+            (Policy::Nlft, Functionality::Degraded),
+        ] {
+            let cfg = MonteCarloConfig {
+                grid_hours: vec![2_000.0, 5_000.0, 8_760.0],
+                ..MonteCarloConfig::one_year(policy, functionality, 3_000, 1234)
+            };
+            let mc = run_monte_carlo(&cfg);
+            let analytic = BbwSystem::new(&cfg.params, policy, functionality);
+            let bands = mc.curve.confidence_band(Confidence::C99);
+            for (i, &t) in cfg.grid_hours.iter().enumerate() {
+                let expect = analytic.reliability(t);
+                let (lo, hi) = bands[i];
+                assert!(
+                    (lo..=hi).contains(&expect),
+                    "{policy:?}/{functionality:?} at {t}h: analytic {expect} outside MC CI [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nlft_survives_more_often_than_fs() {
+        let fs = run_monte_carlo(&MonteCarloConfig::one_year(
+            Policy::FailSilent,
+            Functionality::Degraded,
+            2_000,
+            42,
+        ));
+        let nlft = run_monte_carlo(&MonteCarloConfig::one_year(
+            Policy::Nlft,
+            Functionality::Degraded,
+            2_000,
+            42,
+        ));
+        assert!(nlft.failures < fs.failures);
+    }
+
+    #[test]
+    fn full_mode_fails_fast_for_fs() {
+        let cfg = MonteCarloConfig::one_year(Policy::FailSilent, Functionality::Full, 500, 5);
+        let r = run_monte_carlo(&cfg);
+        // FS/full fails on effectively every replication within a year
+        // (analytic R(1y) ≈ 0.0007).
+        assert!(
+            r.failures >= 490,
+            "expected near-total failure, got {} of 500",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn short_horizon_rarely_fails() {
+        let cfg = MonteCarloConfig {
+            horizon_hours: 5.0,
+            grid_hours: vec![1.0, 5.0],
+            ..MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 2_000, 77)
+        };
+        let r = run_monte_carlo(&cfg);
+        let rel = r.reliability();
+        assert!(rel[1] > 0.999, "R(5h) = {}", rel[1]);
+    }
+
+    #[test]
+    fn mttf_estimate_matches_analytic() {
+        // The paper's MTTF numbers, by simulation: run replications to
+        // failure and compare with the analytic integral.
+        for (policy, expect_years) in [
+            (Policy::FailSilent, 1.195),
+            (Policy::Nlft, 1.927),
+        ] {
+            let cfg = MonteCarloConfig::one_year(policy, Functionality::Degraded, 2_000, 0x77);
+            let (mean_h, se_h, censored) = estimate_mttf(&cfg, 40.0);
+            assert!(censored <= 5, "{censored} of 2000 replications censored at 40 years");
+            let mean_years = mean_h / 8_760.0;
+            let tol = 4.0 * se_h / 8_760.0 + 0.05;
+            assert!(
+                (mean_years - expect_years).abs() < tol,
+                "{policy:?}: MC MTTF {mean_years:.3}y vs analytic {expect_years}y (tol {tol:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_time_stats_collected() {
+        let cfg = MonteCarloConfig::one_year(Policy::FailSilent, Functionality::Full, 300, 3);
+        let r = run_monte_carlo(&cfg);
+        assert_eq!(r.failure_times.count(), r.failures);
+        assert!(r.failure_times.mean() > 0.0);
+        assert!(r.failure_times.max() <= 8_760.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Parameter sensitivity analysis of the BBW reliability models.
+//!
+//! Figure 14 of the paper varies two parameters (coverage and transient
+//! rate) by hand; this module generalises to every §3.3 parameter, so the
+//! conclusion — *coverage dominates* — can be checked rather than assumed.
+//! Each parameter is perturbed in a validity-preserving way:
+//!
+//! * the rates `λ_P`, `λ_T`, `μ_R`, `μ_OM` multiplicatively (`×(1 ± h)`),
+//!   reporting the **elasticity** `(ΔR/R)/(Δθ/θ)`;
+//! * `C_D` additively toward/away from 1 (capped), reporting `∂R/∂C_D`;
+//! * the split probabilities by **mass transfer** (`P_T ± δ` against
+//!   `P_OM ∓ δ`, and `P_T ± δ` against `P_FS ∓ δ`), keeping the sum at 1.
+
+use nlft_reliability::model::ReliabilityModel;
+
+use crate::analytic::{BbwSystem, Functionality, Policy};
+use crate::params::BbwParams;
+
+/// One parameter's sensitivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Parameter label.
+    pub parameter: &'static str,
+    /// Base value at the evaluation point.
+    pub base: f64,
+    /// Derivative measure: elasticity for rates, partial derivative for
+    /// probabilities (see module docs).
+    pub effect: f64,
+}
+
+/// Computes the sensitivity table for the system reliability at `t_hours`.
+///
+/// # Panics
+///
+/// Panics if `params` are invalid.
+pub fn sensitivity(
+    params: &BbwParams,
+    policy: Policy,
+    functionality: Functionality,
+    t_hours: f64,
+) -> Vec<SensitivityRow> {
+    params.validate().expect("valid parameters");
+    let r = |p: &BbwParams| BbwSystem::new(p, policy, functionality).reliability(t_hours);
+    let base_r = r(params);
+    let h = 0.01; // 1% relative perturbation for rates
+    let mut rows = Vec::new();
+
+    // Multiplicative rates → elasticity.
+    let mut rate = |name: &'static str,
+                    get: fn(&BbwParams) -> f64,
+                    set: fn(&mut BbwParams, f64)| {
+        let theta = get(params);
+        let mut up = *params;
+        set(&mut up, theta * (1.0 + h));
+        let mut down = *params;
+        set(&mut down, theta * (1.0 - h));
+        let dr = (r(&up) - r(&down)) / (2.0 * h); // dR / (dθ/θ)
+        rows.push(SensitivityRow {
+            parameter: name,
+            base: theta,
+            effect: dr / base_r, // elasticity
+        });
+    };
+    rate("lambda_p", |p| p.lambda_p, |p, v| p.lambda_p = v);
+    rate("lambda_t", |p| p.lambda_t, |p, v| p.lambda_t = v);
+    rate("mu_r", |p| p.mu_r, |p, v| p.mu_r = v);
+    rate("mu_om", |p| p.mu_om, |p, v| p.mu_om = v);
+
+    // Coverage: additive, capped below 1.
+    {
+        let d = ((1.0 - params.coverage) * 0.5).min(0.005).max(1e-6);
+        let mut up = *params;
+        up.coverage = (params.coverage + d).min(1.0);
+        let mut down = *params;
+        down.coverage = params.coverage - d;
+        rows.push(SensitivityRow {
+            parameter: "coverage",
+            base: params.coverage,
+            effect: (r(&up) - r(&down)) / (up.coverage - down.coverage),
+        });
+    }
+
+    // Split transfers.
+    let transfer = |name: &'static str,
+                    apply: fn(&mut BbwParams, f64),
+                    rows: &mut Vec<SensitivityRow>,
+                    base: f64| {
+        let d = 0.005;
+        let mut up = *params;
+        apply(&mut up, d);
+        let mut down = *params;
+        apply(&mut down, -d);
+        if up.validate().is_ok() && down.validate().is_ok() {
+            rows.push(SensitivityRow {
+                parameter: name,
+                base,
+                effect: (r(&up) - r(&down)) / (2.0 * d),
+            });
+        }
+    };
+    transfer(
+        "p_t (vs p_om)",
+        |p, d| {
+            p.p_t += d;
+            p.p_om -= d;
+        },
+        &mut rows,
+        params.p_t,
+    );
+    transfer(
+        "p_t (vs p_fs)",
+        |p, d| {
+            p.p_t += d;
+            p.p_fs -= d;
+        },
+        &mut rows,
+        params.p_t,
+    );
+
+    rows
+}
+
+/// Renders the table, sorted by absolute effect (largest first).
+pub fn render(rows: &[SensitivityRow]) -> String {
+    use std::fmt::Write;
+    let mut sorted: Vec<&SensitivityRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.effect.abs().partial_cmp(&a.effect.abs()).expect("finite"));
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16}{:>14}{:>14}", "parameter", "base", "effect");
+    for row in sorted {
+        let _ = writeln!(out, "{:<16}{:>14.4e}{:>14.4e}", row.parameter, row.base, row.effect);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_at(t: f64) -> Vec<SensitivityRow> {
+        sensitivity(
+            &BbwParams::paper(),
+            Policy::Nlft,
+            Functionality::Degraded,
+            t,
+        )
+    }
+
+    fn effect(rows: &[SensitivityRow], name: &str) -> f64 {
+        rows.iter()
+            .find(|r| r.parameter == name)
+            .unwrap_or_else(|| panic!("row {name}"))
+            .effect
+    }
+
+    #[test]
+    fn signs_match_physics() {
+        let rows = rows_at(8_760.0);
+        assert!(effect(&rows, "lambda_p") < 0.0, "more permanents, less reliability");
+        assert!(effect(&rows, "lambda_t") < 0.0);
+        assert!(effect(&rows, "mu_r") > 0.0, "faster repair helps");
+        assert!(effect(&rows, "mu_om") > 0.0);
+        assert!(effect(&rows, "coverage") > 0.0);
+        assert!(effect(&rows, "p_t (vs p_om)") > 0.0, "masking beats omitting");
+        assert!(effect(&rows, "p_t (vs p_fs)") > 0.0, "masking beats restarting");
+    }
+
+    #[test]
+    fn coverage_dominates_short_missions() {
+        // The Fig. 14 message, as a sensitivity statement: at 5 hours the
+        // coverage derivative dwarfs every rate elasticity.
+        let rows = rows_at(5.0);
+        let cov = effect(&rows, "coverage").abs();
+        for name in ["lambda_p", "lambda_t", "mu_r", "mu_om"] {
+            assert!(
+                cov > effect(&rows, name).abs() * 10.0,
+                "coverage ({cov:.3e}) must dominate {name} ({:.3e})",
+                effect(&rows, name)
+            );
+        }
+    }
+
+    #[test]
+    fn permanents_dominate_rates_at_one_year() {
+        // Over a year, permanent faults (no repair) cost more than
+        // transients (mostly masked/repaired).
+        let rows = rows_at(8_760.0);
+        assert!(
+            effect(&rows, "lambda_p").abs() > effect(&rows, "lambda_t").abs(),
+            "lambda_p {} vs lambda_t {}",
+            effect(&rows, "lambda_p"),
+            effect(&rows, "lambda_t")
+        );
+    }
+
+    #[test]
+    fn render_sorts_by_magnitude() {
+        let rows = rows_at(8_760.0);
+        let text = render(&rows);
+        assert!(text.lines().count() == rows.len() + 1);
+        // The first data line holds the largest-magnitude effect.
+        let max = rows.iter().map(|r| r.effect.abs()).fold(0.0, f64::max);
+        let first_line = text.lines().nth(1).expect("data row");
+        let big = rows
+            .iter()
+            .find(|r| r.effect.abs() == max)
+            .expect("max row");
+        assert!(first_line.contains(big.parameter));
+    }
+}

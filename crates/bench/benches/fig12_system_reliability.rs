@@ -1,0 +1,64 @@
+//! Figure 12 — BBW system reliability over one year (4 configurations).
+//!
+//! Prints the regenerated figure data once, then benchmarks the analytic
+//! pipeline that produces it (Markov transient solves + fault-tree
+//! composition + numeric MTTF).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nlft_bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
+use nlft_bbw::params::BbwParams;
+use nlft_bench::{fig12, report};
+use nlft_reliability::model::ReliabilityModel;
+use std::hint::black_box;
+
+fn print_figure() {
+    print!("{}", report::heading("Figure 12 — regenerated series"));
+    let curves = fig12::generate();
+    let series: Vec<(String, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|c| (c.label.clone(), c.points.clone()))
+        .collect();
+    print!("{}", report::series_table("t_hours", &series));
+    for c in &curves {
+        println!("MTTF {:<16} {:.3} years", c.label, c.mttf_years);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let params = BbwParams::paper();
+
+    let mut group = c.benchmark_group("fig12");
+    group.bench_function("build_system_model", |b| {
+        b.iter(|| {
+            black_box(BbwSystem::new(
+                black_box(&params),
+                Policy::Nlft,
+                Functionality::Degraded,
+            ))
+        })
+    });
+    group.bench_function("reliability_one_point", |b| {
+        let sys = BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded);
+        b.iter(|| black_box(sys.reliability(black_box(HOURS_PER_YEAR))))
+    });
+    group.bench_function("reliability_series_13_points", |b| {
+        let sys = BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded);
+        let grid: Vec<f64> = (0..=12).map(|m| m as f64 * 730.0).collect();
+        b.iter(|| black_box(sys.reliability_series(black_box(&grid))))
+    });
+    group.bench_function("mttf_numeric", |b| {
+        b.iter_batched(
+            || BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded),
+            |sys| black_box(sys.mttf_hours()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_figure_generation", |b| {
+        b.iter(|| black_box(fig12::generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 13 — subsystem reliabilities (CU duplex, wheel subsystem in full
+//! and degraded mode), printed and benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlft_bbw::analytic::{central_unit, wheel_subsystem, Functionality, Policy, HOURS_PER_YEAR};
+use nlft_bbw::params::BbwParams;
+use nlft_bench::{fig13, report};
+use nlft_reliability::model::ReliabilityModel;
+use std::hint::black_box;
+
+fn print_figure() {
+    print!("{}", report::heading("Figure 13 — regenerated series"));
+    let series: Vec<(String, Vec<(f64, f64)>)> = fig13::generate()
+        .into_iter()
+        .map(|c| (c.label, c.points))
+        .collect();
+    print!("{}", report::series_table("t_hours", &series));
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let params = BbwParams::paper();
+
+    let mut group = c.benchmark_group("fig13");
+    group.bench_function("central_unit_transient", |b| {
+        let cu = central_unit(&params, Policy::Nlft);
+        b.iter(|| black_box(cu.reliability(black_box(HOURS_PER_YEAR))))
+    });
+    group.bench_function("wheel_subsystem_transient", |b| {
+        let wn = wheel_subsystem(&params, Policy::Nlft, Functionality::Degraded);
+        b.iter(|| black_box(wn.reliability(black_box(HOURS_PER_YEAR))))
+    });
+    group.bench_function("subsystem_mttf_exact", |b| {
+        let wn = wheel_subsystem(&params, Policy::Nlft, Functionality::Degraded);
+        b.iter(|| black_box(wn.mttf().expect("finite")))
+    });
+    group.bench_function("full_figure_generation", |b| {
+        b.iter(|| black_box(fig13::generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fault-tolerant RTA slack ablation (§2.8): how much slack buys how much
+//! fault resilience, printed and benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlft_bench::{report, rta};
+use nlft_kernel::analysis::{analyse_with_faults, min_tolerable_fault_interval, tem_transform, TemCosts};
+use nlft_sim::time::SimDuration;
+use std::hint::black_box;
+
+fn print_table() {
+    print!("{}", report::heading("FT-RTA slack ablation — regenerated"));
+    println!(
+        "{:>14}{:>18}{:>26}",
+        "utilisation", "TEM utilisation", "min fault interval (us)"
+    );
+    for row in rta::generate() {
+        println!(
+            "{:>14.2}{:>18.2}{:>26}",
+            row.utilisation,
+            row.tem_utilisation,
+            row.min_fault_interval_us
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "unschedulable".to_string())
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let costs = TemCosts::nominal();
+    let set = tem_transform(&rta::task_set(0.30), &costs);
+
+    let mut group = c.benchmark_group("rta");
+    group.bench_function("ft_analysis_three_tasks", |b| {
+        b.iter(|| {
+            black_box(analyse_with_faults(
+                black_box(&set),
+                SimDuration::from_millis(5),
+                &costs,
+            ))
+        })
+    });
+    group.bench_function("min_fault_interval_search", |b| {
+        b.iter(|| {
+            black_box(min_tolerable_fault_interval(
+                black_box(&set),
+                &costs,
+                SimDuration::from_micros(10),
+            ))
+        })
+    });
+    group.bench_function("full_ablation", |b| b.iter(|| black_box(rta::generate())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

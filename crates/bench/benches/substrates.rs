@@ -1,0 +1,215 @@
+//! Microbenchmarks of every substrate: the matrix exponential, CTMC
+//! solves, BDD fault trees, the TM32 interpreter, TEM jobs, the scheduler
+//! simulation, the TDMA bus and the campaign trial loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nlft_bbw::cluster::BbwCluster;
+use nlft_kernel::preemptive::{PreemptiveExecutive, ResidentTask};
+use nlft_kernel::sched::FpSimulator;
+use nlft_kernel::task::{Criticality, Priority, TaskId, TaskSet, TaskSpecBuilder};
+use nlft_kernel::tem::{TemConfig, TemExecutor};
+use nlft_machine::workloads;
+use nlft_net::bus::{Bus, BusConfig};
+use nlft_net::frame::NodeId;
+use nlft_reliability::ctmc::CtmcBuilder;
+use nlft_reliability::faulttree::FaultTreeBuilder;
+use nlft_reliability::linalg::Matrix;
+use nlft_sim::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for n in [5usize, 10, 20] {
+        let mut q = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    q.set(i, j, 0.01 * ((i + j) % 7 + 1) as f64);
+                }
+            }
+        }
+        for i in 0..n {
+            let row: f64 = (0..n).filter(|&j| j != i).map(|j| q.get(i, j)).sum();
+            q.set(i, i, -row);
+        }
+        group.bench_function(format!("expm_{n}x{n}_stiff"), |b| {
+            let scaled = q.scale(1e5);
+            b.iter(|| black_box(scaled.expm()))
+        });
+        group.bench_function(format!("lu_solve_{n}x{n}"), |b| {
+            let rhs = Matrix::identity(n);
+            b.iter(|| black_box(q.sub(&Matrix::identity(n)).solve(&rhs).expect("nonsingular")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctmc(c: &mut Criterion) {
+    let mut b5 = CtmcBuilder::new();
+    let states: Vec<_> = (0..5).map(|i| b5.state(format!("s{i}"))).collect();
+    for i in 0..4 {
+        b5.transition(states[i], states[i + 1], 1e-4 * (i + 1) as f64)
+            .unwrap();
+        b5.transition(states[i + 1], states[i], 1e3).unwrap();
+    }
+    let chain = b5.build();
+    let pi0 = [1.0, 0.0, 0.0, 0.0, 0.0];
+
+    let mut group = c.benchmark_group("ctmc");
+    group.bench_function("transient_5_states_stiff_1y", |b| {
+        b.iter(|| black_box(chain.transient(black_box(&pi0), 8760.0).expect("valid")))
+    });
+    group.bench_function("mttf_5_states", |b| {
+        b.iter(|| chain.mttf(black_box(&pi0), &[states[4]]).ok())
+    });
+    group.finish();
+}
+
+fn bench_faulttree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faulttree");
+    group.bench_function("build_8of16_bdd", |b| {
+        b.iter(|| {
+            let mut ft = FaultTreeBuilder::new();
+            let events: Vec<_> = (0..16).map(|i| ft.basic_event(format!("e{i}"))).collect();
+            let top = ft.k_of_n(8, events);
+            black_box(ft.build(top))
+        })
+    });
+    let mut ft = FaultTreeBuilder::new();
+    let events: Vec<_> = (0..16).map(|i| ft.basic_event(format!("e{i}"))).collect();
+    let top = ft.k_of_n(8, events);
+    let tree = ft.build(top);
+    let probs = [0.01; 16];
+    group.bench_function("evaluate_8of16", |b| {
+        b.iter(|| black_box(tree.top_probability(black_box(&probs))))
+    });
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let pid = workloads::pid_controller();
+    let (_, cycles) = pid.golden_run(&[1000, 900]);
+
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("pid_single_run", |b| {
+        b.iter(|| {
+            let mut m = pid.instantiate();
+            m.set_input(0, 1000);
+            m.set_input(1, 900);
+            black_box(m.run(100_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_tem(c: &mut Criterion) {
+    let pid = workloads::pid_controller();
+    let (_, cycles) = pid.golden_run(&[1000, 900]);
+    let tem = TemExecutor::new(TemConfig::with_budget(cycles * 2));
+
+    let mut group = c.benchmark_group("tem");
+    group.bench_function("clean_job_two_copies", |b| {
+        let mut m = pid.instantiate();
+        b.iter(|| black_box(tem.run_job(&mut m, &pid, &[1000, 900], None)))
+    });
+    group.finish();
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let set: TaskSet = [
+        (1u32, 0u32, 5_000u64, 500u64),
+        (2, 1, 10_000, 1_000),
+        (3, 2, 20_000, 3_000),
+    ]
+    .into_iter()
+    .map(|(id, prio, period, wcet)| {
+        TaskSpecBuilder::new(TaskId(id), format!("t{id}"))
+            .period(SimDuration::from_micros(period))
+            .wcet(SimDuration::from_micros(wcet))
+            .priority(Priority(prio))
+            .criticality(Criticality::Critical)
+            .build()
+            .expect("valid")
+    })
+    .collect();
+
+    let mut group = c.benchmark_group("sched");
+    group.bench_function("fp_sim_one_second", |b| {
+        let sim = FpSimulator::new(set.clone());
+        b.iter(|| black_box(sim.run(SimDuration::from_secs(1))))
+    });
+    group.finish();
+}
+
+fn bench_preemptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preemptive");
+    group.bench_function("two_tasks_10k_cycles", |b| {
+        b.iter(|| {
+            let mut exec = PreemptiveExecutive::new(2);
+            let mk = |id: u32, prio: u32, period: u64, budget: u64| ResidentTask {
+                id: TaskId(id),
+                name: format!("t{id}"),
+                period_cycles: period,
+                deadline_cycles: period,
+                budget_cycles: budget,
+                priority: Priority(prio),
+                inputs: vec![],
+                output_port: 0,
+                critical: false,
+            };
+            exec.add_task(
+                mk(1, 0, 400, 150),
+                "ldi r0, 5\nout r0, port0\nhalt",
+            )
+            .expect("loads");
+            exec.add_task(
+                mk(2, 1, 2_000, 1_500),
+                "    ldi r0, 0
+                     ldi r1, 150
+                     ldi r2, 1
+                 loop:
+                     add r0, r0, r2
+                     sub r1, r1, r2
+                     jnz loop
+                     out r0, port0
+                     halt",
+            )
+            .expect("loads");
+            black_box(exec.run(10_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net");
+    group.bench_function("tdma_cycle_6_nodes", |b| {
+        let mut bus = Bus::new(BusConfig::round_robin(6, 2));
+        b.iter(|| {
+            bus.start_cycle();
+            for n in 0..6 {
+                bus.transmit_static(NodeId(n), vec![1, 2, 3, 4]).expect("own slot");
+            }
+            black_box(bus.finish_cycle())
+        })
+    });
+    group.bench_function("bbw_cluster_cycle", |b| {
+        let mut cluster = BbwCluster::new();
+        b.iter(|| black_box(cluster.run(1, |_| 1000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_ctmc,
+    bench_faulttree,
+    bench_machine,
+    bench_tem,
+    bench_sched,
+    bench_preemptive,
+    bench_net
+);
+criterion_main!(benches);

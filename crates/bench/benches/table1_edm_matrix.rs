@@ -1,0 +1,37 @@
+//! Table 1 — error-detection mechanism matrix and parameter estimation
+//! from a fault-injection campaign, printed and benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlft_bench::{report, table1};
+use nlft_core::campaign::{run_campaign, CampaignConfig};
+use nlft_core::policy::NodePolicy;
+use std::hint::black_box;
+
+fn print_table() {
+    print!("{}", report::heading("Table 1 — regenerated detection matrix"));
+    for policy in [NodePolicy::LightweightNlft, NodePolicy::FailSilent] {
+        let result = table1::generate(5_000, 0x7AB1E, policy);
+        println!("policy: {policy}");
+        print!("{}", result.matrix.render_table());
+        println!("{result}\n");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    for policy in [NodePolicy::LightweightNlft, NodePolicy::FailSilent] {
+        group.bench_function(format!("campaign_100_trials_{policy}"), |b| {
+            b.iter(|| {
+                let cfg = CampaignConfig::new(100, black_box(7), policy);
+                black_box(run_campaign(&cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

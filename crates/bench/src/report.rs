@@ -1,0 +1,123 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! The harness binary prints human-readable tables; CSV output feeds
+//! external plotting. Both renderers are deliberately dependency-free.
+
+use std::fmt::Write as _;
+
+/// Renders a labelled series set as an aligned text table:
+/// first column = x values, one column per series.
+///
+/// # Panics
+///
+/// Panics if the series have differing lengths or mismatched x values.
+pub fn series_table(
+    x_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    for (name, pts) in series {
+        assert_eq!(pts.len(), n, "series `{name}` has a different length");
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{x_label:>12}");
+    for (name, _) in series {
+        let _ = write!(out, "{name:>18}");
+    }
+    out.push('\n');
+    for i in 0..n {
+        let x = series[0].1[i].0;
+        let _ = write!(out, "{x:>12.1}");
+        for (name, pts) in series {
+            assert!(
+                (pts[i].0 - x).abs() < 1e-9,
+                "series `{name}` x values diverge at row {i}"
+            );
+            let _ = write!(out, "{:>18.6}", pts[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the same data as CSV (header row, then one row per x).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`series_table`].
+pub fn series_csv(x_label: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series[0].1.len();
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for (name, pts) in series {
+        assert_eq!(pts.len(), n, "series `{name}` has a different length");
+        let _ = write!(out, ",{}", name.replace(',', ";"));
+    }
+    out.push('\n');
+    for i in 0..n {
+        let _ = write!(out, "{}", series[0].1[i].0);
+        for (_, pts) in series {
+            let _ = write!(out, ",{}", pts[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a horizontal rule + section heading for the harness output.
+pub fn heading(title: &str) -> String {
+    format!("\n{}\n{title}\n{}\n", "=".repeat(72), "-".repeat(72))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, Vec<(f64, f64)>)> {
+        vec![
+            ("a".to_string(), vec![(0.0, 1.0), (1.0, 0.5)]),
+            ("b".to_string(), vec![(0.0, 1.0), (1.0, 0.25)]),
+        ]
+    }
+
+    #[test]
+    fn table_contains_all_values() {
+        let t = series_table("t", &sample());
+        assert!(t.contains("0.500000"));
+        assert!(t.contains("0.250000"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn csv_round_trips_structure() {
+        let c = series_csv("t", &sample());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "t,a,b");
+        assert_eq!(lines[1], "0,1,1");
+        assert_eq!(lines[2], "1,0.5,0.25");
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_names() {
+        let s = vec![("x,y".to_string(), vec![(0.0, 1.0)])];
+        let c = series_csv("t", &s);
+        assert!(c.starts_with("t,x;y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different length")]
+    fn ragged_series_rejected() {
+        let s = vec![
+            ("a".to_string(), vec![(0.0, 1.0)]),
+            ("b".to_string(), vec![(0.0, 1.0), (1.0, 1.0)]),
+        ];
+        series_table("t", &s);
+    }
+
+    #[test]
+    fn heading_includes_title() {
+        assert!(heading("Figure 12").contains("Figure 12"));
+    }
+}

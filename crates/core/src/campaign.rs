@@ -1,0 +1,615 @@
+//! Fault-injection campaigns.
+//!
+//! The paper's parameters — coverage `C_D` and the detected-transient split
+//! `P_T`/`P_OM`/`P_FS` — came from fault-injection experiments on the
+//! authors' kernel ([7], [8]). This module reproduces that methodology on
+//! the simulated stack: inject transients into a node running real
+//! workloads under a policy (fail-silent or NLFT/TEM), classify every
+//! outcome against a golden run, and estimate the parameters with Wilson
+//! confidence intervals. Campaigns are deterministic in their seed and
+//! shard across threads without changing results.
+
+use std::fmt;
+
+use nlft_kernel::tem::{InjectionPlan, JobOutcome, TemConfig, TemExecutor};
+use nlft_machine::edm::{DetectionMatrix, Edm};
+use nlft_machine::fault::{run_with_injection, FaultSpace, TransientFault};
+use nlft_machine::machine::{RunExit, NUM_PORTS};
+use nlft_machine::workloads::Workload;
+use nlft_sim::rng::RngStream;
+use nlft_sim::stats::Proportion;
+
+use crate::policy::{NodeFailureMode, NodePolicy};
+
+/// Classification of a single injection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Fault had no observable effect (overwritten, latent, or the task
+    /// finished before the injection point).
+    Benign,
+    /// An error occurred, was detected, and TEM delivered a correct result.
+    Masked {
+        /// First mechanism that saw the error.
+        detected_by: Edm,
+    },
+    /// An error was detected but no result could be delivered in time.
+    Omission {
+        /// The mechanism behind the final omission.
+        detected_by: Edm,
+    },
+    /// An error was detected with no masking attempted (fail-silent node).
+    Detected {
+        /// The detecting mechanism.
+        detected_by: Edm,
+    },
+    /// The fault struck while kernel code was running; kernel checks catch
+    /// it and the node goes silent.
+    KernelError,
+    /// A wrong result was delivered with no detection — a coverage escape.
+    UndetectedWrongOutput,
+}
+
+impl Verdict {
+    /// The detecting mechanism, if any detection happened.
+    pub fn detected_by(self) -> Option<Edm> {
+        match self {
+            Verdict::Masked { detected_by }
+            | Verdict::Omission { detected_by }
+            | Verdict::Detected { detected_by } => Some(detected_by),
+            Verdict::KernelError => Some(Edm::DataIntegrity),
+            Verdict::Benign | Verdict::UndetectedWrongOutput => None,
+        }
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injections.
+    pub trials: u64,
+    /// Master seed; identical seeds reproduce identical campaigns.
+    pub seed: u64,
+    /// Node policy under test.
+    pub policy: NodePolicy,
+    /// The fault space sampled.
+    pub space: FaultSpace,
+    /// Workloads cycled through (one per trial, round-robin).
+    pub workloads: Vec<Workload>,
+    /// Fraction of CPU time in kernel code: faults landing there become
+    /// kernel errors (the paper assumes ~5%, citing [10]).
+    pub kernel_fraction: f64,
+    /// Fraction of jobs whose deadline leaves no recovery slack (e.g. a
+    /// second fault already consumed it, §2.5): a detected error in such a
+    /// job becomes an omission instead of being masked.
+    pub tight_deadline_fraction: f64,
+    /// Run the node with ECC-protected memory (`true`, the default) or
+    /// without (cheap-node ablation: memory faults escape to the program).
+    pub ecc: bool,
+    /// Number of worker threads (1 = sequential; results are identical
+    /// regardless).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A standard campaign over the stock workloads.
+    pub fn new(trials: u64, seed: u64, policy: NodePolicy) -> Self {
+        CampaignConfig {
+            trials,
+            seed,
+            policy,
+            space: FaultSpace::cpu_only(),
+            workloads: nlft_machine::workloads::standard_workloads(),
+            kernel_fraction: 0.05,
+            tight_deadline_fraction: 0.05,
+            ecc: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Point estimates (with counts) of the paper's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParamCounts {
+    /// Errors detected (masked + omission + fail-silent + FS detections).
+    pub detected: u64,
+    /// Errors that escaped detection.
+    pub undetected: u64,
+    /// Detected errors masked by TEM.
+    pub masked: u64,
+    /// Detected errors that became omissions.
+    pub omissions: u64,
+    /// Detected errors that silenced the node (kernel + FS policy).
+    pub fail_silent: u64,
+    /// Faults with no observable effect.
+    pub benign: u64,
+}
+
+impl ParamCounts {
+    /// Error-detection coverage `C_D` as a proportion.
+    pub fn coverage(&self) -> Proportion {
+        Proportion::from_counts(self.detected, self.detected + self.undetected)
+    }
+
+    /// `P_T`: detected errors masked.
+    pub fn p_t(&self) -> Proportion {
+        Proportion::from_counts(self.masked, self.detected)
+    }
+
+    /// `P_OM`: detected errors that became omissions.
+    pub fn p_om(&self) -> Proportion {
+        Proportion::from_counts(self.omissions, self.detected)
+    }
+
+    /// `P_FS`: detected errors that silenced the node.
+    pub fn p_fs(&self) -> Proportion {
+        Proportion::from_counts(self.fail_silent, self.detected)
+    }
+}
+
+/// Full campaign result.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Trials run.
+    pub trials: u64,
+    /// Per-(fault class × EDM) detection matrix — the Table 1 artifact.
+    pub matrix: DetectionMatrix,
+    /// Aggregated parameter counts.
+    pub counts: ParamCounts,
+    /// Node-boundary failure modes, tallied.
+    pub modes: ModeCounts,
+}
+
+/// Tally of node-boundary failure modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCounts {
+    /// No externally visible effect.
+    pub masked: u64,
+    /// Omission failures.
+    pub omission: u64,
+    /// Fail-silent failures.
+    pub fail_silent: u64,
+    /// Undetected wrong outputs.
+    pub undetected: u64,
+}
+
+impl CampaignResult {
+    fn merge(&mut self, other: &CampaignResult) {
+        self.trials += other.trials;
+        self.matrix.merge(&other.matrix);
+        self.counts.detected += other.counts.detected;
+        self.counts.undetected += other.counts.undetected;
+        self.counts.masked += other.counts.masked;
+        self.counts.omissions += other.counts.omissions;
+        self.counts.fail_silent += other.counts.fail_silent;
+        self.counts.benign += other.counts.benign;
+        self.modes.masked += other.modes.masked;
+        self.modes.omission += other.modes.omission;
+        self.modes.fail_silent += other.modes.fail_silent;
+        self.modes.undetected += other.modes.undetected;
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counts;
+        writeln!(f, "campaign: {} trials", self.trials)?;
+        writeln!(
+            f,
+            "  benign {} / detected {} / undetected {}",
+            c.benign, c.detected, c.undetected
+        )?;
+        let pct = |p: Proportion| format!("{:.4}", p.estimate());
+        writeln!(f, "  C_D  = {}", pct(c.coverage()))?;
+        writeln!(f, "  P_T  = {}", pct(c.p_t()))?;
+        writeln!(f, "  P_OM = {}", pct(c.p_om()))?;
+        write!(f, "  P_FS = {}", pct(c.p_fs()))
+    }
+}
+
+/// Runs a campaign.
+///
+/// # Panics
+///
+/// Panics if the configuration has no trials, no workloads, or an invalid
+/// kernel fraction.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    assert!(config.trials > 0, "campaign needs trials");
+    assert!(!config.workloads.is_empty(), "campaign needs workloads");
+    assert!(
+        (0.0..1.0).contains(&config.kernel_fraction),
+        "kernel fraction must be in [0,1)"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.tight_deadline_fraction),
+        "tight-deadline fraction must be in [0,1]"
+    );
+    let threads = config.threads.max(1);
+    if threads == 1 {
+        return run_shard(config, 0, config.trials);
+    }
+    let chunk = config.trials.div_ceil(threads as u64);
+    let mut shards: Vec<CampaignResult> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|i| {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(config.trials);
+                scope.spawn(move |_| {
+                    if start < end {
+                        run_shard(config, start, end)
+                    } else {
+                        CampaignResult::default()
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("campaign shard panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut total = CampaignResult::default();
+    for s in &shards {
+        total.merge(s);
+    }
+    total
+}
+
+fn run_shard(config: &CampaignConfig, start: u64, end: u64) -> CampaignResult {
+    let root = RngStream::new(config.seed);
+    let mut result = CampaignResult::default();
+    // Pre-compute goldens per workload per canonical input set.
+    for trial in start..end {
+        let mut rng = root.fork_indexed("trial", trial);
+        let workload = &config.workloads[(trial % config.workloads.len() as u64) as usize];
+        let verdict = run_trial(config, workload, &mut rng);
+        record(&mut result, config.policy, verdict, &mut rng, workload, config);
+    }
+    result
+}
+
+fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) -> TrialOutcome {
+    // Random inputs in sensor range keep campaigns from over-fitting one
+    // data point.
+    let inputs: Vec<u32> = workload
+        .input_ports
+        .iter()
+        .map(|_| rng.uniform_range(0, 4096) as u32)
+        .collect();
+    let (golden, clean_cycles) = workload.golden_run(&inputs);
+
+    // Does the fault land in kernel code?
+    if rng.bernoulli(config.kernel_fraction) {
+        return TrialOutcome {
+            verdict: Verdict::KernelError,
+            fault: None,
+        };
+    }
+
+    let fault = config.space.sample(rng);
+    let at_cycle = rng.uniform_range(1, clean_cycles.max(2));
+
+    match config.policy {
+        NodePolicy::LightweightNlft => {
+            let copy = rng.uniform_range(0, 2) as u32;
+            let mut tem_config = TemConfig::with_budget(clean_cycles * 2 + 50);
+            if rng.bernoulli(config.tight_deadline_fraction) {
+                // No recovery slack this period: two copies and the
+                // comparison must fit, nothing more (§2.5's "enough time
+                // may not be available").
+                tem_config.deadline_cycles =
+                    tem_config.copy_budget * 2 + tem_config.compare_cycles;
+            }
+            let tem = TemExecutor::new(tem_config);
+            let mut machine = instantiate(workload, config.ecc);
+            let plan = InjectionPlan {
+                copy,
+                at_cycle,
+                fault,
+            };
+            let report = tem.run_job(&mut machine, workload, &inputs, Some(plan));
+            let verdict = match report.outcome {
+                JobOutcome::DeliveredClean => {
+                    if report.outputs == Some(golden) {
+                        Verdict::Benign
+                    } else {
+                        Verdict::UndetectedWrongOutput
+                    }
+                }
+                JobOutcome::DeliveredMasked { detected_by } => {
+                    if report.outputs == Some(golden) {
+                        Verdict::Masked { detected_by }
+                    } else {
+                        Verdict::UndetectedWrongOutput
+                    }
+                }
+                JobOutcome::Omission { detected_by } => Verdict::Omission { detected_by },
+            };
+            TrialOutcome {
+                verdict,
+                fault: Some(fault),
+            }
+        }
+        NodePolicy::FailSilent => {
+            let mut machine = instantiate(workload, config.ecc);
+            for (&port, &v) in workload.input_ports.iter().zip(&inputs) {
+                machine.set_input(port, v);
+            }
+            let budget = clean_cycles * 2 + 50;
+            let (outcome, _) = run_with_injection(&mut machine, budget, at_cycle, fault);
+            let verdict = match outcome.exit {
+                RunExit::Halted => {
+                    if outputs_match(machine.outputs(), &golden) {
+                        Verdict::Benign
+                    } else {
+                        Verdict::UndetectedWrongOutput
+                    }
+                }
+                RunExit::Exception(e) => Verdict::Detected {
+                    detected_by: Edm::from_exception(&e),
+                },
+                RunExit::BudgetExhausted => Verdict::Detected {
+                    detected_by: Edm::ExecutionTimeMonitor,
+                },
+            };
+            TrialOutcome {
+                verdict,
+                fault: Some(fault),
+            }
+        }
+    }
+}
+
+fn outputs_match(actual: &[Option<u32>; NUM_PORTS], golden: &[Option<u32>; NUM_PORTS]) -> bool {
+    actual == golden
+}
+
+/// Builds a fresh machine for the trial, with or without ECC memory.
+fn instantiate(workload: &Workload, ecc: bool) -> nlft_machine::machine::Machine {
+    if ecc {
+        workload.instantiate()
+    } else {
+        let mut m = nlft_machine::machine::Machine::new_without_ecc(
+            nlft_machine::workloads::MEM_BYTES,
+            workload.map.clone(),
+        );
+        m.load_program(0, &workload.image.words)
+            .expect("workload image fits standard memory");
+        m.reset(0, nlft_machine::workloads::STACK_TOP);
+        m
+    }
+}
+
+struct TrialOutcome {
+    verdict: Verdict,
+    fault: Option<TransientFault>,
+}
+
+fn record(
+    result: &mut CampaignResult,
+    policy: NodePolicy,
+    outcome: TrialOutcome,
+    _rng: &mut RngStream,
+    _workload: &Workload,
+    _config: &CampaignConfig,
+) {
+    result.trials += 1;
+    let class = outcome.fault.map(|f| f.target.class());
+    match outcome.verdict {
+        Verdict::Benign => {
+            result.counts.benign += 1;
+            if let Some(c) = class {
+                result.matrix.record_benign(c);
+            }
+        }
+        Verdict::Masked { detected_by } => {
+            result.counts.detected += 1;
+            result.counts.masked += 1;
+            if let Some(c) = class {
+                result.matrix.record_detection(c, detected_by);
+            }
+        }
+        Verdict::Omission { detected_by } => {
+            result.counts.detected += 1;
+            result.counts.omissions += 1;
+            if let Some(c) = class {
+                result.matrix.record_detection(c, detected_by);
+            }
+        }
+        Verdict::Detected { detected_by } => {
+            result.counts.detected += 1;
+            result.counts.fail_silent += 1;
+            if let Some(c) = class {
+                result.matrix.record_detection(c, detected_by);
+            }
+        }
+        Verdict::KernelError => {
+            result.counts.detected += 1;
+            result.counts.fail_silent += 1;
+        }
+        Verdict::UndetectedWrongOutput => {
+            result.counts.undetected += 1;
+            if let Some(c) = class {
+                result.matrix.record_undetected(c);
+            }
+        }
+    }
+    match NodeFailureMode::classify(policy, outcome.verdict) {
+        NodeFailureMode::Masked => result.modes.masked += 1,
+        NodeFailureMode::Omission => result.modes.omission += 1,
+        NodeFailureMode::FailSilent => result.modes.fail_silent += 1,
+        NodeFailureMode::Undetected => result.modes.undetected += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(policy: NodePolicy, trials: u64) -> CampaignConfig {
+        let mut c = CampaignConfig::new(trials, 0xBBC0FFEE, policy);
+        c.workloads = vec![
+            nlft_machine::workloads::sum_series(),
+            nlft_machine::workloads::pid_controller(),
+        ];
+        c
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = quick_config(NodePolicy::LightweightNlft, 120);
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.modes, b.modes);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut cfg = quick_config(NodePolicy::LightweightNlft, 100);
+        let seq = run_campaign(&cfg);
+        cfg.threads = 4;
+        let par = run_campaign(&cfg);
+        assert_eq!(seq.counts, par.counts);
+        assert_eq!(seq.modes, par.modes);
+        assert_eq!(seq.matrix, par.matrix);
+    }
+
+    #[test]
+    fn nlft_masks_most_detected_errors() {
+        let cfg = quick_config(NodePolicy::LightweightNlft, 400);
+        let r = run_campaign(&cfg);
+        assert!(r.counts.detected > 0, "some faults must activate");
+        let p_t = r.counts.p_t().estimate();
+        assert!(
+            p_t > 0.6,
+            "TEM should mask the majority of detected transients, got {p_t}"
+        );
+        // Conditional probabilities partition.
+        let total = r.counts.p_t().estimate() + r.counts.p_om().estimate()
+            + r.counts.p_fs().estimate();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fs_policy_never_masks() {
+        let cfg = quick_config(NodePolicy::FailSilent, 300);
+        let r = run_campaign(&cfg);
+        assert_eq!(r.counts.masked, 0);
+        assert_eq!(r.counts.omissions, 0);
+        assert_eq!(r.modes.omission, 0);
+        assert!(r.modes.fail_silent > 0);
+    }
+
+    #[test]
+    fn fs_policy_has_undetected_escapes() {
+        // Without TEM, silent data corruption reaches the outputs.
+        let cfg = quick_config(NodePolicy::FailSilent, 600);
+        let r = run_campaign(&cfg);
+        assert!(
+            r.counts.undetected > 0,
+            "a plain run must let some wrong outputs through"
+        );
+        let c_d = r.counts.coverage().estimate();
+        assert!(c_d < 1.0);
+    }
+
+    #[test]
+    fn nlft_coverage_exceeds_fs_coverage() {
+        let nlft = run_campaign(&quick_config(NodePolicy::LightweightNlft, 600));
+        let fs = run_campaign(&quick_config(NodePolicy::FailSilent, 600));
+        let c_nlft = nlft.counts.coverage().estimate();
+        let c_fs = fs.counts.coverage().estimate();
+        assert!(
+            c_nlft > c_fs,
+            "TEM comparison must add coverage: {c_nlft} vs {c_fs}"
+        );
+    }
+
+    #[test]
+    fn kernel_fraction_produces_fail_silent() {
+        let mut cfg = quick_config(NodePolicy::LightweightNlft, 400);
+        cfg.kernel_fraction = 0.5;
+        let r = run_campaign(&cfg);
+        let p_fs = r.counts.p_fs().estimate();
+        assert!(p_fs > 0.3, "half the faults hit the kernel, p_fs = {p_fs}");
+    }
+
+    #[test]
+    fn matrix_populated_for_detections() {
+        let cfg = quick_config(NodePolicy::LightweightNlft, 300);
+        let r = run_campaign(&cfg);
+        let any: u64 = nlft_machine::fault::TargetClass::ALL
+            .iter()
+            .map(|&c| r.matrix.total(c))
+            .sum();
+        assert!(any > 0);
+        assert!(!r.matrix.render_table().is_empty());
+    }
+
+    #[test]
+    fn display_summarises() {
+        let cfg = quick_config(NodePolicy::LightweightNlft, 50);
+        let r = run_campaign(&cfg);
+        let text = r.to_string();
+        assert!(text.contains("C_D"));
+        assert!(text.contains("P_T"));
+    }
+
+    #[test]
+    fn tight_deadlines_produce_omissions() {
+        let mut cfg = quick_config(NodePolicy::LightweightNlft, 800);
+        cfg.tight_deadline_fraction = 1.0; // every job slack-free
+        let r = run_campaign(&cfg);
+        assert!(
+            r.counts.omissions > 0,
+            "without slack, some detected errors must become omissions"
+        );
+        // Early EDM kills still get masked — the killed copy's unused time
+        // is reclaimed (§2.5) — but expensive detections (budget overruns)
+        // can no longer fit a recovery, so omissions appear alongside.
+        assert!(r.counts.p_om().estimate() > 0.01);
+    }
+
+    #[test]
+    fn omission_rate_tracks_slack_pressure() {
+        let mut relaxed = quick_config(NodePolicy::LightweightNlft, 800);
+        relaxed.tight_deadline_fraction = 0.0;
+        let mut pressed = quick_config(NodePolicy::LightweightNlft, 800);
+        pressed.tight_deadline_fraction = 0.3;
+        let r0 = run_campaign(&relaxed);
+        let r1 = run_campaign(&pressed);
+        assert_eq!(r0.counts.omissions, 0);
+        assert!(r1.counts.p_om().estimate() > r0.counts.p_om().estimate());
+    }
+
+    #[test]
+    fn ecc_ablation_lowers_coverage_with_memory_faults() {
+        use nlft_machine::fault::FaultSpace;
+        let mk = |ecc: bool| {
+            let mut cfg = quick_config(NodePolicy::FailSilent, 1200);
+            cfg.space = FaultSpace::seu(nlft_machine::workloads::MEM_BYTES);
+            cfg.ecc = ecc;
+            run_campaign(&cfg)
+        };
+        let with_ecc = mk(true);
+        let without = mk(false);
+        // Memory faults under ECC are corrected (benign) or detected; with
+        // ECC off, more of them land as activated errors or escapes.
+        let benign_with = with_ecc.counts.benign;
+        let benign_without = without.counts.benign;
+        assert!(
+            benign_without <= benign_with,
+            "ECC-off cannot make more faults benign: {benign_without} vs {benign_with}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs trials")]
+    fn zero_trials_rejected() {
+        let cfg = quick_config(NodePolicy::FailSilent, 1);
+        let mut cfg = cfg;
+        cfg.trials = 0;
+        run_campaign(&cfg);
+    }
+}

@@ -1,0 +1,935 @@
+//! A machine-level fixed-priority **preemptive** executive.
+//!
+//! Where [`crate::executive`] activates one task at a time on private
+//! machines, this executive models the paper's actual kernel architecture:
+//! several tasks co-resident in **one** memory, each confined to its own
+//! MMU window, sharing one CPU under fixed-priority preemptive dispatch
+//! (§2.8). A release of a higher-priority task suspends the running one by
+//! saving its full CPU context into its task control block and restoring
+//! it cycle-exactly later — the same context machinery TEM's recovery
+//! relies on (§2.5).
+//!
+//! The executive also demonstrates the MMU's fault-confinement promise
+//! (§2.4): a task whose pointers run wild can only trap, never write into
+//! a neighbour's window.
+//!
+//! Time is measured in CPU cycles. Tasks follow the paper's task model:
+//! read inputs at the start, write outputs at the end of each job, so a
+//! preempted job's ports can be safely re-latched on resume.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nlft_machine::asm::assemble_at;
+use nlft_machine::cpu::CpuContext;
+use nlft_machine::edm::Edm;
+use nlft_machine::fault::TransientFault;
+use nlft_machine::machine::{Machine, RunExit};
+use nlft_machine::mem::WORD_BYTES;
+use nlft_machine::mmu::{MemoryMap, Perms, Region};
+
+use crate::task::{Priority, TaskId};
+
+/// Size of one task window (code 1 KiB + data 1 KiB + stack 2 KiB).
+pub const WINDOW_BYTES: u32 = 0x1000;
+const CODE_BYTES: u32 = 0x400;
+const DATA_BYTES: u32 = 0x400;
+
+/// Static description of a resident task.
+#[derive(Debug, Clone)]
+pub struct ResidentTask {
+    /// Identifier.
+    pub id: TaskId,
+    /// Name for reports.
+    pub name: String,
+    /// Release period in CPU cycles.
+    pub period_cycles: u64,
+    /// Relative deadline in cycles (≤ period).
+    pub deadline_cycles: u64,
+    /// Execution-time-monitor budget per job, in cycles.
+    pub budget_cycles: u64,
+    /// Fixed priority (lower value = higher priority).
+    pub priority: Priority,
+    /// Input port values latched for every job.
+    pub inputs: Vec<(usize, u32)>,
+    /// Output port read at job completion.
+    pub output_port: usize,
+    /// Run under TEM (§2.5): every job executes two copies with a
+    /// comparison over outputs, state digest and path signature; on any
+    /// detection a replacement/third copy runs (all copies preemptible)
+    /// and a 2-of-3 vote decides; out of copies/budget → omission, the
+    /// task stays alive for its next period.
+    pub critical: bool,
+}
+
+/// Error from building the executive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The assembly failed.
+    Assembly(nlft_machine::asm::AsmError),
+    /// The program does not fit its code window.
+    ProgramTooLarge {
+        /// Task name.
+        name: String,
+        /// Image size in bytes.
+        bytes: u32,
+    },
+    /// More tasks than windows fit in memory.
+    OutOfWindows,
+    /// Invalid timing parameters.
+    BadTiming(&'static str),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Assembly(e) => write!(f, "assembly failed: {e}"),
+            BuildError::ProgramTooLarge { name, bytes } => {
+                write!(f, "task `{name}` needs {bytes} bytes of code window")
+            }
+            BuildError::OutOfWindows => write!(f, "no free task window left"),
+            BuildError::BadTiming(m) => write!(f, "bad timing: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<nlft_machine::asm::AsmError> for BuildError {
+    fn from(e: nlft_machine::asm::AsmError) -> Self {
+        BuildError::Assembly(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Idle,
+    /// Released, never dispatched yet.
+    Ready { released_at: u64 },
+    /// Preempted mid-execution.
+    Suspended { released_at: u64, consumed: u64 },
+}
+
+/// Maximum executions per TEM job (two scheduled + up to two recoveries).
+const MAX_COPIES: u32 = 4;
+/// Maximum results voted over.
+const MAX_RESULTS: usize = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CopyResultVec {
+    output: Option<u32>,
+    digest: u64,
+    sig: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TemJob {
+    snapshot: Vec<u32>,
+    results: Vec<CopyResultVec>,
+    copies: u32,
+    detected: bool,
+}
+
+#[derive(Debug)]
+struct Tcb {
+    task: ResidentTask,
+    window_base: u32,
+    entry: u32,
+    stack_top: u32,
+    map: MemoryMap,
+    context: Option<CpuContext>,
+    state: JobState,
+    next_release: u64,
+    shutdown: bool,
+    tem: Option<TemJob>,
+}
+
+/// Per-task statistics from a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Worst observed response time in cycles.
+    pub max_response_cycles: u64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// Budget-overrun aborts.
+    pub overruns: u64,
+    /// Exception aborts (non-critical: task shut down; critical: copy
+    /// replaced).
+    pub exceptions: u64,
+    /// TEM copies executed (critical tasks only).
+    pub copies: u64,
+    /// Jobs delivered after masking an error (critical tasks only).
+    pub masked: u64,
+    /// Jobs that ended in an omission (critical tasks only).
+    pub omissions: u64,
+    /// Last output value delivered.
+    pub last_output: Option<u32>,
+}
+
+/// Result of a preemptive run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreemptiveReport {
+    /// Per-task statistics.
+    pub tasks: BTreeMap<TaskId, ResidentStats>,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Preemptions (a running job displaced by a higher-priority release).
+    pub preemptions: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+}
+
+impl PreemptiveReport {
+    /// `true` when no deadline was missed anywhere.
+    pub fn no_misses(&self) -> bool {
+        self.tasks.values().all(|t| t.deadline_misses == 0)
+    }
+}
+
+/// The preemptive executive: one machine, many confined tasks.
+#[derive(Debug)]
+pub struct PreemptiveExecutive {
+    machine: Machine,
+    tcbs: Vec<Tcb>,
+    injection: Option<(u64, TaskId, TransientFault)>,
+}
+
+impl PreemptiveExecutive {
+    /// Creates an executive with `windows` task windows of 4 KiB each.
+    pub fn new(windows: u32) -> Self {
+        PreemptiveExecutive {
+            machine: Machine::new(windows * WINDOW_BYTES, MemoryMap::new()),
+            tcbs: Vec::new(),
+            injection: None,
+        }
+    }
+
+    /// Plants one transient fault, applied the first time `task` is on the
+    /// CPU at or after global cycle `at_cycle`.
+    pub fn inject(&mut self, at_cycle: u64, task: TaskId, fault: TransientFault) {
+        self.injection = Some((at_cycle, task, fault));
+    }
+
+    /// Loads a task's assembly into the next free window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for assembly failures, oversized programs,
+    /// exhausted windows or inconsistent timing.
+    pub fn add_task(&mut self, task: ResidentTask, source: &str) -> Result<(), BuildError> {
+        if task.period_cycles == 0 || task.budget_cycles == 0 {
+            return Err(BuildError::BadTiming("period and budget must be positive"));
+        }
+        if task.deadline_cycles == 0 || task.deadline_cycles > task.period_cycles {
+            return Err(BuildError::BadTiming("deadline must be in (0, period]"));
+        }
+        let index = self.tcbs.len() as u32;
+        let base = index * WINDOW_BYTES;
+        if base + WINDOW_BYTES > self.machine.mem.size_bytes() {
+            return Err(BuildError::OutOfWindows);
+        }
+        let image = assemble_at(source, base)?;
+        if image.size_bytes() > CODE_BYTES {
+            return Err(BuildError::ProgramTooLarge {
+                name: task.name.clone(),
+                bytes: image.size_bytes(),
+            });
+        }
+        self.machine
+            .load_program(base, &image.words)
+            .expect("window is mapped");
+        let map = MemoryMap::from_regions(vec![
+            Region::new(base, CODE_BYTES, Perms::RX),
+            Region::new(base + CODE_BYTES, DATA_BYTES, Perms::RW),
+            Region::new(base + CODE_BYTES + DATA_BYTES, WINDOW_BYTES - CODE_BYTES - DATA_BYTES, Perms::RW),
+        ]);
+        self.tcbs.push(Tcb {
+            stack_top: base + WINDOW_BYTES,
+            entry: base,
+            window_base: base,
+            map,
+            context: None,
+            state: JobState::Idle,
+            next_release: 0,
+            shutdown: false,
+            tem: None,
+            task,
+        });
+        Ok(())
+    }
+
+    /// Base address of a task's window (for oracle inspection in tests).
+    pub fn window_of(&self, id: TaskId) -> Option<u32> {
+        self.tcbs.iter().find(|t| t.task.id == id).map(|t| t.window_base)
+    }
+
+    /// Raw access to the shared machine (oracle inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Runs the executive for `horizon` CPU cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tasks were added.
+    pub fn run(&mut self, horizon: u64) -> PreemptiveReport {
+        assert!(!self.tcbs.is_empty(), "no resident tasks");
+        let mut report = PreemptiveReport::default();
+        for t in &self.tcbs {
+            report.tasks.insert(t.task.id, ResidentStats::default());
+        }
+        let mut now: u64 = 0;
+        let mut running: Option<usize> = None; // index into tcbs
+
+        while now < horizon {
+            // 1. Process releases due now.
+            for t in self.tcbs.iter_mut() {
+                if !t.shutdown && t.next_release <= now {
+                    if t.state == JobState::Idle {
+                        t.state = JobState::Ready {
+                            released_at: t.next_release,
+                        };
+                    }
+                    // (A still-active job at its next release is already
+                    // counted late via its deadline; skip re-release.)
+                    t.next_release += t.task.period_cycles;
+                }
+            }
+
+            // 2. Pick the highest-priority active job.
+            let next = self
+                .tcbs
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.shutdown && t.state != JobState::Idle)
+                .min_by_key(|(_, t)| (t.task.priority, t.task.id));
+            let Some((idx, _)) = next else {
+                // Idle until the next release or the horizon.
+                let next_release = self
+                    .tcbs
+                    .iter()
+                    .filter(|t| !t.shutdown)
+                    .map(|t| t.next_release)
+                    .min()
+                    .unwrap_or(horizon);
+                now = next_release.max(now + 1).min(horizon);
+                continue;
+            };
+
+            // 3. Context switch if needed.
+            if running != Some(idx) {
+                report.context_switches += 1;
+                if let Some(old) = running {
+                    // The displaced job was still mid-execution: preemption.
+                    if matches!(self.tcbs[old].state, JobState::Suspended { .. }) {
+                        report.preemptions += 1;
+                    }
+                }
+                self.dispatch(idx);
+                running = Some(idx);
+            }
+
+            // 4. Run until the next interesting instant: closest release,
+            //    the job's remaining budget, or the horizon.
+            let (released_at, consumed) = match self.tcbs[idx].state {
+                JobState::Ready { released_at } => (released_at, 0),
+                JobState::Suspended {
+                    released_at,
+                    consumed,
+                } => (released_at, consumed),
+                JobState::Idle => unreachable!("idle job dispatched"),
+            };
+            let next_release = self
+                .tcbs
+                .iter()
+                .filter(|t| !t.shutdown)
+                .map(|t| t.next_release)
+                .min()
+                .unwrap_or(horizon);
+            let budget_left = self.tcbs[idx].task.budget_cycles.saturating_sub(consumed);
+            let mut quantum = budget_left
+                .min(next_release.saturating_sub(now))
+                .min(horizon - now)
+                .max(1);
+
+            if let Some((at, victim, fault)) = self.injection {
+                if victim == self.tcbs[idx].task.id {
+                    if now >= at {
+                        // Cycle-precise injection while the victim runs.
+                        fault.apply(&mut self.machine);
+                        self.injection = None;
+                    } else {
+                        // Stop the quantum at the injection instant.
+                        quantum = quantum.min((at - now).max(1));
+                    }
+                }
+            }
+
+            let out = self.machine.run(quantum);
+            now += out.cycles_used;
+            let consumed = consumed + out.cycles_used;
+
+            match out.exit {
+                RunExit::Halted if self.tcbs[idx].task.critical => {
+                    // One TEM copy finished: record its result vector and
+                    // decide whether to run another copy, deliver, or omit.
+                    let output = self.machine.output(self.tcbs[idx].task.output_port);
+                    let digest = self.digest_window(idx);
+                    let sig = self.machine.cpu.path_sig;
+                    let t = &mut self.tcbs[idx];
+                    let tem = t.tem.as_mut().expect("critical job has TEM state");
+                    tem.results.push(CopyResultVec {
+                        output,
+                        digest,
+                        sig,
+                    });
+                    report
+                        .tasks
+                        .get_mut(&t.task.id)
+                        .expect("known task")
+                        .copies += 1;
+                    let decision = decide(tem);
+                    self.conclude_copy(idx, decision, now, released_at, &mut report);
+                    running = None;
+                }
+                RunExit::Halted => {
+                    // Non-critical job complete: deliver output, retire.
+                    let t = &mut self.tcbs[idx];
+                    let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                    stats.completed += 1;
+                    stats.last_output = self.machine.output(t.task.output_port);
+                    let response = now - released_at;
+                    stats.max_response_cycles = stats.max_response_cycles.max(response);
+                    if response > t.task.deadline_cycles {
+                        stats.deadline_misses += 1;
+                    }
+                    t.state = JobState::Idle;
+                    t.context = None;
+                    running = None;
+                }
+                RunExit::BudgetExhausted => {
+                    if consumed >= self.tcbs[idx].task.budget_cycles {
+                        // Execution-time monitor trip.
+                        if self.tcbs[idx].task.critical {
+                            let t = &mut self.tcbs[idx];
+                            let stats =
+                                report.tasks.get_mut(&t.task.id).expect("known task");
+                            stats.overruns += 1;
+                            let tem = t.tem.as_mut().expect("critical job has TEM state");
+                            tem.detected = true;
+                            let decision = decide(tem);
+                            self.conclude_copy(idx, decision, now, released_at, &mut report);
+                            running = None;
+                        } else {
+                            let t = &mut self.tcbs[idx];
+                            let stats =
+                                report.tasks.get_mut(&t.task.id).expect("known task");
+                            stats.overruns += 1;
+                            stats.deadline_misses += 1;
+                            t.state = JobState::Idle;
+                            t.context = None;
+                            running = None;
+                        }
+                    } else {
+                        // Quantum expired (a release is due): suspend.
+                        let t = &mut self.tcbs[idx];
+                        t.context = Some(self.machine.cpu.capture());
+                        t.state = JobState::Suspended {
+                            released_at,
+                            consumed,
+                        };
+                        // `running` stays: if the released job has lower
+                        // priority, step 2 re-picks this one without a
+                        // context switch.
+                    }
+                }
+                RunExit::Exception(e) => {
+                    let _ = Edm::from_exception(&e);
+                    if self.tcbs[idx].task.critical {
+                        // Scenario iii/iv of Fig. 3: terminate the copy,
+                        // restore a clean context, run a replacement.
+                        let t = &mut self.tcbs[idx];
+                        let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                        stats.exceptions += 1;
+                        let tem = t.tem.as_mut().expect("critical job has TEM state");
+                        tem.detected = true;
+                        let decision = decide(tem);
+                        self.conclude_copy(idx, decision, now, released_at, &mut report);
+                        running = None;
+                    } else {
+                        // Fault confinement: only this task is affected; it
+                        // is shut down like a non-critical task (§2.2).
+                        let t = &mut self.tcbs[idx];
+                        let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                        stats.exceptions += 1;
+                        t.state = JobState::Idle;
+                        t.context = None;
+                        t.shutdown = true;
+                        running = None;
+                    }
+                }
+            }
+        }
+        report.cycles = now;
+        report
+    }
+
+    /// Installs task `idx` on the CPU: MMU map, ports, and either a fresh
+    /// entry context or the saved one.
+    fn dispatch(&mut self, idx: usize) {
+        let t = &mut self.tcbs[idx];
+        self.machine.set_memory_map(t.map.clone());
+        for &(port, value) in &t.task.inputs {
+            self.machine.set_input(port, value);
+        }
+        self.machine.clear_halt();
+        match (&t.state, &t.context) {
+            (JobState::Suspended { .. }, Some(ctx)) => {
+                self.machine.cpu.restore(ctx);
+            }
+            _ => {
+                // Fresh copy: reset architectural state to the task's entry.
+                let cycles = self.machine.cpu.cycles;
+                self.machine.cpu = nlft_machine::cpu::CpuState::new(t.entry, t.stack_top);
+                self.machine.cpu.cycles = cycles;
+                self.machine.clear_outputs();
+                if t.task.critical {
+                    let base = t.window_base;
+                    match &mut t.tem {
+                        None => {
+                            // First copy of a new job: snapshot the state
+                            // window so every copy starts identically and
+                            // omissions can roll back (§2.6).
+                            let snapshot = snapshot_window(&self.machine, base);
+                            t.tem = Some(TemJob {
+                                snapshot,
+                                results: Vec::new(),
+                                copies: 1,
+                                detected: false,
+                            });
+                        }
+                        Some(tem) => {
+                            tem.copies += 1;
+                            let snapshot = tem.snapshot.clone();
+                            restore_window(&mut self.machine, base, &snapshot);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn digest_window(&self, idx: usize) -> u64 {
+        let base = self.tcbs[idx].window_base;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..DATA_BYTES / WORD_BYTES {
+            let w = self
+                .machine
+                .mem
+                .peek(base + CODE_BYTES + i * WORD_BYTES)
+                .expect("data window is mapped");
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Applies a TEM decision after a copy ended (completed or detected).
+    fn conclude_copy(
+        &mut self,
+        idx: usize,
+        decision: TemDecision,
+        now: u64,
+        released_at: u64,
+        report: &mut PreemptiveReport,
+    ) {
+        match decision {
+            TemDecision::AnotherCopy => {
+                // Queue the next copy: the job stays Ready (fresh context
+                // dispatch restores the snapshot and bumps the copy count).
+                let t = &mut self.tcbs[idx];
+                t.state = JobState::Ready { released_at };
+                t.context = None;
+            }
+            TemDecision::Deliver { output, masked } => {
+                let t = &mut self.tcbs[idx];
+                let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                stats.completed += 1;
+                if masked {
+                    stats.masked += 1;
+                }
+                stats.last_output = output;
+                let response = now - released_at;
+                stats.max_response_cycles = stats.max_response_cycles.max(response);
+                if response > t.task.deadline_cycles {
+                    stats.deadline_misses += 1;
+                }
+                t.state = JobState::Idle;
+                t.context = None;
+                t.tem = None;
+            }
+            TemDecision::Omission => {
+                // Roll the state window back and deliver nothing; the task
+                // stays alive for its next period.
+                let t = &mut self.tcbs[idx];
+                let snapshot = t.tem.as_ref().expect("tem state").snapshot.clone();
+                let base = t.window_base;
+                restore_window(&mut self.machine, base, &snapshot);
+                let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                stats.omissions += 1;
+                stats.deadline_misses += 1;
+                t.state = JobState::Idle;
+                t.context = None;
+                t.tem = None;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TemDecision {
+    AnotherCopy,
+    Deliver { output: Option<u32>, masked: bool },
+    Omission,
+}
+
+/// The TEM progression rule over the copies executed so far.
+fn decide(tem: &TemJob) -> TemDecision {
+    let out_of_copies = tem.copies >= MAX_COPIES;
+    match tem.results.len() {
+        0 | 1 => {
+            if out_of_copies {
+                TemDecision::Omission
+            } else {
+                TemDecision::AnotherCopy
+            }
+        }
+        2 => {
+            if tem.results[0] == tem.results[1] {
+                TemDecision::Deliver {
+                    output: tem.results[1].output,
+                    masked: tem.detected,
+                }
+            } else if out_of_copies {
+                TemDecision::Omission
+            } else {
+                TemDecision::AnotherCopy
+            }
+        }
+        n => {
+            debug_assert!(n <= MAX_RESULTS);
+            let r = &tem.results;
+            if r[2] == r[0] || r[2] == r[1] {
+                TemDecision::Deliver {
+                    output: r[2].output,
+                    masked: true,
+                }
+            } else if r[0] == r[1] {
+                TemDecision::Deliver {
+                    output: r[1].output,
+                    masked: true,
+                }
+            } else {
+                TemDecision::Omission
+            }
+        }
+    }
+}
+
+fn snapshot_window(machine: &Machine, base: u32) -> Vec<u32> {
+    (0..DATA_BYTES / WORD_BYTES)
+        .map(|i| {
+            machine
+                .mem
+                .peek(base + CODE_BYTES + i * WORD_BYTES)
+                .expect("data window is mapped")
+        })
+        .collect()
+}
+
+fn restore_window(machine: &mut Machine, base: u32, snapshot: &[u32]) {
+    for (i, &w) in snapshot.iter().enumerate() {
+        machine
+            .mem
+            .store(base + CODE_BYTES + i as u32 * WORD_BYTES, w)
+            .expect("data window is mapped");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_task_src(step: u32, iters: u32) -> String {
+        // Busy loop of `iters` iterations, then outputs step*iters.
+        format!(
+            "    ldi r0, 0
+                 ldi r1, {iters}
+                 ldi r2, 1
+                 ldi r3, {step}
+             loop:
+                 add r0, r0, r3
+                 sub r1, r1, r2
+                 jnz loop
+                 out r0, port{port}
+                 halt",
+            iters = iters,
+            step = step,
+            port = 0
+        )
+    }
+
+    fn resident(id: u32, prio: u32, period: u64, budget: u64) -> ResidentTask {
+        ResidentTask {
+            id: TaskId(id),
+            name: format!("t{id}"),
+            period_cycles: period,
+            deadline_cycles: period,
+            budget_cycles: budget,
+            priority: Priority(prio),
+            inputs: vec![],
+            output_port: 0,
+            critical: false,
+        }
+    }
+
+    fn critical(id: u32, prio: u32, period: u64, budget: u64) -> ResidentTask {
+        ResidentTask {
+            critical: true,
+            ..resident(id, prio, period, budget)
+        }
+    }
+
+    #[test]
+    fn two_tasks_share_the_cpu() {
+        let mut exec = PreemptiveExecutive::new(2);
+        exec.add_task(resident(1, 0, 500, 200), &counting_task_src(2, 20))
+            .unwrap();
+        exec.add_task(resident(2, 1, 1_000, 600), &counting_task_src(3, 100))
+            .unwrap();
+        let report = exec.run(10_000);
+        assert!(report.tasks[&TaskId(1)].completed >= 19);
+        assert!(report.tasks[&TaskId(2)].completed >= 9);
+        assert_eq!(report.tasks[&TaskId(1)].last_output, Some(40));
+        assert_eq!(report.tasks[&TaskId(2)].last_output, Some(300));
+        assert!(report.no_misses());
+    }
+
+    #[test]
+    fn high_priority_release_preempts_low_priority_job() {
+        let mut exec = PreemptiveExecutive::new(2);
+        // Task 1: short, frequent, high priority.
+        exec.add_task(resident(1, 0, 300, 120), &counting_task_src(1, 10))
+            .unwrap();
+        // Task 2: long job that cannot finish between task-1 releases.
+        exec.add_task(resident(2, 1, 3_000, 2_000), &counting_task_src(1, 400))
+            .unwrap();
+        let report = exec.run(9_000);
+        assert!(report.preemptions > 0, "the long job must get preempted");
+        assert!(report.tasks[&TaskId(2)].completed >= 2);
+        // Preemption must not corrupt the long task's result.
+        assert_eq!(report.tasks[&TaskId(2)].last_output, Some(400));
+        assert!(report.no_misses());
+    }
+
+    #[test]
+    fn preempted_context_resumes_exactly() {
+        // The resumed job's output equals the uninterrupted golden value —
+        // context save/restore is cycle-exact and register-exact.
+        let mut solo = PreemptiveExecutive::new(1);
+        solo.add_task(resident(2, 0, 10_000, 9_000), &counting_task_src(7, 333))
+            .unwrap();
+        let golden = solo.run(10_000).tasks[&TaskId(2)].last_output;
+
+        let mut exec = PreemptiveExecutive::new(2);
+        exec.add_task(resident(1, 0, 200, 80), &counting_task_src(1, 5))
+            .unwrap();
+        exec.add_task(resident(2, 1, 10_000, 9_000), &counting_task_src(7, 333))
+            .unwrap();
+        let report = exec.run(10_000);
+        assert!(report.preemptions > 0);
+        assert_eq!(report.tasks[&TaskId(2)].last_output, golden);
+    }
+
+    #[test]
+    fn budget_overrun_aborts_only_the_offender() {
+        let mut exec = PreemptiveExecutive::new(2);
+        // Budget far below the job's real demand → every job overruns.
+        exec.add_task(resident(1, 1, 2_000, 50), &counting_task_src(1, 200))
+            .unwrap();
+        exec.add_task(resident(2, 0, 500, 200), &counting_task_src(2, 20))
+            .unwrap();
+        let report = exec.run(8_000);
+        assert!(report.tasks[&TaskId(1)].overruns > 0);
+        assert_eq!(report.tasks[&TaskId(1)].completed, 0);
+        assert!(report.tasks[&TaskId(2)].completed >= 14, "victim unaffected");
+        assert_eq!(report.tasks[&TaskId(2)].deadline_misses, 0);
+    }
+
+    #[test]
+    fn mmu_confines_wild_task_to_its_window() {
+        let mut exec = PreemptiveExecutive::new(2);
+        // Task 1 (window 0) writes a sentinel into its data area each job.
+        exec.add_task(
+            resident(1, 0, 1_000, 400),
+            "    ldi r1, 0x400
+                 ldi r0, 77
+                 st  r0, [r1+0]
+                 out r0, port0
+                 halt",
+        )
+        .unwrap();
+        // Task 2 (window 1) tries to smash window 0's data (absolute 0x400).
+        exec.add_task(
+            resident(2, 1, 1_000, 400),
+            "    ldi r1, 0x400      ; foreign window!
+                 ldi r0, 666
+                 st  r0, [r1+0]
+                 halt",
+        )
+        .unwrap();
+        let report = exec.run(5_000);
+        // The attacker trapped and was shut down…
+        assert_eq!(report.tasks[&TaskId(2)].exceptions, 1);
+        assert_eq!(report.tasks[&TaskId(2)].completed, 0);
+        // …while the victim kept running and its data is intact.
+        assert!(report.tasks[&TaskId(1)].completed >= 4);
+        assert_eq!(exec.machine().mem.peek(0x400).unwrap(), 77);
+    }
+
+    #[test]
+    fn critical_task_runs_two_copies_per_clean_job() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(critical(1, 0, 1_000, 400), &counting_task_src(2, 20))
+            .unwrap();
+        let report = exec.run(10_000);
+        let s = &report.tasks[&TaskId(1)];
+        assert!(s.completed >= 9);
+        assert_eq!(s.copies, s.completed * 2, "no third copies when clean");
+        assert_eq!(s.masked, 0);
+        assert_eq!(s.omissions, 0);
+        assert_eq!(s.last_output, Some(40));
+        assert!(report.no_misses());
+    }
+
+    #[test]
+    fn critical_task_masks_hardware_detected_fault() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(critical(1, 0, 2_000, 800), &counting_task_src(2, 20))
+            .unwrap();
+        // PC flip mid-copy → fetch outside the window → MMU/bus trap.
+        exec.inject(
+            30,
+            TaskId(1),
+            TransientFault {
+                target: nlft_machine::fault::FaultTarget::Pc,
+                mask: 1 << 20,
+            },
+        );
+        let report = exec.run(8_000);
+        let s = &report.tasks[&TaskId(1)];
+        assert_eq!(s.exceptions, 1, "the EDM fired once");
+        assert_eq!(s.masked, 1, "the faulted job was masked");
+        assert!(s.completed >= 3);
+        assert_eq!(s.last_output, Some(40), "delivered values stay golden");
+        assert_eq!(s.omissions, 0);
+    }
+
+    #[test]
+    fn silent_corruption_caught_by_comparison_and_voted_out() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(critical(1, 0, 2_000, 800), &counting_task_src(2, 20))
+            .unwrap();
+        // Accumulator flip mid-copy: no EDM fires; only the comparison can
+        // see it, and the 2-of-3 vote recovers the golden result.
+        exec.inject(
+            30,
+            TaskId(1),
+            TransientFault {
+                target: nlft_machine::fault::FaultTarget::Register(
+                    nlft_machine::isa::Reg::R0,
+                ),
+                mask: 1 << 4,
+            },
+        );
+        let report = exec.run(8_000);
+        let s = &report.tasks[&TaskId(1)];
+        assert_eq!(s.masked, 1, "comparison + vote masked the corruption");
+        assert_eq!(s.last_output, Some(40));
+        // The faulted job used three copies.
+        assert!(s.copies >= s.completed * 2 + 1);
+    }
+
+    #[test]
+    fn critical_omission_on_persistent_overrun_keeps_task_alive() {
+        let mut exec = PreemptiveExecutive::new(2);
+        // Budget far below demand: every copy overruns → omissions.
+        exec.add_task(critical(1, 1, 3_000, 30), &counting_task_src(1, 100))
+            .unwrap();
+        exec.add_task(resident(2, 0, 500, 200), &counting_task_src(2, 20))
+            .unwrap();
+        let report = exec.run(9_000);
+        let s1 = &report.tasks[&TaskId(1)];
+        assert_eq!(s1.completed, 0);
+        assert!(s1.omissions >= 2, "one omission per period, task stays alive");
+        assert!(s1.overruns >= s1.omissions, "overruns drove the omissions");
+        // The neighbour is untouched.
+        assert!(report.tasks[&TaskId(2)].completed >= 14);
+        assert_eq!(report.tasks[&TaskId(2)].deadline_misses, 0);
+    }
+
+    #[test]
+    fn tem_copies_are_preemptible_and_still_correct() {
+        let mut exec = PreemptiveExecutive::new(2);
+        // High-rate monitor preempts the critical task's copies.
+        exec.add_task(resident(1, 0, 300, 120), &counting_task_src(1, 10))
+            .unwrap();
+        exec.add_task(critical(2, 1, 6_000, 2_500), &counting_task_src(7, 333))
+            .unwrap();
+        let report = exec.run(24_000);
+        assert!(report.preemptions > 0, "copies must get preempted");
+        let s = &report.tasks[&TaskId(2)];
+        assert!(s.completed >= 3);
+        assert_eq!(s.last_output, Some(2331), "7 × 333, copy-exact across preemption");
+        assert_eq!(s.masked, 0);
+        assert!(report.no_misses());
+    }
+
+    #[test]
+    fn build_errors_are_reported() {
+        let mut exec = PreemptiveExecutive::new(1);
+        assert!(matches!(
+            exec.add_task(resident(1, 0, 0, 10), "halt"),
+            Err(BuildError::BadTiming(_))
+        ));
+        assert!(matches!(
+            exec.add_task(resident(1, 0, 100, 10), "bogus"),
+            Err(BuildError::Assembly(_))
+        ));
+        // Fill the single window, then overflow.
+        exec.add_task(resident(1, 0, 100, 10), "halt").unwrap();
+        assert!(matches!(
+            exec.add_task(resident(2, 0, 100, 10), "halt"),
+            Err(BuildError::OutOfWindows)
+        ));
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let mut exec = PreemptiveExecutive::new(1);
+        let big = "nop\n".repeat(300); // 1200 bytes > 1 KiB window
+        assert!(matches!(
+            exec.add_task(resident(1, 0, 100, 10), &big),
+            Err(BuildError::ProgramTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no resident tasks")]
+    fn empty_executive_rejected() {
+        PreemptiveExecutive::new(1).run(100);
+    }
+}

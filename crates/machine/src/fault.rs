@@ -1,0 +1,472 @@
+//! Software-implemented fault injection (SWIFI) for the TM32 machine.
+//!
+//! Replaces the heavy-ion and pin-level injection campaigns of the paper's
+//! companion studies with deterministic, seedable bit flips into the same
+//! architectural resources: data registers, PC, SP, status register and
+//! memory words. Transient faults are single XOR events; permanent faults
+//! are stuck-at bits re-asserted before every instruction.
+
+use nlft_sim::rng::RngStream;
+
+use crate::cpu::StatusFlags;
+use crate::isa::{Reg, NUM_REGS};
+use crate::machine::{Machine, RunExit, RunOutcome};
+use crate::mem::WORD_BYTES;
+
+/// The architectural resource a fault lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// A general-purpose data register.
+    Register(Reg),
+    /// The program counter.
+    Pc,
+    /// The stack pointer.
+    Sp,
+    /// The status (flags) register.
+    Status,
+    /// A 32-bit memory word at the given byte address.
+    MemoryWord(u32),
+}
+
+impl FaultTarget {
+    /// Coarse class used for detection-matrix reporting.
+    pub fn class(self) -> TargetClass {
+        match self {
+            FaultTarget::Register(_) => TargetClass::DataRegister,
+            FaultTarget::Pc => TargetClass::Pc,
+            FaultTarget::Sp => TargetClass::Sp,
+            FaultTarget::Status => TargetClass::Status,
+            FaultTarget::MemoryWord(_) => TargetClass::Memory,
+        }
+    }
+}
+
+/// Coarse fault-target classes, the rows of the Table-1 detection matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TargetClass {
+    /// General-purpose registers.
+    DataRegister,
+    /// Program counter.
+    Pc,
+    /// Stack pointer.
+    Sp,
+    /// Status register.
+    Status,
+    /// Main memory.
+    Memory,
+}
+
+impl TargetClass {
+    /// All classes, in reporting order.
+    pub const ALL: [TargetClass; 5] = [
+        TargetClass::DataRegister,
+        TargetClass::Pc,
+        TargetClass::Sp,
+        TargetClass::Status,
+        TargetClass::Memory,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetClass::DataRegister => "data register",
+            TargetClass::Pc => "program counter",
+            TargetClass::Sp => "stack pointer",
+            TargetClass::Status => "status register",
+            TargetClass::Memory => "memory word",
+        }
+    }
+}
+
+/// A single transient fault: an XOR of `mask` into `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientFault {
+    /// Where the fault strikes.
+    pub target: FaultTarget,
+    /// Which bits flip.
+    pub mask: u32,
+}
+
+impl TransientFault {
+    /// Applies the bit flip to the machine. Memory flips into unmapped
+    /// addresses vanish without effect (as in reality).
+    pub fn apply(&self, m: &mut Machine) {
+        match self.target {
+            FaultTarget::Register(r) => m.cpu.flip_reg(r, self.mask),
+            FaultTarget::Pc => m.cpu.pc ^= self.mask,
+            FaultTarget::Sp => m.cpu.sp ^= self.mask,
+            FaultTarget::Status => {
+                let w = m.cpu.flags.to_word() ^ self.mask;
+                m.cpu.flags = StatusFlags::from_word(w);
+            }
+            FaultTarget::MemoryWord(addr) => {
+                m.mem.inject_flip(addr, self.mask);
+            }
+        }
+    }
+}
+
+/// A permanent stuck-at fault, re-asserted before every instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckAtFault {
+    /// Where the fault sits.
+    pub target: FaultTarget,
+    /// The stuck bit (single-bit mask).
+    pub bit: u32,
+    /// Stuck-at-one when `true`, stuck-at-zero otherwise.
+    pub stuck_high: bool,
+}
+
+impl StuckAtFault {
+    /// Forces the stuck bit to its value.
+    pub fn assert_on(&self, m: &mut Machine) {
+        let force = |v: u32| {
+            if self.stuck_high {
+                v | self.bit
+            } else {
+                v & !self.bit
+            }
+        };
+        match self.target {
+            FaultTarget::Register(r) => {
+                let v = m.cpu.reg(r);
+                m.cpu.set_reg(r, force(v));
+            }
+            FaultTarget::Pc => m.cpu.pc = force(m.cpu.pc),
+            FaultTarget::Sp => m.cpu.sp = force(m.cpu.sp),
+            FaultTarget::Status => {
+                m.cpu.flags = StatusFlags::from_word(force(m.cpu.flags.to_word()));
+            }
+            FaultTarget::MemoryWord(addr) => {
+                // Model as repeated corruption of the word's true value.
+                if let Ok(v) = m.mem.peek(addr) {
+                    let _ = m.mem.store(addr, force(v));
+                }
+            }
+        }
+    }
+}
+
+/// The sampling space for random fault generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpace {
+    /// Include general-purpose registers.
+    pub registers: bool,
+    /// Include the PC.
+    pub pc: bool,
+    /// Include the SP.
+    pub sp: bool,
+    /// Include the status register.
+    pub status: bool,
+    /// Include memory words in `[0, memory_bytes)`; `0` excludes memory.
+    pub memory_bytes: u32,
+    /// Number of bits to flip (1 = classic single-event upset).
+    pub bits: u32,
+}
+
+impl FaultSpace {
+    /// The classic single-event-upset space over a whole machine.
+    pub fn seu(memory_bytes: u32) -> Self {
+        FaultSpace {
+            registers: true,
+            pc: true,
+            sp: true,
+            status: true,
+            memory_bytes,
+            bits: 1,
+        }
+    }
+
+    /// CPU-internal faults only (registers, PC, SP, status) — the component
+    /// of the space that ECC cannot help with, and the one TEM exists for.
+    pub fn cpu_only() -> Self {
+        FaultSpace {
+            registers: true,
+            pc: true,
+            sp: true,
+            status: true,
+            memory_bytes: 0,
+            bits: 1,
+        }
+    }
+
+    /// Draws a random fault from the space.
+    ///
+    /// Targets are weighted by rough "silicon area": each register counts 1,
+    /// PC/SP/status count 1 each, and memory counts 1 per 64 words — memory
+    /// cells are individually tiny but numerous, yet protected by ECC, so
+    /// over-sampling memory would only demonstrate ECC, not TEM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty or `bits == 0`.
+    pub fn sample(&self, rng: &mut RngStream) -> TransientFault {
+        assert!(self.bits > 0, "must flip at least one bit");
+        let mut weights: Vec<(f64, u8)> = Vec::new(); // (weight, kind)
+        if self.registers {
+            weights.push((NUM_REGS as f64, 0));
+        }
+        if self.pc {
+            weights.push((1.0, 1));
+        }
+        if self.sp {
+            weights.push((1.0, 2));
+        }
+        if self.status {
+            weights.push((1.0, 3));
+        }
+        if self.memory_bytes >= WORD_BYTES {
+            weights.push((f64::from(self.memory_bytes / WORD_BYTES) / 64.0, 4));
+        }
+        assert!(!weights.is_empty(), "fault space is empty");
+        let ws: Vec<f64> = weights.iter().map(|&(w, _)| w).collect();
+        let kind = weights[rng.weighted_index(&ws)].1;
+        let target = match kind {
+            0 => FaultTarget::Register(
+                Reg::new(rng.uniform_range(0, NUM_REGS as u64) as u8).expect("in range"),
+            ),
+            1 => FaultTarget::Pc,
+            2 => FaultTarget::Sp,
+            3 => FaultTarget::Status,
+            _ => {
+                let words = u64::from(self.memory_bytes / WORD_BYTES);
+                FaultTarget::MemoryWord(rng.uniform_range(0, words) as u32 * WORD_BYTES)
+            }
+        };
+        let mut mask = 0u32;
+        while mask.count_ones() < self.bits.min(32) {
+            mask |= 1 << rng.uniform_range(0, 32);
+        }
+        TransientFault { target, mask }
+    }
+}
+
+/// Runs a machine with a transient fault injected after `inject_at_cycle`
+/// cycles, then continues to completion within the overall `cycle_budget`.
+///
+/// Returns the outcome plus whether the injection actually happened (it
+/// does not if the program finished first — the fault was *not activated*,
+/// matching the paper's definition of fault rate as the rate of *activated*
+/// faults).
+pub fn run_with_injection(
+    m: &mut Machine,
+    cycle_budget: u64,
+    inject_at_cycle: u64,
+    fault: TransientFault,
+) -> (RunOutcome, bool) {
+    let start = m.cpu.cycles;
+    // Phase 1: run up to the injection point.
+    let pre_budget = inject_at_cycle.min(cycle_budget);
+    let pre = m.run(pre_budget);
+    match pre.exit {
+        RunExit::BudgetExhausted if pre.cycles_used >= inject_at_cycle => {
+            // Reached the injection point with the program still running.
+            fault.apply(m);
+            let remaining = cycle_budget - pre.cycles_used;
+            let post = m.run(remaining);
+            (
+                RunOutcome {
+                    exit: post.exit,
+                    cycles_used: m.cpu.cycles - start,
+                },
+                true,
+            )
+        }
+        _ => (pre, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::Exception;
+    use crate::mmu::MemoryMap;
+
+    fn counting_machine() -> Machine {
+        let image = assemble(
+            "    ldi r0, 0
+                 ldi r1, 100
+                 ldi r2, 1
+             loop:
+                 add r0, r0, r2
+                 cmp r0, r1
+                 jnz loop
+                 out r0, port0
+                 halt",
+        )
+        .unwrap();
+        let mut m = Machine::new(4096, MemoryMap::permissive());
+        m.load_program(0, &image.words).unwrap();
+        m.reset(0, 4096);
+        m
+    }
+
+    #[test]
+    fn register_flip_changes_result() {
+        let mut clean = counting_machine();
+        clean.run(10_000);
+        let golden = clean.output(0);
+
+        let mut m = counting_machine();
+        let fault = TransientFault {
+            target: FaultTarget::Register(Reg::R0),
+            mask: 1 << 30,
+        };
+        let (out, injected) = run_with_injection(&mut m, 100_000, 50, fault);
+        assert!(injected);
+        // Either it diverges (different output) or loops forever until the
+        // counter wraps; both are acceptable fault behaviours, but the
+        // outcome must differ from golden or exhaust budget.
+        match out.exit {
+            RunExit::Halted => assert_ne!(m.output(0), golden),
+            RunExit::BudgetExhausted => {}
+            RunExit::Exception(_) => {}
+        }
+    }
+
+    #[test]
+    fn pc_flip_typically_detected_by_hardware() {
+        // Flip a high PC bit → lands outside mapped memory → bus error,
+        // reproducing the §2.5 observation that PC faults raise exceptions.
+        let mut m = counting_machine();
+        let fault = TransientFault {
+            target: FaultTarget::Pc,
+            mask: 1 << 20,
+        };
+        let (out, injected) = run_with_injection(&mut m, 100_000, 20, fault);
+        assert!(injected);
+        assert!(
+            matches!(out.exit, RunExit::Exception(Exception::Memory(_))),
+            "expected bus error, got {:?}",
+            out.exit
+        );
+    }
+
+    #[test]
+    fn pc_low_bit_flip_raises_alignment_error() {
+        let mut m = counting_machine();
+        let fault = TransientFault {
+            target: FaultTarget::Pc,
+            mask: 0b10,
+        };
+        let (out, injected) = run_with_injection(&mut m, 100_000, 20, fault);
+        assert!(injected);
+        assert!(matches!(out.exit, RunExit::Exception(Exception::Memory(_))));
+    }
+
+    #[test]
+    fn fault_after_halt_is_not_activated() {
+        let mut m = counting_machine();
+        let fault = TransientFault {
+            target: FaultTarget::Register(Reg::R0),
+            mask: 1,
+        };
+        let (out, injected) = run_with_injection(&mut m, 100_000, 99_999, fault);
+        assert!(!injected, "program halts long before cycle 99999");
+        assert_eq!(out.exit, RunExit::Halted);
+    }
+
+    #[test]
+    fn status_flip_perturbs_branching() {
+        // Flipping Z right before JNZ can end the loop early.
+        let mut m = counting_machine();
+        let fault = TransientFault {
+            target: FaultTarget::Status,
+            mask: 0b01,
+        };
+        let (_, injected) = run_with_injection(&mut m, 100_000, 10, fault);
+        assert!(injected);
+    }
+
+    #[test]
+    fn stuck_at_keeps_bit_forced() {
+        let mut m = counting_machine();
+        let stuck = StuckAtFault {
+            target: FaultTarget::Register(Reg::R2),
+            bit: 1,
+            stuck_high: false, // increment register stuck at 0 → infinite loop
+        };
+        let start = m.cpu.cycles;
+        let mut exit = None;
+        while m.cpu.cycles - start < 5_000 {
+            stuck.assert_on(&mut m);
+            match m.step() {
+                Ok(crate::machine::Step::Running) => {}
+                Ok(crate::machine::Step::Halted) => {
+                    exit = Some(RunExit::Halted);
+                    break;
+                }
+                Err(e) => {
+                    exit = Some(RunExit::Exception(e));
+                    break;
+                }
+            }
+        }
+        assert!(exit.is_none(), "stuck-at-0 increment must loop forever");
+    }
+
+    #[test]
+    fn sample_respects_space() {
+        let mut rng = RngStream::new(42);
+        let space = FaultSpace::cpu_only();
+        for _ in 0..500 {
+            let f = space.sample(&mut rng);
+            assert!(!matches!(f.target, FaultTarget::MemoryWord(_)));
+            assert_eq!(f.mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn sample_memory_addresses_are_aligned_and_in_range() {
+        let mut rng = RngStream::new(43);
+        let space = FaultSpace {
+            registers: false,
+            pc: false,
+            sp: false,
+            status: false,
+            memory_bytes: 4096,
+            bits: 2,
+        };
+        for _ in 0..500 {
+            let f = space.sample(&mut rng);
+            match f.target {
+                FaultTarget::MemoryWord(a) => {
+                    assert_eq!(a % WORD_BYTES, 0);
+                    assert!(a < 4096);
+                }
+                other => panic!("unexpected target {other:?}"),
+            }
+            assert_eq!(f.mask.count_ones(), 2);
+        }
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let space = FaultSpace::seu(4096);
+        let a: Vec<_> = {
+            let mut rng = RngStream::new(7).fork("faults");
+            (0..50).map(|_| space.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = RngStream::new(7).fork("faults");
+            (0..50).map(|_| space.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_classes_cover_all_targets() {
+        assert_eq!(FaultTarget::Pc.class(), TargetClass::Pc);
+        assert_eq!(FaultTarget::Sp.class(), TargetClass::Sp);
+        assert_eq!(FaultTarget::Status.class(), TargetClass::Status);
+        assert_eq!(
+            FaultTarget::Register(Reg::R0).class(),
+            TargetClass::DataRegister
+        );
+        assert_eq!(FaultTarget::MemoryWord(0).class(), TargetClass::Memory);
+        for c in TargetClass::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+}

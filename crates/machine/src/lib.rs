@@ -1,0 +1,63 @@
+//! # nlft-machine — a simulated COTS host processor with hardware EDMs
+//!
+//! The paper's light-weight node-level fault tolerance runs on commercial
+//! off-the-shelf microprocessors whose built-in error-detection mechanisms
+//! (EDMs) — illegal op-code detection, address/bus errors, ECC memory, an
+//! MMU — catch most of the errors that transient faults produce. This crate
+//! substitutes for that hardware: a deterministic 32-bit machine (**TM32**)
+//! whose architectural resources are individually exposed to a seedable
+//! fault injector, so the detection pathways the paper argues about can be
+//! reproduced structurally.
+//!
+//! * [`isa`] — the TM32 instruction set with encode/decode (illegal-opcode
+//!   detection lives in the decoder).
+//! * [`asm`] — a two-pass assembler + disassembler for writing workloads.
+//! * [`cpu`] — register file, status flags, save/restore contexts.
+//! * [`mem`] — SEC-DED ECC memory with injectable bit flips.
+//! * [`mmu`] — per-task region protection (fault confinement).
+//! * [`machine`] — the interpreter tying it together, with cycle-accurate
+//!   budgets (execution-time monitoring) and I/O ports.
+//! * [`fault`] — SWIFI-style transient and stuck-at fault injection.
+//! * [`edm`] — the Table-1 taxonomy and detection matrices.
+//! * [`workloads`] — canonical brake-by-wire task programs.
+//!
+//! # Examples
+//!
+//! Inject a PC fault into a brake controller and watch the hardware catch it:
+//!
+//! ```
+//! use nlft_machine::fault::{run_with_injection, FaultTarget, TransientFault};
+//! use nlft_machine::machine::RunExit;
+//! use nlft_machine::workloads;
+//!
+//! let pid = workloads::pid_controller();
+//! let mut m = pid.instantiate();
+//! m.set_input(0, 1000);
+//! m.set_input(1, 900);
+//! let fault = TransientFault { target: FaultTarget::Pc, mask: 1 << 15 };
+//! let (outcome, injected) = run_with_injection(&mut m, 50_000, 10, fault);
+//! assert!(injected);
+//! assert!(matches!(outcome.exit, RunExit::Exception(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod edm;
+pub mod fault;
+pub mod isa;
+pub mod machine;
+pub mod mem;
+pub mod mmu;
+pub mod workloads;
+
+pub use cpu::{CpuContext, CpuState};
+pub use edm::{DetectionMatrix, Edm};
+pub use fault::{FaultSpace, FaultTarget, TransientFault};
+pub use isa::{Instr, Reg};
+pub use machine::{Exception, Machine, RunExit, RunOutcome};
+pub use mem::EccMemory;
+pub use mmu::{Access, MemoryMap, Perms, Region};
+pub use workloads::Workload;

@@ -1,0 +1,340 @@
+//! ECC-protected main memory.
+//!
+//! Models a word-organised SRAM/DRAM with single-error-correct /
+//! double-error-detect (SEC-DED) coding, the standard hardware EDM the paper
+//! assumes for memories (Table 1). The model keeps the *true* value of each
+//! word plus a mask of bits currently flipped by injected faults:
+//!
+//! * a **read** with one flipped bit is silently corrected (and counted) —
+//!   this is why pure memory faults rarely become errors on ECC machines;
+//! * a read with two or more flipped bits raises an uncorrectable-ECC
+//!   exception — detected, not masked;
+//! * a **write** re-encodes the word, clearing any accumulated flips;
+//! * with ECC disabled (cheap-node configuration), reads return the
+//!   corrupted value with no indication — the fault escapes to the program.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Byte size of one memory word.
+pub const WORD_BYTES: u32 = 4;
+
+/// Outcome of a memory access that violates the bus or ECC rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemError {
+    /// Address not mapped by the memory array (bus error).
+    Bus {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// Address not word-aligned (address error).
+    Misaligned {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// Two or more flipped bits in the word: ECC detects but cannot correct.
+    EccUncorrectable {
+        /// The faulting byte address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Bus { addr } => write!(f, "bus error at {addr:#06x}"),
+            MemError::Misaligned { addr } => write!(f, "misaligned access at {addr:#06x}"),
+            MemError::EccUncorrectable { addr } => {
+                write!(f, "uncorrectable ECC error at {addr:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Counters exposed by the ECC logic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Single-bit errors silently corrected on read.
+    pub corrected: u64,
+    /// Multi-bit errors detected (exceptions raised).
+    pub detected_uncorrectable: u64,
+}
+
+/// Word-addressed main memory with SEC-DED ECC.
+///
+/// # Examples
+///
+/// ```
+/// use nlft_machine::mem::EccMemory;
+///
+/// let mut mem = EccMemory::new(1024);
+/// mem.store(0x10, 0xDEAD_BEEF)?;
+/// assert_eq!(mem.load(0x10)?, 0xDEAD_BEEF);
+///
+/// // A single injected bit flip is corrected transparently.
+/// mem.inject_flip(0x10, 0x0000_0001);
+/// assert_eq!(mem.load(0x10)?, 0xDEAD_BEEF);
+/// assert_eq!(mem.ecc_stats().corrected, 1);
+/// # Ok::<(), nlft_machine::mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EccMemory {
+    words: Vec<u32>,
+    /// Injected-fault bit masks, keyed by word index. Sparse: faults are rare.
+    flips: HashMap<u32, u32>,
+    ecc_enabled: bool,
+    stats: EccStats,
+}
+
+impl EccMemory {
+    /// Creates a zeroed memory of `bytes` bytes (rounded down to whole words)
+    /// with ECC enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is smaller than one word.
+    pub fn new(bytes: u32) -> Self {
+        assert!(bytes >= WORD_BYTES, "memory must hold at least one word");
+        EccMemory {
+            words: vec![0; (bytes / WORD_BYTES) as usize],
+            flips: HashMap::new(),
+            ecc_enabled: true,
+            stats: EccStats::default(),
+        }
+    }
+
+    /// Creates a memory with ECC disabled (models a low-cost node without
+    /// memory protection; injected faults then propagate silently).
+    pub fn new_without_ecc(bytes: u32) -> Self {
+        let mut m = EccMemory::new(bytes);
+        m.ecc_enabled = false;
+        m
+    }
+
+    /// Memory size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.words.len() as u32 * WORD_BYTES
+    }
+
+    /// Whether ECC is active.
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc_enabled
+    }
+
+    /// ECC correction/detection counters.
+    pub fn ecc_stats(&self) -> EccStats {
+        self.stats
+    }
+
+    fn word_index(&self, addr: u32) -> Result<usize, MemError> {
+        if addr % WORD_BYTES != 0 {
+            return Err(MemError::Misaligned { addr });
+        }
+        let idx = (addr / WORD_BYTES) as usize;
+        if idx >= self.words.len() {
+            return Err(MemError::Bus { addr });
+        }
+        Ok(idx)
+    }
+
+    /// Loads the 32-bit word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] for unaligned addresses, [`MemError::Bus`]
+    /// for unmapped addresses, and [`MemError::EccUncorrectable`] when the
+    /// word carries a multi-bit fault and ECC is enabled.
+    pub fn load(&mut self, addr: u32) -> Result<u32, MemError> {
+        let idx = self.word_index(addr)?;
+        let mask = self.flips.get(&(idx as u32)).copied().unwrap_or(0);
+        if mask == 0 {
+            return Ok(self.words[idx]);
+        }
+        if !self.ecc_enabled {
+            // Fault escapes: the program sees the corrupted value.
+            return Ok(self.words[idx] ^ mask);
+        }
+        if mask.count_ones() == 1 {
+            // SEC: corrected in place (scrubbing).
+            self.flips.remove(&(idx as u32));
+            self.stats.corrected += 1;
+            Ok(self.words[idx])
+        } else {
+            self.stats.detected_uncorrectable += 1;
+            Err(MemError::EccUncorrectable { addr })
+        }
+    }
+
+    /// Stores a 32-bit word; rewriting a word clears any injected flips.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::Bus`] as for [`EccMemory::load`].
+    pub fn store(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let idx = self.word_index(addr)?;
+        self.words[idx] = value;
+        self.flips.remove(&(idx as u32));
+        Ok(())
+    }
+
+    /// Reads a word bypassing ECC and fault masks — the "golden" value.
+    ///
+    /// Used by experiment harnesses for oracle comparison, never by the
+    /// simulated software.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] or [`MemError::Bus`].
+    pub fn peek(&self, addr: u32) -> Result<u32, MemError> {
+        let idx = self.word_index(addr)?;
+        Ok(self.words[idx])
+    }
+
+    /// XORs `mask` into the injected-fault state of the word at `addr`.
+    ///
+    /// Does nothing (and returns `false`) for invalid addresses — fault
+    /// injectors may target arbitrary addresses.
+    pub fn inject_flip(&mut self, addr: u32, mask: u32) -> bool {
+        match self.word_index(addr) {
+            Ok(idx) => {
+                let e = self.flips.entry(idx as u32).or_insert(0);
+                *e ^= mask;
+                if *e == 0 {
+                    self.flips.remove(&(idx as u32));
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of words currently carrying injected faults.
+    pub fn faulty_words(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Clears all injected faults (models a scrub cycle or power reset).
+    pub fn clear_faults(&mut self) {
+        self.flips.clear();
+    }
+
+    /// Zeroes all of memory and clears fault state (hard reset).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.flips.clear();
+    }
+
+    /// Bulk-loads `words` starting at byte address `base` (program loading).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`EccMemory::store`] on the first invalid address.
+    pub fn load_image(&mut self, base: u32, words: &[u32]) -> Result<(), MemError> {
+        for (i, &w) in words.iter().enumerate() {
+            self.store(base + (i as u32) * WORD_BYTES, w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = EccMemory::new(64);
+        m.store(0, 1).unwrap();
+        m.store(60, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.load(0).unwrap(), 1);
+        assert_eq!(m.load(60).unwrap(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn misaligned_and_out_of_range_fail() {
+        let mut m = EccMemory::new(64);
+        assert_eq!(m.load(2), Err(MemError::Misaligned { addr: 2 }));
+        assert_eq!(m.load(64), Err(MemError::Bus { addr: 64 }));
+        assert_eq!(m.store(65, 0), Err(MemError::Misaligned { addr: 65 }));
+        assert_eq!(m.store(1 << 20, 0), Err(MemError::Bus { addr: 1 << 20 }));
+    }
+
+    #[test]
+    fn single_bit_flip_corrected_and_scrubbed() {
+        let mut m = EccMemory::new(64);
+        m.store(8, 0xAAAA_5555).unwrap();
+        m.inject_flip(8, 0x8000_0000);
+        assert_eq!(m.load(8).unwrap(), 0xAAAA_5555);
+        assert_eq!(m.ecc_stats().corrected, 1);
+        // Scrubbed: a second read needs no correction.
+        m.load(8).unwrap();
+        assert_eq!(m.ecc_stats().corrected, 1);
+        assert_eq!(m.faulty_words(), 0);
+    }
+
+    #[test]
+    fn double_bit_flip_detected_uncorrectable() {
+        let mut m = EccMemory::new(64);
+        m.store(8, 7).unwrap();
+        m.inject_flip(8, 0b11);
+        assert_eq!(m.load(8), Err(MemError::EccUncorrectable { addr: 8 }));
+        assert_eq!(m.ecc_stats().detected_uncorrectable, 1);
+    }
+
+    #[test]
+    fn write_clears_fault() {
+        let mut m = EccMemory::new(64);
+        m.inject_flip(8, 0b111);
+        m.store(8, 42).unwrap();
+        assert_eq!(m.load(8).unwrap(), 42);
+        assert_eq!(m.ecc_stats().detected_uncorrectable, 0);
+    }
+
+    #[test]
+    fn without_ecc_faults_escape_silently() {
+        let mut m = EccMemory::new_without_ecc(64);
+        m.store(8, 0b1000).unwrap();
+        m.inject_flip(8, 0b0001);
+        assert_eq!(m.load(8).unwrap(), 0b1001, "corrupted value visible");
+        assert_eq!(m.ecc_stats().corrected, 0);
+        // peek still sees the golden value.
+        assert_eq!(m.peek(8).unwrap(), 0b1000);
+    }
+
+    #[test]
+    fn inject_into_invalid_address_reports_false() {
+        let mut m = EccMemory::new(64);
+        assert!(!m.inject_flip(1 << 20, 1));
+        assert!(!m.inject_flip(3, 1));
+        assert!(m.inject_flip(4, 1));
+    }
+
+    #[test]
+    fn double_inject_same_bit_cancels() {
+        let mut m = EccMemory::new(64);
+        m.inject_flip(4, 0b10);
+        m.inject_flip(4, 0b10);
+        assert_eq!(m.faulty_words(), 0);
+    }
+
+    #[test]
+    fn load_image_places_program() {
+        let mut m = EccMemory::new(64);
+        m.load_image(16, &[1, 2, 3]).unwrap();
+        assert_eq!(m.load(16).unwrap(), 1);
+        assert_eq!(m.load(20).unwrap(), 2);
+        assert_eq!(m.load(24).unwrap(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = EccMemory::new(64);
+        m.store(4, 9).unwrap();
+        m.inject_flip(8, 3);
+        m.reset();
+        assert_eq!(m.load(4).unwrap(), 0);
+        assert_eq!(m.faulty_words(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the TM32 machine.
+
+use nlft_machine::asm::{assemble, disassemble};
+use nlft_machine::fault::{run_with_injection, FaultSpace};
+use nlft_machine::isa::{Instr, Reg};
+use nlft_machine::machine::{Machine, RunExit};
+use nlft_machine::mmu::MemoryMap;
+use nlft_machine::workloads;
+use nlft_sim::rng::RngStream;
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Ret),
+        (arb_reg(), any::<i16>()).prop_map(|(r, v)| Instr::Ldi(r, v)),
+        (arb_reg(), any::<u16>()).prop_map(|(r, v)| Instr::Lui(r, v)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::Ld(a, b, v)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::St(a, b, v)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mov(a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Add(a, b, c)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Sub(a, b, c)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Mul(a, b, c)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Div(a, b, c)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Xor(a, b, c)),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::Addi(a, b, v)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Cmp(a, b)),
+        any::<u16>().prop_map(Instr::Jmp),
+        any::<u16>().prop_map(Instr::Jz),
+        any::<u16>().prop_map(Instr::Call),
+        arb_reg().prop_map(Instr::Push),
+        arb_reg().prop_map(Instr::Pop),
+        (arb_reg(), 0u16..16).prop_map(|(r, p)| Instr::In(r, p)),
+        (arb_reg(), 0u16..16).prop_map(|(r, p)| Instr::Out(r, p)),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through encode/decode.
+    #[test]
+    fn isa_encode_decode_roundtrip(instr in arb_instr()) {
+        prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+    }
+
+    /// The machine never panics on arbitrary programs — every outcome is a
+    /// clean halt, budget stop, or a typed exception.
+    #[test]
+    fn machine_total_on_arbitrary_programs(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        inputs in prop::collection::vec(any::<u32>(), 16),
+    ) {
+        let mut m = Machine::new(4096, MemoryMap::permissive());
+        m.load_program(0, &words).unwrap();
+        m.reset(0, 4096);
+        for (p, &v) in inputs.iter().enumerate() {
+            m.set_input(p, v);
+        }
+        let out = m.run(10_000);
+        match out.exit {
+            RunExit::Halted | RunExit::BudgetExhausted | RunExit::Exception(_) => {}
+        }
+        prop_assert!(out.cycles_used <= 10_000 + 8, "budget respected modulo one instruction");
+    }
+
+    /// Disassembly never panics and emits one line per word.
+    #[test]
+    fn disassemble_total(words in prop::collection::vec(any::<u32>(), 0..64)) {
+        let text = disassemble(&words);
+        prop_assert_eq!(text.lines().count(), words.len());
+    }
+
+    /// Two machines running the same program with the same injected fault
+    /// behave identically (campaigns are exactly replayable).
+    #[test]
+    fn injection_is_deterministic(seed in any::<u64>(), cycle in 1u64..2000) {
+        let w = workloads::pid_controller();
+        let mut rng = RngStream::new(seed);
+        let fault = FaultSpace::cpu_only().sample(&mut rng);
+
+        let run = |fault, cycle| {
+            let mut m = w.instantiate();
+            m.set_input(0, 1200);
+            m.set_input(1, 800);
+            let (out, injected) = run_with_injection(&mut m, 20_000, cycle, fault);
+            (out, injected, *m.outputs())
+        };
+        let a = run(fault, cycle);
+        let b = run(fault, cycle);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+    }
+
+    /// The golden PID command is always within the actuator range for any
+    /// inputs in the sensor range.
+    #[test]
+    fn pid_output_always_in_actuator_range(sp in 0u32..4096, meas in 0u32..4096) {
+        let w = workloads::pid_controller();
+        let (out, _) = w.golden_run(&[sp, meas]);
+        let u = out[0].expect("pid always writes its output");
+        prop_assert!(u <= 4095, "command {u} exceeds actuator range");
+    }
+
+    /// Assembling then disassembling preserves mnemonics for a simple program.
+    #[test]
+    fn asm_disasm_consistent(n in 1u32..50) {
+        let src = format!("ldi r0, {n}\naddi r0, r0, 1\nhalt");
+        let image = assemble(&src).unwrap();
+        let text = disassemble(&image.words);
+        let expected = format!("ldi r0, {}", n);
+        prop_assert!(text.contains(&expected));
+        prop_assert!(text.contains("halt"));
+    }
+}

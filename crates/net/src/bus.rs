@@ -1,0 +1,429 @@
+//! The time-triggered broadcast bus (FlexRay-style).
+//!
+//! One communication cycle consists of a **static segment** — TDMA slots
+//! statically owned by nodes, carrying all critical traffic — followed by a
+//! **dynamic segment** of mini-slots arbitrated by priority, used for
+//! sporadic traffic such as the state-resynchronisation requests the
+//! paper's future-work section sketches (§4). A **bus guardian** refuses
+//! transmissions outside the sender's slot, converting babbling-idiot
+//! failures into omissions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::frame::{Frame, FrameError, NodeId, SlotId};
+
+/// Static configuration of one communication cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Slot ownership of the static segment: `slots[i]` owns slot `i`.
+    pub static_slots: Vec<NodeId>,
+    /// Number of dynamic mini-slots per cycle.
+    pub dynamic_minislots: u8,
+}
+
+impl BusConfig {
+    /// Config with one static slot per node, in id order, plus `minislots`
+    /// dynamic mini-slots.
+    pub fn round_robin(nodes: u8, minislots: u8) -> Self {
+        BusConfig {
+            static_slots: (0..nodes).map(NodeId).collect(),
+            dynamic_minislots: minislots,
+        }
+    }
+
+    /// The slot a node owns, if any.
+    pub fn slot_of(&self, node: NodeId) -> Option<SlotId> {
+        self.static_slots
+            .iter()
+            .position(|&n| n == node)
+            .map(|i| SlotId(i as u8))
+    }
+}
+
+/// Rejection reasons for a transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitError {
+    /// The bus guardian blocked a transmission outside the sender's slot.
+    GuardianBlocked {
+        /// The offending node.
+        node: NodeId,
+        /// The slot it tried to use.
+        slot: SlotId,
+    },
+    /// The slot was already used this cycle.
+    SlotBusy(SlotId),
+    /// All dynamic mini-slots are taken this cycle.
+    DynamicSegmentFull,
+}
+
+impl fmt::Display for TransmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransmitError::GuardianBlocked { node, slot } => {
+                write!(f, "bus guardian blocked {node} transmitting in {slot}")
+            }
+            TransmitError::SlotBusy(slot) => write!(f, "{slot} already used this cycle"),
+            TransmitError::DynamicSegmentFull => write!(f, "dynamic segment full"),
+        }
+    }
+}
+
+impl std::error::Error for TransmitError {}
+
+/// Everything delivered in one completed cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleDelivery {
+    /// Cycle counter.
+    pub cycle: u32,
+    /// Valid static-segment frames, by slot.
+    pub static_frames: BTreeMap<SlotId, Frame>,
+    /// Valid dynamic-segment frames, in arbitration (priority) order.
+    pub dynamic_frames: Vec<Frame>,
+    /// Count of frames discarded for CRC/format errors this cycle.
+    pub rejected: u32,
+}
+
+impl CycleDelivery {
+    /// Frame sent by `node` in its static slot, if it arrived intact.
+    pub fn from_node<'a>(&'a self, config: &BusConfig, node: NodeId) -> Option<&'a Frame> {
+        config.slot_of(node).and_then(|s| self.static_frames.get(&s))
+    }
+}
+
+/// The broadcast bus for one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use nlft_net::bus::{Bus, BusConfig};
+/// use nlft_net::frame::NodeId;
+///
+/// let mut bus = Bus::new(BusConfig::round_robin(3, 2));
+/// bus.start_cycle();
+/// bus.transmit_static(NodeId(0), vec![11])?;
+/// bus.transmit_static(NodeId(2), vec![22])?;
+/// let delivery = bus.finish_cycle();
+/// assert_eq!(delivery.static_frames.len(), 2);
+/// # Ok::<(), nlft_net::bus::TransmitError>(())
+/// ```
+#[derive(Debug)]
+pub struct Bus {
+    config: BusConfig,
+    cycle: u32,
+    in_cycle: bool,
+    static_pending: BTreeMap<SlotId, Bytes>,
+    dynamic_pending: Vec<(u8, Bytes)>, // (priority, frame)
+    corrupt_next: Option<(usize, u8)>, // (byte index, xor mask)
+    guardian_blocks: u64,
+    crc_rejects: u64,
+}
+
+impl Bus {
+    /// Creates a bus.
+    pub fn new(config: BusConfig) -> Self {
+        Bus {
+            config,
+            cycle: 0,
+            in_cycle: false,
+            static_pending: BTreeMap::new(),
+            dynamic_pending: Vec::new(),
+            corrupt_next: None,
+            guardian_blocks: 0,
+            crc_rejects: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Current cycle counter.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// Total transmissions blocked by the guardian so far.
+    pub fn guardian_blocks(&self) -> u64 {
+        self.guardian_blocks
+    }
+
+    /// Total frames rejected for CRC/format damage so far.
+    pub fn crc_rejects(&self) -> u64 {
+        self.crc_rejects
+    }
+
+    /// Opens a new communication cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cycle is already open.
+    pub fn start_cycle(&mut self) {
+        assert!(!self.in_cycle, "cycle already open");
+        self.in_cycle = true;
+        self.static_pending.clear();
+        self.dynamic_pending.clear();
+    }
+
+    /// Transmits in the sender's own static slot.
+    ///
+    /// # Errors
+    ///
+    /// [`TransmitError::GuardianBlocked`] if `node` owns no slot,
+    /// [`TransmitError::SlotBusy`] if it already transmitted this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle is open.
+    pub fn transmit_static(
+        &mut self,
+        node: NodeId,
+        payload: Vec<u32>,
+    ) -> Result<(), TransmitError> {
+        assert!(self.in_cycle, "no open cycle");
+        let slot = match self.config.slot_of(node) {
+            Some(s) => s,
+            None => {
+                self.guardian_blocks += 1;
+                return Err(TransmitError::GuardianBlocked {
+                    node,
+                    slot: SlotId(u8::MAX),
+                });
+            }
+        };
+        self.transmit_in_slot(node, slot, payload)
+    }
+
+    /// Transmits claiming an explicit slot — the bus guardian verifies
+    /// ownership, so this is how babbling-idiot behaviour is modelled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bus::transmit_static`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle is open.
+    pub fn transmit_in_slot(
+        &mut self,
+        node: NodeId,
+        slot: SlotId,
+        payload: Vec<u32>,
+    ) -> Result<(), TransmitError> {
+        assert!(self.in_cycle, "no open cycle");
+        if self.config.static_slots.get(slot.0 as usize) != Some(&node) {
+            self.guardian_blocks += 1;
+            return Err(TransmitError::GuardianBlocked { node, slot });
+        }
+        if self.static_pending.contains_key(&slot) {
+            return Err(TransmitError::SlotBusy(slot));
+        }
+        let frame = Frame::new(node, slot, self.cycle, payload);
+        let mut bytes = frame.encode();
+        if let Some((idx, mask)) = self.corrupt_next.take() {
+            let mut v = bytes.to_vec();
+            let i = idx % v.len();
+            v[i] ^= mask;
+            bytes = Bytes::from(v);
+        }
+        self.static_pending.insert(slot, bytes);
+        Ok(())
+    }
+
+    /// Queues a dynamic-segment transmission with a priority (lower wins).
+    ///
+    /// # Errors
+    ///
+    /// [`TransmitError::DynamicSegmentFull`] when all mini-slots are taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle is open.
+    pub fn transmit_dynamic(
+        &mut self,
+        node: NodeId,
+        priority: u8,
+        payload: Vec<u32>,
+    ) -> Result<(), TransmitError> {
+        assert!(self.in_cycle, "no open cycle");
+        if self.dynamic_pending.len() >= self.config.dynamic_minislots as usize {
+            return Err(TransmitError::DynamicSegmentFull);
+        }
+        let frame = Frame::new(node, SlotId(u8::MAX), self.cycle, payload);
+        self.dynamic_pending.push((priority, frame.encode()));
+        Ok(())
+    }
+
+    /// Corrupts the next static frame on the wire (fault injection): XORs
+    /// `mask` into byte `index` (mod length).
+    pub fn corrupt_next_frame(&mut self, index: usize, mask: u8) {
+        self.corrupt_next = Some((index, mask));
+    }
+
+    /// Closes the cycle, delivering all valid frames to every receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle is open.
+    pub fn finish_cycle(&mut self) -> CycleDelivery {
+        assert!(self.in_cycle, "no open cycle");
+        self.in_cycle = false;
+        let mut delivery = CycleDelivery {
+            cycle: self.cycle,
+            ..CycleDelivery::default()
+        };
+        for (slot, bytes) in std::mem::take(&mut self.static_pending) {
+            match Frame::decode(&bytes) {
+                Ok(f) => {
+                    delivery.static_frames.insert(slot, f);
+                }
+                Err(FrameError::Truncated | FrameError::LengthMismatch | FrameError::CrcMismatch) => {
+                    self.crc_rejects += 1;
+                    delivery.rejected += 1;
+                }
+            }
+        }
+        let mut dynamic = std::mem::take(&mut self.dynamic_pending);
+        dynamic.sort_by_key(|&(prio, _)| prio);
+        for (_, bytes) in dynamic {
+            match Frame::decode(&bytes) {
+                Ok(f) => delivery.dynamic_frames.push(f),
+                Err(_) => {
+                    self.crc_rejects += 1;
+                    delivery.rejected += 1;
+                }
+            }
+        }
+        self.cycle += 1;
+        delivery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus3() -> Bus {
+        Bus::new(BusConfig::round_robin(3, 2))
+    }
+
+    #[test]
+    fn static_slots_deliver_by_owner() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        bus.transmit_static(NodeId(1), vec![2]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.static_frames[&SlotId(0)].payload, vec![1]);
+        assert_eq!(d.static_frames[&SlotId(1)].payload, vec![2]);
+        assert!(d.static_frames.get(&SlotId(2)).is_none(), "silent node 2");
+        assert_eq!(d.from_node(bus.config(), NodeId(1)).unwrap().payload, vec![2]);
+    }
+
+    #[test]
+    fn guardian_blocks_foreign_slot() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        let err = bus.transmit_in_slot(NodeId(0), SlotId(1), vec![9]).unwrap_err();
+        assert_eq!(
+            err,
+            TransmitError::GuardianBlocked {
+                node: NodeId(0),
+                slot: SlotId(1)
+            }
+        );
+        assert_eq!(bus.guardian_blocks(), 1);
+        let d = bus.finish_cycle();
+        assert!(d.static_frames.is_empty(), "babbling never reaches receivers");
+    }
+
+    #[test]
+    fn guardian_blocks_unknown_node() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        assert!(matches!(
+            bus.transmit_static(NodeId(9), vec![]),
+            Err(TransmitError::GuardianBlocked { .. })
+        ));
+    }
+
+    #[test]
+    fn double_transmission_in_slot_rejected() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        assert_eq!(
+            bus.transmit_static(NodeId(0), vec![2]),
+            Err(TransmitError::SlotBusy(SlotId(0)))
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_discarded_and_counted() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.corrupt_next_frame(5, 0x80);
+        bus.transmit_static(NodeId(0), vec![1, 2, 3]).unwrap();
+        bus.transmit_static(NodeId(1), vec![4]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.rejected, 1);
+        assert!(d.static_frames.get(&SlotId(0)).is_none());
+        assert!(d.static_frames.contains_key(&SlotId(1)), "other frames unaffected");
+        assert_eq!(bus.crc_rejects(), 1);
+    }
+
+    #[test]
+    fn dynamic_segment_orders_by_priority() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_dynamic(NodeId(2), 7, vec![70]).unwrap();
+        bus.transmit_dynamic(NodeId(0), 1, vec![10]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.dynamic_frames.len(), 2);
+        assert_eq!(d.dynamic_frames[0].payload, vec![10], "low number first");
+        assert_eq!(d.dynamic_frames[1].payload, vec![70]);
+    }
+
+    #[test]
+    fn dynamic_segment_capacity_enforced() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_dynamic(NodeId(0), 0, vec![]).unwrap();
+        bus.transmit_dynamic(NodeId(1), 1, vec![]).unwrap();
+        assert_eq!(
+            bus.transmit_dynamic(NodeId(2), 2, vec![]),
+            Err(TransmitError::DynamicSegmentFull)
+        );
+    }
+
+    #[test]
+    fn cycle_counter_increments() {
+        let mut bus = bus3();
+        for expected in 0..5 {
+            bus.start_cycle();
+            bus.transmit_static(NodeId(0), vec![expected]).unwrap();
+            let d = bus.finish_cycle();
+            assert_eq!(d.cycle, expected);
+            assert_eq!(d.static_frames[&SlotId(0)].cycle, expected);
+        }
+        assert_eq!(bus.cycle(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle already open")]
+    fn double_start_panics() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.start_cycle();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open cycle")]
+    fn transmit_outside_cycle_panics() {
+        let mut bus = bus3();
+        let _ = bus.transmit_static(NodeId(0), vec![]);
+    }
+}

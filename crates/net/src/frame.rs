@@ -1,0 +1,221 @@
+//! CRC-protected communication frames.
+//!
+//! The paper assumes the network interface "provides reliable transmission
+//! of messages"; what reaches the hosts is a frame either correct or
+//! detectably corrupt. Frames carry sender, slot, cycle counter and a
+//! 32-bit CRC so receivers can discard damage — the transport half of the
+//! end-to-end argument in §2.6.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Identity of a node on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A TDMA slot index within one communication cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u8);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Transmitting node.
+    pub sender: NodeId,
+    /// Slot the frame was sent in.
+    pub slot: SlotId,
+    /// Communication-cycle counter at transmission.
+    pub cycle: u32,
+    /// Application payload (32-bit words).
+    pub payload: Vec<u32>,
+}
+
+/// Why a received byte sequence was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the fixed header + CRC.
+    Truncated,
+    /// Payload length field disagrees with the byte count.
+    LengthMismatch,
+    /// CRC check failed — the frame was corrupted in transit.
+    CrcMismatch,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::LengthMismatch => write!(f, "frame length field mismatch"),
+            FrameError::CrcMismatch => write!(f, "frame crc mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const HEADER_BYTES: usize = 1 + 1 + 4 + 2; // sender, slot, cycle, payload len
+const CRC_BYTES: usize = 4;
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(sender: NodeId, slot: SlotId, cycle: u32, payload: Vec<u32>) -> Self {
+        Frame {
+            sender,
+            slot,
+            cycle,
+            payload,
+        }
+    }
+
+    /// Serialises to wire bytes: header, payload words (LE), CRC.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.payload.len() * 4 + CRC_BYTES);
+        buf.put_u8(self.sender.0);
+        buf.put_u8(self.slot.0);
+        buf.put_u32_le(self.cycle);
+        buf.put_u16_le(self.payload.len() as u16);
+        for &w in &self.payload {
+            buf.put_u32_le(w);
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+
+    /// Parses and verifies wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FrameError`] for truncation, length inconsistency or CRC
+    /// failure — every corruption a receiver can see.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < HEADER_BYTES + CRC_BYTES {
+            return Err(FrameError::Truncated);
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - CRC_BYTES);
+        let mut crc_buf = crc_bytes;
+        let stored_crc = crc_buf.get_u32_le();
+        if crc32(body) != stored_crc {
+            return Err(FrameError::CrcMismatch);
+        }
+        let mut cursor = body;
+        let sender = NodeId(cursor.get_u8());
+        let slot = SlotId(cursor.get_u8());
+        let cycle = cursor.get_u32_le();
+        let len = cursor.get_u16_le() as usize;
+        if cursor.remaining() != len * 4 {
+            return Err(FrameError::LengthMismatch);
+        }
+        let payload = (0..len).map(|_| cursor.get_u32_le()).collect();
+        Ok(Frame {
+            sender,
+            slot,
+            cycle,
+            payload,
+        })
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frame[{} {} cycle={} {} words]",
+            self.sender,
+            self.slot,
+            self.cycle,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(NodeId(3), SlotId(1), 42, vec![0xDEAD_BEEF, 7, 0])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = sample();
+        let bytes = f.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let f = Frame::new(NodeId(0), SlotId(0), 0, vec![]);
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn single_bit_corruption_detected_everywhere() {
+        let f = sample();
+        let bytes = f.encode().to_vec();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().encode();
+        for keep in 0..HEADER_BYTES + CRC_BYTES {
+            assert_eq!(Frame::decode(&bytes[..keep]), Err(FrameError::Truncated));
+        }
+        // Dropping trailing bytes beyond the minimum is a CRC/length error.
+        assert!(Frame::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn crc_error_reported_specifically() {
+        let mut bytes = sample().encode().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::CrcMismatch));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(2).to_string(), "node2");
+        assert_eq!(SlotId(5).to_string(), "slot5");
+        assert!(sample().to_string().contains("cycle=42"));
+    }
+}

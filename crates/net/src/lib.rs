@@ -1,0 +1,53 @@
+//! # nlft-net — time-triggered communication for NLFT clusters
+//!
+//! The paper assumes a time-triggered network (TTP/C or FlexRay) whose
+//! interface delivers messages that are either correct or detectably
+//! corrupt, with time-triggered slots for critical traffic and an optional
+//! event-triggered segment for sporadic activity. This crate provides that
+//! substrate:
+//!
+//! * [`frame`] — CRC-protected frames (end-to-end detectable corruption);
+//! * [`bus`] — a FlexRay-style cycle: static TDMA slots guarded against
+//!   babbling idiots + a priority-arbitrated dynamic mini-slot segment;
+//! * [`membership`] — silent-node exclusion and reintegration, the
+//!   mechanism behind the paper's repair rates `μ_R` and `μ_OM`;
+//! * [`replication`] — duplex active replication (the central-unit
+//!   configuration) and the §4 state-resynchronisation protocol over the
+//!   dynamic segment.
+//!
+//! # Examples
+//!
+//! A two-node duplex cluster surviving one replica's omission:
+//!
+//! ```
+//! use nlft_net::bus::{Bus, BusConfig};
+//! use nlft_net::frame::NodeId;
+//! use nlft_net::replication::{select_duplex, DuplexPair, DuplexValue};
+//!
+//! let config = BusConfig::round_robin(2, 0);
+//! let mut bus = Bus::new(config.clone());
+//! let pair = DuplexPair::new(NodeId(0), NodeId(1));
+//!
+//! bus.start_cycle();
+//! bus.transmit_static(NodeId(0), vec![1234]).unwrap(); // replica 1 omits
+//! let delivery = bus.finish_cycle();
+//! let value = select_duplex(&config, &delivery, pair);
+//! assert_eq!(value.payload(), Some(&[1234u32][..]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod frame;
+pub mod membership;
+pub mod replication;
+pub mod sync;
+pub mod timing;
+
+pub use bus::{Bus, BusConfig, CycleDelivery, TransmitError};
+pub use frame::{Frame, FrameError, NodeId, SlotId};
+pub use membership::{Membership, MembershipEvent};
+pub use sync::{ClockBehaviour, SyncConfig, SyncReport};
+pub use timing::{derive_repair_rates, BusTiming, DerivedRepairRates};
+pub use replication::{select_duplex, DuplexPair, DuplexValue, StateResync};

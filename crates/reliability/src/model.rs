@@ -1,0 +1,271 @@
+//! The common reliability-model interface and primitive models.
+//!
+//! Every analyzable object — a component, a Markov subsystem, a reliability
+//! block diagram, a fault tree — exposes `R(t)`, the probability of having
+//! operated correctly throughout `[0, t]`. Hierarchical composition (the
+//! SHARPE idiom the paper uses) is then just models nesting models.
+
+use std::sync::Arc;
+
+use crate::ctmc::{Ctmc, StateId};
+
+/// Anything with a reliability function `R(t)`.
+///
+/// `t` is in hours, matching the paper's rate units. Implementations must
+/// return values in `[0, 1]`, non-increasing in `t`, with `R(0) = 1` for a
+/// system that starts fault-free.
+pub trait ReliabilityModel {
+    /// Probability of surviving `[0, t_hours]` without failure.
+    fn reliability(&self, t_hours: f64) -> f64;
+
+    /// Unreliability `1 − R(t)`.
+    fn unreliability(&self, t_hours: f64) -> f64 {
+        1.0 - self.reliability(t_hours)
+    }
+}
+
+impl<M: ReliabilityModel + ?Sized> ReliabilityModel for &M {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        (**self).reliability(t_hours)
+    }
+}
+
+impl<M: ReliabilityModel + ?Sized> ReliabilityModel for Arc<M> {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        (**self).reliability(t_hours)
+    }
+}
+
+impl<M: ReliabilityModel + ?Sized> ReliabilityModel for Box<M> {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        (**self).reliability(t_hours)
+    }
+}
+
+/// A component with exponentially distributed lifetime: `R(t) = e^{-λt}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Failure rate per hour.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is nonnegative and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be nonnegative");
+        Exponential { rate }
+    }
+}
+
+impl ReliabilityModel for Exponential {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        (-self.rate * t_hours).exp()
+    }
+}
+
+/// An absorbing CTMC viewed through its up-states: `R(t)` is the
+/// probability of never having entered the absorbing (failure) states —
+/// valid when the failure states trap (no repair out of them), which holds
+/// for every model in the paper.
+#[derive(Debug, Clone)]
+pub struct CtmcReliability {
+    chain: Ctmc,
+    initial: Vec<f64>,
+    failure_states: Vec<StateId>,
+}
+
+impl CtmcReliability {
+    /// Creates the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a failure state has an outgoing transition (it would not
+    /// be absorbing, and `R(t)` would not equal `P(not yet failed)`).
+    pub fn new(chain: Ctmc, initial: Vec<f64>, failure_states: Vec<StateId>) -> Self {
+        for &f in &failure_states {
+            for j in 0..chain.num_states() {
+                if j != f.0 {
+                    assert!(
+                        chain.generator().get(f.0, j) == 0.0,
+                        "failure state {} is not absorbing",
+                        chain.name(f)
+                    );
+                }
+            }
+        }
+        CtmcReliability {
+            chain,
+            initial,
+            failure_states,
+        }
+    }
+
+    /// The wrapped chain.
+    pub fn chain(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Mean time to failure of this subsystem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ctmc::CtmcError`] (e.g. infinite MTTF).
+    pub fn mttf(&self) -> Result<f64, crate::ctmc::CtmcError> {
+        self.chain.mttf(&self.initial, &self.failure_states)
+    }
+}
+
+impl ReliabilityModel for CtmcReliability {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        let pi = self
+            .chain
+            .transient(&self.initial, t_hours)
+            .expect("initial distribution validated at construction");
+        1.0 - self.chain.probability_in(&pi, &self.failure_states)
+    }
+}
+
+/// Numerically integrates `MTTF = ∫₀^∞ R(t) dt` by adaptive Simpson over
+/// doubling windows, stopping when the tail contribution is negligible.
+///
+/// Works for any model; exact-CTMC MTTFs are preferred where available.
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is not in `(0, 1)`.
+pub fn mttf_numeric(model: &impl ReliabilityModel, rel_tol: f64) -> f64 {
+    assert!(rel_tol > 0.0 && rel_tol < 1.0, "rel_tol must be in (0,1)");
+    let mut total = 0.0f64;
+    let mut lo = 0.0f64;
+    let mut width = 1.0f64;
+    // Integrate [lo, lo+width], doubling the window until R is tiny and the
+    // window stops contributing.
+    for _ in 0..256 {
+        let hi = lo + width;
+        let seg = adaptive_simpson(model, lo, hi, rel_tol * (total.max(1.0)), 24);
+        total += seg;
+        if model.reliability(hi) < 1e-12 && seg < rel_tol * total.max(f64::MIN_POSITIVE) {
+            break;
+        }
+        lo = hi;
+        width *= 2.0;
+    }
+    total
+}
+
+fn adaptive_simpson(
+    model: &impl ReliabilityModel,
+    a: f64,
+    b: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let fa = model.reliability(a);
+    let fb = model.reliability(b);
+    let fm = model.reliability(m);
+    simpson_step(model, a, b, fa, fm, fb, tol, depth)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_step(
+    model: &impl ReliabilityModel,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = model.reliability(lm);
+    let frm = model.reliability(rm);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let split = left + right;
+    if depth == 0 || (split - whole).abs() <= 15.0 * tol {
+        split + (split - whole) / 15.0
+    } else {
+        simpson_step(model, a, m, fa, flm, fm, tol / 2.0, depth - 1)
+            + simpson_step(model, m, b, fm, frm, fb, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn exponential_basics() {
+        let m = Exponential::new(0.01);
+        assert_eq!(m.reliability(0.0), 1.0);
+        assert_close(m.reliability(100.0), (-1.0f64).exp(), 1e-12);
+        assert_close(m.unreliability(100.0), 1.0 - (-1.0f64).exp(), 1e-12);
+    }
+
+    #[test]
+    fn exponential_mttf_numeric_matches_inverse_rate() {
+        let m = Exponential::new(0.02);
+        let mttf = mttf_numeric(&m, 1e-9);
+        assert_close(mttf, 50.0, 1e-4);
+    }
+
+    #[test]
+    fn ctmc_reliability_with_repair() {
+        // 0 -λ→ 1 -ν→ F; 1 -μ→ 0. R(t) strictly decreasing; MTTF matches
+        // the closed form used in the ctmc tests.
+        let (lam, mu, nu) = (0.01, 1.0, 0.1);
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("ok");
+        let s1 = b.state("degraded");
+        let f = b.state("failed");
+        b.transition(s0, s1, lam).unwrap();
+        b.transition(s1, s0, mu).unwrap();
+        b.transition(s1, f, nu).unwrap();
+        let model = CtmcReliability::new(b.build(), vec![1.0, 0.0, 0.0], vec![f]);
+        assert_close(model.reliability(0.0), 1.0, 1e-12);
+        let r1 = model.reliability(10.0);
+        let r2 = model.reliability(100.0);
+        assert!(r1 > r2 && r2 > 0.0);
+        let expect = ((nu + mu) / lam + 1.0) / nu;
+        assert_close(model.mttf().unwrap(), expect, 1e-6);
+        // Numeric MTTF agrees with the exact linear-solve MTTF.
+        let numeric = mttf_numeric(&model, 1e-8);
+        assert_close(numeric, expect, expect * 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not absorbing")]
+    fn non_absorbing_failure_state_rejected() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(down, up, 1.0).unwrap(); // repair out of "failure"
+        CtmcReliability::new(b.build(), vec![1.0, 0.0], vec![down]);
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let m = Exponential::new(0.1);
+        let by_ref: &dyn ReliabilityModel = &m;
+        assert_eq!(by_ref.reliability(0.0), 1.0);
+        let boxed: Box<dyn ReliabilityModel> = Box::new(m);
+        assert_eq!(boxed.reliability(0.0), 1.0);
+        let arced: Arc<dyn ReliabilityModel> = Arc::new(m);
+        assert_eq!(arced.reliability(0.0), 1.0);
+    }
+}

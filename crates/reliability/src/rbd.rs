@@ -1,0 +1,245 @@
+//! Reliability block diagrams (RBD).
+//!
+//! The paper models the full-functionality wheel-node subsystem as four
+//! blocks in series (Fig. 8). This module provides series, parallel and
+//! k-of-n composition over arbitrary [`ReliabilityModel`]s, including
+//! heterogeneous k-of-n via the exact Poisson-binomial recurrence.
+
+use std::sync::Arc;
+
+use crate::model::ReliabilityModel;
+
+/// A block in a reliability block diagram.
+///
+/// Blocks are cheaply cloneable (components are shared via [`Arc`]), so a
+/// subsystem model can appear in several places of a larger diagram.
+///
+/// # Examples
+///
+/// ```
+/// use nlft_reliability::model::{Exponential, ReliabilityModel};
+/// use nlft_reliability::rbd::Block;
+///
+/// // Four wheel nodes in series (paper Fig. 8).
+/// let node = Block::component(Exponential::new(2.0e-4));
+/// let subsystem = Block::series(vec![node.clone(), node.clone(), node.clone(), node]);
+/// let r = subsystem.reliability(1000.0);
+/// assert!((r - (-4.0 * 2.0e-4 * 1000.0f64).exp()).abs() < 1e-12);
+/// ```
+#[derive(Clone)]
+pub enum Block {
+    /// A leaf component.
+    Component(Arc<dyn ReliabilityModel + Send + Sync>),
+    /// All children must work.
+    Series(Vec<Block>),
+    /// At least one child must work.
+    Parallel(Vec<Block>),
+    /// At least `k` of the children must work.
+    KOfN(usize, Vec<Block>),
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Block::Component(_) => write!(f, "Component"),
+            Block::Series(c) => f.debug_tuple("Series").field(&c.len()).finish(),
+            Block::Parallel(c) => f.debug_tuple("Parallel").field(&c.len()).finish(),
+            Block::KOfN(k, c) => f.debug_tuple("KOfN").field(k).field(&c.len()).finish(),
+        }
+    }
+}
+
+impl Block {
+    /// Wraps a component model as a leaf block.
+    pub fn component(model: impl ReliabilityModel + Send + Sync + 'static) -> Block {
+        Block::Component(Arc::new(model))
+    }
+
+    /// Builds a series arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn series(children: Vec<Block>) -> Block {
+        assert!(!children.is_empty(), "series needs children");
+        Block::Series(children)
+    }
+
+    /// Builds a parallel arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn parallel(children: Vec<Block>) -> Block {
+        assert!(!children.is_empty(), "parallel needs children");
+        Block::Parallel(children)
+    }
+
+    /// Builds a k-of-n arrangement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty or `k` exceeds their number.
+    pub fn k_of_n(k: usize, children: Vec<Block>) -> Block {
+        assert!(!children.is_empty(), "k-of-n needs children");
+        assert!(k >= 1 && k <= children.len(), "k out of range");
+        Block::KOfN(k, children)
+    }
+}
+
+impl ReliabilityModel for Block {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        match self {
+            Block::Component(m) => m.reliability(t_hours),
+            Block::Series(children) => children
+                .iter()
+                .map(|c| c.reliability(t_hours))
+                .product(),
+            Block::Parallel(children) => {
+                1.0 - children
+                    .iter()
+                    .map(|c| 1.0 - c.reliability(t_hours))
+                    .product::<f64>()
+            }
+            Block::KOfN(k, children) => {
+                // Poisson-binomial: dp[j] = P(exactly j of the first i work).
+                let mut dp = vec![0.0; children.len() + 1];
+                dp[0] = 1.0;
+                for (i, c) in children.iter().enumerate() {
+                    let p = c.reliability(t_hours);
+                    for j in (0..=i).rev() {
+                        dp[j + 1] += dp[j] * p;
+                        dp[j] *= 1.0 - p;
+                    }
+                }
+                dp[*k..].iter().sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Exponential;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    /// A deterministic component with fixed reliability, for exact tests.
+    #[derive(Debug, Clone, Copy)]
+    struct Fixed(f64);
+    impl ReliabilityModel for Fixed {
+        fn reliability(&self, _t: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn series_multiplies() {
+        let b = Block::series(vec![
+            Block::component(Fixed(0.9)),
+            Block::component(Fixed(0.8)),
+        ]);
+        assert_close(b.reliability(1.0), 0.72, 1e-12);
+    }
+
+    #[test]
+    fn parallel_complements() {
+        let b = Block::parallel(vec![
+            Block::component(Fixed(0.9)),
+            Block::component(Fixed(0.8)),
+        ]);
+        assert_close(b.reliability(1.0), 1.0 - 0.1 * 0.2, 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_homogeneous_matches_binomial() {
+        // 3-of-4 with p=0.9: C(4,3) p³q + p⁴.
+        let p = 0.9f64;
+        let children = vec![Block::component(Fixed(p)); 4];
+        let b = Block::k_of_n(3, children);
+        let expect = 4.0 * p.powi(3) * (1.0 - p) + p.powi(4);
+        assert_close(b.reliability(0.0), expect, 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_heterogeneous_exact() {
+        // 2-of-3 with p = 0.9, 0.8, 0.7:
+        // P = p1p2q3 + p1q2p3 + q1p2p3 + p1p2p3
+        let b = Block::k_of_n(
+            2,
+            vec![
+                Block::component(Fixed(0.9)),
+                Block::component(Fixed(0.8)),
+                Block::component(Fixed(0.7)),
+            ],
+        );
+        let expect = 0.9 * 0.8 * 0.3 + 0.9 * 0.2 * 0.7 + 0.1 * 0.8 * 0.7 + 0.9 * 0.8 * 0.7;
+        assert_close(b.reliability(0.0), expect, 1e-12);
+    }
+
+    #[test]
+    fn one_of_n_equals_parallel_and_n_of_n_equals_series() {
+        let mk = || {
+            vec![
+                Block::component(Fixed(0.85)),
+                Block::component(Fixed(0.6)),
+                Block::component(Fixed(0.99)),
+            ]
+        };
+        let p1 = Block::k_of_n(1, mk()).reliability(0.0);
+        let p2 = Block::parallel(mk()).reliability(0.0);
+        assert_close(p1, p2, 1e-12);
+        let s1 = Block::k_of_n(3, mk()).reliability(0.0);
+        let s2 = Block::series(mk()).reliability(0.0);
+        assert_close(s1, s2, 1e-12);
+    }
+
+    #[test]
+    fn paper_fig8_series_of_exponentials() {
+        let node = Block::component(Exponential::new(2.002e-4));
+        let wn = Block::series(vec![node.clone(), node.clone(), node.clone(), node]);
+        let t = 8760.0;
+        assert_close(
+            wn.reliability(t),
+            (-4.0 * 2.002e-4 * t).exp(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn nested_composition() {
+        // Two duplex pairs in series: (A ∥ A) – (B ∥ B).
+        let a = Block::component(Fixed(0.9));
+        let pair_a = Block::parallel(vec![a.clone(), a]);
+        let b = Block::component(Fixed(0.8));
+        let pair_b = Block::parallel(vec![b.clone(), b]);
+        let sys = Block::series(vec![pair_a, pair_b]);
+        let expect = (1.0 - 0.1f64 * 0.1) * (1.0 - 0.2f64 * 0.2);
+        assert_close(sys.reliability(0.0), expect, 1e-12);
+    }
+
+    #[test]
+    fn shared_component_via_clone() {
+        let shared = Block::component(Fixed(0.5));
+        let sys = Block::series(vec![shared.clone(), shared]);
+        // NOTE: RBD composition assumes independence, so the shared block
+        // multiplies like any other — dependence modelling belongs to fault
+        // trees (BDD). This documents the semantics.
+        assert_close(sys.reliability(0.0), 0.25, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_of_n_validates_k() {
+        Block::k_of_n(4, vec![Block::component(Fixed(0.5)); 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs children")]
+    fn empty_series_rejected() {
+        Block::series(vec![]);
+    }
+}

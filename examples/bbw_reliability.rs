@@ -1,0 +1,99 @@
+//! The paper's dependability analysis (§3), end to end.
+//!
+//! Builds the four system configurations (fail-silent vs light-weight
+//! NLFT nodes × full vs degraded functionality), prints Figure 12's
+//! reliability curves and the MTTF comparison, the Figure 13 subsystem
+//! breakdown, and a slice of the Figure 14 coverage sweep.
+//!
+//! ```text
+//! cargo run --release --example bbw_reliability
+//! ```
+
+use nlft::bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
+use nlft::bbw::params::BbwParams;
+use nlft::reliability::model::ReliabilityModel;
+
+fn main() {
+    let params = BbwParams::paper();
+    println!("parameters (paper §3.3):");
+    println!("  lambda_P = {:.2e}/h   lambda_T = {:.2e}/h", params.lambda_p, params.lambda_t);
+    println!(
+        "  C_D = {}   P_T = {}   P_OM = {}   P_FS = {}",
+        params.coverage, params.p_t, params.p_om, params.p_fs
+    );
+    println!("  mu_R = {:.0}/h (3 s)   mu_OM = {:.0}/h (1.6 s)", params.mu_r, params.mu_om);
+
+    let configs = [
+        ("FS / full", Policy::FailSilent, Functionality::Full),
+        ("NLFT / full", Policy::Nlft, Functionality::Full),
+        ("FS / degraded", Policy::FailSilent, Functionality::Degraded),
+        ("NLFT / degraded", Policy::Nlft, Functionality::Degraded),
+    ];
+
+    println!("\nFigure 12 — system reliability R(t) over one year:");
+    print!("{:>10}", "month");
+    for (name, _, _) in &configs {
+        print!("{name:>18}");
+    }
+    println!();
+    let systems: Vec<(&str, BbwSystem)> = configs
+        .iter()
+        .map(|&(name, p, f)| (name, BbwSystem::new(&params, p, f)))
+        .collect();
+    for month in 0..=12 {
+        let t = month as f64 * HOURS_PER_YEAR / 12.0;
+        print!("{month:>10}");
+        for (_, sys) in &systems {
+            print!("{:>18.4}", sys.reliability(t));
+        }
+        println!();
+    }
+
+    println!("\nmean time to failure:");
+    for (name, sys) in &systems {
+        println!("  {:<16} {:.3} years", name, sys.mttf_hours() / HOURS_PER_YEAR);
+    }
+
+    let fs = &systems[2].1;
+    let nlft = &systems[3].1;
+    let r_fs = fs.reliability(HOURS_PER_YEAR);
+    let r_nlft = nlft.reliability(HOURS_PER_YEAR);
+    println!(
+        "\nheadline (degraded mode): R(1y) {:.3} -> {:.3} (+{:.0}%)   [paper: 0.45 -> 0.70, +55%]",
+        r_fs,
+        r_nlft,
+        (r_nlft / r_fs - 1.0) * 100.0
+    );
+    println!(
+        "headline (degraded mode): MTTF {:.2}y -> {:.2}y (+{:.0}%)   [paper: 1.2 -> 1.9, +~60%]",
+        fs.mttf_hours() / HOURS_PER_YEAR,
+        nlft.mttf_hours() / HOURS_PER_YEAR,
+        (nlft.mttf_hours() / fs.mttf_hours() - 1.0) * 100.0
+    );
+
+    println!("\nFigure 13 — subsystem reliabilities at one year:");
+    for (name, sys) in &systems[2..] {
+        println!(
+            "  {:<16} CU duplex {:.4}   wheel subsystem {:.4}  (bottleneck: wheels)",
+            name,
+            sys.central_unit().reliability(HOURS_PER_YEAR),
+            sys.wheel_subsystem().reliability(HOURS_PER_YEAR)
+        );
+    }
+
+    println!("\nFigure 14 — R(5 h), degraded mode, transient rate x100:");
+    for coverage in [0.9, 0.99, 0.999] {
+        let p = BbwParams::paper()
+            .with_coverage(coverage)
+            .with_transient_multiplier(100.0);
+        let fs = BbwSystem::new(&p, Policy::FailSilent, Functionality::Degraded);
+        let nlft = BbwSystem::new(&p, Policy::Nlft, Functionality::Degraded);
+        println!(
+            "  C_D = {:<7} FS {:.6}   NLFT {:.6}",
+            coverage,
+            fs.reliability(5.0),
+            nlft.reliability(5.0)
+        );
+    }
+    println!("\ncoverage dominates; the NLFT advantage grows with the fault rate — as in the paper.");
+}

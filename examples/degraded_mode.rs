@@ -1,0 +1,82 @@
+//! Degraded-mode operation of the executable brake-by-wire cluster.
+//!
+//! Runs the six-node cluster (duplex central unit + four wheel nodes, all
+//! real TM32 programs under the TEM kernel on a TDMA bus), then walks
+//! through three incidents:
+//!
+//! 1. a transient fault in a wheel node that TEM masks — invisible on the
+//!    bus;
+//! 2. a wheel node going silent — membership excludes it, the central unit
+//!    redistributes brake force to the remaining three wheels, and the
+//!    node is reintegrated when it returns;
+//! 3. a central-unit replica outage — masked entirely by the duplex pair.
+//!
+//! ```text
+//! cargo run --release --example degraded_mode
+//! ```
+
+use nlft::bbw::cluster::{BbwCluster, ClusterInjection, CU_A, WHEELS};
+use nlft::machine::fault::{FaultTarget, TransientFault};
+
+fn show(cluster_name: &str, report: &nlft::bbw::cluster::ClusterReport) {
+    println!("\n=== {cluster_name} ===");
+    for r in &report.records {
+        let forces: Vec<String> = r
+            .wheel_force
+            .iter()
+            .map(|f| f.map(|v| format!("{v:>4}")).unwrap_or_else(|| "   -".into()))
+            .collect();
+        let mut line = format!(
+            "cycle {:>2}  pedal {:>4}  forces [{}]  members {}{}{}",
+            r.cycle,
+            r.pedal,
+            forces.join(" "),
+            r.members,
+            if r.degraded { "  DEGRADED" } else { "" },
+            if r.cu_single { "  CU-single" } else { "" },
+        );
+        for e in &r.events {
+            line.push_str(&format!("  <{e:?}>"));
+        }
+        println!("{line}");
+    }
+    println!(
+        "summary: degraded cycles {}, omissions {}, service lost: {}",
+        report.degraded_cycles, report.omissions, report.service_lost
+    );
+}
+
+fn main() {
+    // Incident 1: a masked transient — a PC fault in wheel 2's controller.
+    let mut cluster = BbwCluster::new();
+    cluster.inject(ClusterInjection {
+        cycle: 4,
+        node: WHEELS[1],
+        copy: 0,
+        at_cycle: 6,
+        fault: TransientFault {
+            target: FaultTarget::Pc,
+            mask: 1 << 20,
+        },
+    });
+    let report = cluster.run(8, |_| 1200);
+    show("incident 1: transient in wheel node, masked by TEM", &report);
+    assert!(!report.service_lost && report.degraded_cycles == 0);
+
+    // Incident 2: wheel 4 silent for six cycles → exclusion,
+    // redistribution, reintegration.
+    let mut cluster = BbwCluster::new();
+    cluster.silence_node(WHEELS[3], 6);
+    let report = cluster.run(14, |_| 1200);
+    show("incident 2: wheel node outage -> degraded mode", &report);
+    assert!(!report.service_lost);
+
+    // Incident 3: central-unit replica A restarts; the pair hides it.
+    let mut cluster = BbwCluster::new();
+    cluster.silence_node(CU_A, 5);
+    let report = cluster.run(12, |c| 800 + c * 50);
+    show("incident 3: CU replica outage, duplex masks it", &report);
+    assert!(!report.service_lost);
+
+    println!("\nall three incidents survived; braking was continuous throughout.");
+}

@@ -1,0 +1,137 @@
+//! The preemptive kernel in action: three tasks, one CPU, MMU confinement.
+//!
+//! A high-rate brake-pressure monitor preempts a long diagnostic sweep;
+//! a third, buggy task writes through a wild pointer and is confined to a
+//! trap by the MMU — exactly the §2.4/§2.8 architecture of the paper.
+//!
+//! ```text
+//! cargo run --release --example preemptive_kernel
+//! ```
+
+use nlft::kernel::preemptive::{PreemptiveExecutive, ResidentTask};
+use nlft::kernel::task::{Priority, TaskId};
+use nlft::machine::fault::{FaultTarget, TransientFault};
+use nlft::machine::isa::Reg;
+
+fn resident(id: u32, name: &str, prio: u32, period: u64, budget: u64) -> ResidentTask {
+    ResidentTask {
+        id: TaskId(id),
+        name: name.to_string(),
+        period_cycles: period,
+        deadline_cycles: period,
+        budget_cycles: budget,
+        priority: Priority(prio),
+        inputs: vec![(0, 1800), (1, 1500)],
+        output_port: 0,
+        critical: false,
+    }
+}
+
+fn main() {
+    let mut exec = PreemptiveExecutive::new(4);
+
+    // Window 0: the critical brake-pressure monitor — short, every 400 cycles.
+    exec.add_task(
+        resident(1, "brake-monitor", 0, 400, 150),
+        "    in   r0, port0       ; commanded
+             in   r1, port1       ; measured
+             sub  r2, r0, r1      ; pressure error
+             out  r2, port0
+             halt",
+    )
+    .expect("monitor loads");
+
+    // Window 1: a long diagnostic memory sweep — low priority, preemptible.
+    exec.add_task(
+        resident(2, "diagnostic-sweep", 2, 6_000, 5_000),
+        "    ldi  r0, 0           ; checksum
+             ldi  r1, 0x1400      ; own data window
+             ldi  r2, 200         ; words to scan
+             ldi  r3, 1
+         sweep:
+             ld   r4, [r1+0]
+             add  r0, r0, r4
+             addi r1, r1, 4
+             sub  r2, r2, r3
+             jnz  sweep
+             out  r0, port0
+             halt",
+    )
+    .expect("diagnostic loads");
+
+    // Window 2: a buggy logger that scribbles into window 0's data.
+    exec.add_task(
+        resident(3, "buggy-logger", 3, 5_000, 1_000),
+        "    ldi  r1, 0x400       ; WILD: window 0's data area
+             ldi  r0, 0x666
+             st   r0, [r1+0]
+             halt",
+    )
+    .expect("logger loads");
+
+    // Window 3: a TEM-protected wheel-force integrator — critical, so every
+    // job runs two (preemptible!) copies with a comparison; we flip a bit in
+    // its accumulator mid-copy and watch the vote mask it.
+    let mut wheel = resident(4, "wheel-integrator", 1, 3_000, 1_200);
+    wheel.critical = true;
+    exec.add_task(
+        wheel,
+        "    ldi r0, 0
+             ldi r1, 40
+             ldi r2, 1
+             ldi r3, 9
+         acc:
+             add r0, r0, r3
+             sub r1, r1, r2
+             jnz acc
+             out r0, port0
+             halt",
+    )
+    .expect("integrator loads");
+    // Cycle 60 lands mid-way through the integrator's first copy.
+    exec.inject(
+        60,
+        TaskId(4),
+        TransientFault {
+            target: FaultTarget::Register(Reg::R0),
+            mask: 1 << 5,
+        },
+    );
+
+    let report = exec.run(60_000);
+
+    println!("simulated {} cycles on one CPU\n", report.cycles);
+    for (id, name) in [
+        (1u32, "brake-monitor"),
+        (2, "diagnostic-sweep"),
+        (3, "buggy-logger"),
+        (4, "wheel-integrator"),
+    ] {
+        let s = &report.tasks[&TaskId(id)];
+        println!(
+            "{name:<18} jobs {:>3}   worst response {:>5} cycles   misses {}   overruns {}   exceptions {}   copies {}   masked {}",
+            s.completed, s.max_response_cycles, s.deadline_misses, s.overruns, s.exceptions, s.copies, s.masked
+        );
+    }
+    println!(
+        "\ncontext switches: {}   preemptions of the diagnostic sweep: {}",
+        report.context_switches, report.preemptions
+    );
+
+    let monitor = &report.tasks[&TaskId(1)];
+    let sweep = &report.tasks[&TaskId(2)];
+    let logger = &report.tasks[&TaskId(3)];
+    let integrator = &report.tasks[&TaskId(4)];
+    assert_eq!(monitor.deadline_misses, 0, "the monitor never misses");
+    assert!(report.preemptions > 0, "lower-priority work yields to the monitor");
+    assert!(sweep.completed > 0, "and still completes");
+    assert_eq!(logger.exceptions, 1, "the wild store traps at the MMU");
+    assert_eq!(logger.completed, 0);
+    assert_eq!(integrator.masked, 1, "TEM's vote masked the accumulator flip");
+    assert_eq!(integrator.last_output, Some(360), "every delivered value is golden");
+    assert_eq!(integrator.omissions, 0);
+
+    println!("\nthe monitor met every deadline, the sweep finished between releases,");
+    println!("the buggy logger was confined to an MMU trap, and the TEM-protected");
+    println!("integrator masked a silent accumulator flip by 2-of-3 vote — all on one CPU.");
+}

@@ -1,0 +1,52 @@
+//! The paper built its models in SHARPE's input language; this example
+//! does the same with our SHARPE-style DSL: it loads the BBW system from
+//! `models/bbw_nlft_degraded.sharpe`, evaluates it, and verifies that the
+//! text model agrees with the natively built analytic model to machine
+//! precision.
+//!
+//! ```text
+//! cargo run --release --example sharpe_dsl
+//! ```
+
+use nlft::bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
+use nlft::bbw::params::BbwParams;
+use nlft::reliability::lang;
+use nlft::reliability::model::ReliabilityModel;
+
+const MODEL: &str = include_str!("../models/bbw_nlft_degraded.sharpe");
+
+fn main() {
+    let set = lang::parse(MODEL).expect("model file parses");
+    println!("models loaded: {:?}", set.model_names());
+    println!(
+        "bindings: lambda_p = {:.3e}, unmasked = {:.3e}",
+        set.binding("lambda_p").expect("bound"),
+        set.binding("unmasked").expect("bound"),
+    );
+
+    let native = BbwSystem::new(&BbwParams::paper(), Policy::Nlft, Functionality::Degraded);
+
+    println!("\n{:>8}{:>16}{:>16}{:>14}", "month", "DSL model", "native model", "difference");
+    let mut max_diff = 0.0f64;
+    for month in 0..=12 {
+        let t = month as f64 * HOURS_PER_YEAR / 12.0;
+        let dsl = set.reliability("system", t).expect("system model exists");
+        let nat = native.reliability(t);
+        max_diff = max_diff.max((dsl - nat).abs());
+        println!("{month:>8}{dsl:>16.6}{nat:>16.6}{:>14.2e}", dsl - nat);
+    }
+    println!("\nmaximum divergence: {max_diff:.2e}");
+    assert!(
+        max_diff < 1e-9,
+        "the text model and the native model must agree to machine precision"
+    );
+
+    let mttf_cu = set.markov_mttf("cu").expect("cu is a markov model").expect("finite");
+    let mttf_wn = set.markov_mttf("wn").expect("wn is a markov model").expect("finite");
+    println!(
+        "subsystem MTTFs from the DSL: CU {:.2} years, WN {:.2} years (bottleneck: wheels)",
+        mttf_cu / HOURS_PER_YEAR,
+        mttf_wn / HOURS_PER_YEAR
+    );
+    println!("\ntext model == code model: the analysis pipeline is specification-driven, as with SHARPE.");
+}

@@ -1,0 +1,111 @@
+//! Integration: public-API ergonomics of the facade crate — everything a
+//! downstream user needs is reachable, thread-safe where it should be, and
+//! deterministic across threads.
+
+use nlft::bbw::analytic::{BbwSystem, Functionality, Policy};
+use nlft::bbw::params::BbwParams;
+use nlft::kernel::analysis::{analyse, TemCosts};
+use nlft::kernel::task::{Criticality, Priority, TaskId, TaskSet, TaskSpecBuilder};
+use nlft::machine::workloads;
+use nlft::net::bus::{Bus, BusConfig};
+use nlft::net::frame::NodeId;
+use nlft::reliability::model::{Exponential, ReliabilityModel};
+use nlft::reliability::rbd::Block;
+use nlft::sim::rng::RngStream;
+use nlft::sim::time::SimDuration;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn key_types_are_send_and_sync() {
+    assert_send_sync::<BbwParams>();
+    assert_send_sync::<BbwSystem>();
+    assert_send_sync::<Block>();
+    assert_send_sync::<TaskSet>();
+    assert_send_sync::<workloads::Workload>();
+    assert_send_sync::<RngStream>();
+    assert_send_sync::<Bus>();
+}
+
+#[test]
+fn analysis_is_usable_from_multiple_threads() {
+    let sys = std::sync::Arc::new(BbwSystem::new(
+        &BbwParams::paper(),
+        Policy::Nlft,
+        Functionality::Degraded,
+    ));
+    let handles: Vec<_> = (1..=4)
+        .map(|i| {
+            let sys = sys.clone();
+            std::thread::spawn(move || sys.reliability(i as f64 * 1000.0))
+        })
+        .collect();
+    let mut values: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Decreasing in t.
+    let sorted = {
+        let mut v = values.clone();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    };
+    assert_eq!(values, sorted);
+    values.dedup();
+    assert_eq!(values.len(), 4);
+}
+
+#[test]
+fn building_blocks_compose_across_crates() {
+    // An RBD over exponential components mirrors the facade's Fig. 8 model.
+    let node = Block::component(Exponential::new(2.002e-4));
+    let wheel_subsystem = Block::k_of_n(3, vec![node.clone(), node.clone(), node.clone(), node]);
+    let r = wheel_subsystem.reliability(8_760.0);
+    assert!(r > 0.0 && r < 1.0);
+
+    // A kernel task set validated by RTA.
+    let set: TaskSet = [TaskSpecBuilder::new(TaskId(1), "brake")
+        .period(SimDuration::from_millis(5))
+        .wcet(SimDuration::from_micros(600))
+        .priority(Priority::HIGHEST)
+        .criticality(Criticality::Critical)
+        .build()
+        .unwrap()]
+    .into_iter()
+    .collect();
+    assert!(analyse(&set).is_schedulable());
+    let _ = TemCosts::nominal();
+
+    // A bus cycle via the facade path.
+    let mut bus = Bus::new(BusConfig::round_robin(2, 0));
+    bus.start_cycle();
+    bus.transmit_static(NodeId(0), vec![1]).unwrap();
+    assert_eq!(bus.finish_cycle().static_frames.len(), 1);
+}
+
+#[test]
+fn workload_machines_are_independent() {
+    // Two instantiations of a workload never share state.
+    let w = workloads::pid_controller();
+    let mut a = w.instantiate();
+    let mut b = w.instantiate();
+    a.set_input(0, 100);
+    a.set_input(1, 0);
+    b.set_input(0, 4000);
+    b.set_input(1, 0);
+    a.run(50_000);
+    b.run(50_000);
+    assert_ne!(a.output(0), b.output(0));
+}
+
+#[test]
+fn errors_implement_std_error() {
+    fn assert_error<E: std::error::Error>() {}
+    assert_error::<nlft::sim::event::ScheduleError>();
+    assert_error::<nlft::machine::machine::Exception>();
+    assert_error::<nlft::machine::asm::AsmError>();
+    assert_error::<nlft::kernel::task::TaskSpecError>();
+    assert_error::<nlft::kernel::integrity::IntegrityError>();
+    assert_error::<nlft::net::frame::FrameError>();
+    assert_error::<nlft::net::bus::TransmitError>();
+    assert_error::<nlft::reliability::ctmc::CtmcError>();
+    assert_error::<nlft::reliability::linalg::LinalgError>();
+    assert_error::<nlft::bbw::params::ParamError>();
+}

@@ -1,0 +1,159 @@
+//! Integration: the four TEM scenarios of the paper's Figure 3, exercised
+//! through the public facade on every standard workload.
+
+use nlft::kernel::tem::{CopyResult, InjectionPlan, JobOutcome, TemConfig, TemExecutor};
+use nlft::machine::edm::Edm;
+use nlft::machine::fault::{FaultTarget, TransientFault};
+use nlft::machine::isa::Reg;
+use nlft::machine::workloads;
+
+fn executor_for(w: &workloads::Workload, inputs: &[u32]) -> TemExecutor {
+    let (_, wcet) = w.golden_run(inputs);
+    TemExecutor::new(TemConfig::with_budget(wcet * 2))
+}
+
+fn default_inputs(w: &workloads::Workload) -> Vec<u32> {
+    w.input_ports.iter().map(|_| 777).collect()
+}
+
+#[test]
+fn scenario_i_every_workload_delivers_with_two_copies() {
+    for w in workloads::standard_workloads() {
+        let inputs = default_inputs(&w);
+        let tem = executor_for(&w, &inputs);
+        let mut m = w.instantiate();
+        let report = tem.run_job(&mut m, &w, &inputs, None);
+        assert_eq!(
+            report.outcome,
+            JobOutcome::DeliveredClean,
+            "workload {}",
+            w.name
+        );
+        assert_eq!(report.executions(), 2, "workload {}", w.name);
+    }
+}
+
+#[test]
+fn scenario_ii_comparison_then_vote_recovers_golden_output() {
+    let w = workloads::checksum_block();
+    let (golden, _) = w.golden_run(&[]);
+    let tem = executor_for(&w, &[]);
+    let mut m = w.instantiate();
+    // Corrupt the running checksum silently in copy 1.
+    let plan = InjectionPlan {
+        copy: 1,
+        at_cycle: 90,
+        fault: TransientFault {
+            target: FaultTarget::Register(Reg::R0),
+            mask: 1 << 9,
+        },
+    };
+    let report = tem.run_job(&mut m, &w, &[], Some(plan));
+    match report.outcome {
+        JobOutcome::DeliveredMasked { detected_by } => {
+            assert_eq!(detected_by, Edm::TemComparison)
+        }
+        other => panic!("expected comparison-masked, got {other:?}"),
+    }
+    assert_eq!(report.executions(), 3);
+    assert_eq!(report.outputs.unwrap()[0], golden[0], "vote restored golden");
+}
+
+#[test]
+fn scenarios_iii_iv_hardware_detection_and_replacement() {
+    // PC faults on the PID controller; SP fault on the stack-using
+    // workload (an idle stack pointer would make the fault latent).
+    let pid = workloads::pid_controller();
+    let stacked = workloads::stacked_average();
+    let cases: [(&workloads::Workload, Vec<u32>, u32, FaultTarget, u32); 3] = [
+        (&pid, vec![2000, 1500], 1, FaultTarget::Pc, 1 << 20), // scenario iii
+        (&pid, vec![2000, 1500], 0, FaultTarget::Pc, 1 << 20), // scenario iv
+        (&stacked, vec![100, 200, 300], 0, FaultTarget::Sp, 1 << 15),
+    ];
+    for (w, inputs, copy, target, mask) in cases {
+        let tem = executor_for(w, &inputs);
+        let (golden, _) = w.golden_run(&inputs);
+        let mut m = w.instantiate();
+        let plan = InjectionPlan {
+            copy,
+            at_cycle: 6,
+            fault: TransientFault { target, mask },
+        };
+        let report = tem.run_job(&mut m, w, &inputs, Some(plan));
+        assert!(
+            matches!(report.outcome, JobOutcome::DeliveredMasked { .. }),
+            "copy {copy} {target:?}: {:?}",
+            report.outcome
+        );
+        // The EDM-killed copy appears in the trace…
+        assert!(report
+            .copies
+            .iter()
+            .any(|c| matches!(c.result, CopyResult::Detected(_))));
+        // …and the replacement reproduces the golden output.
+        assert_eq!(report.outputs.unwrap()[0], golden[0]);
+    }
+}
+
+#[test]
+fn deadline_check_produces_omission_not_wrong_output() {
+    // Budget-overrun fault with a deadline sized for exactly two copies:
+    // TEM must deliver nothing rather than something wrong or late.
+    let w = workloads::sum_series();
+    let (_, wcet) = w.golden_run(&[200]);
+    let mut cfg = TemConfig::with_budget(wcet + 30);
+    cfg.deadline_cycles = (wcet + 30) * 2 + cfg.compare_cycles;
+    let tem = TemExecutor::new(cfg);
+    let mut m = w.instantiate();
+    let plan = InjectionPlan {
+        copy: 0,
+        at_cycle: 40,
+        fault: TransientFault {
+            target: FaultTarget::Register(Reg::R0),
+            mask: 1 << 29,
+        },
+    };
+    let report = tem.run_job(&mut m, &w, &[200], Some(plan));
+    assert!(matches!(report.outcome, JobOutcome::Omission { .. }));
+    assert!(report.outputs.is_none());
+    assert!(report.cycles_used <= tem.config().deadline_cycles + tem.config().copy_budget);
+}
+
+#[test]
+fn status_register_fault_is_masked() {
+    // A flipped condition flag changes branch decisions in one copy only;
+    // TEM's comparison + vote must still deliver golden output.
+    let w = workloads::sum_series();
+    let (golden, _) = w.golden_run(&[50]);
+    let tem = executor_for(&w, &[50]);
+    let mut m = w.instantiate();
+    let plan = InjectionPlan {
+        copy: 0,
+        at_cycle: 20,
+        fault: TransientFault {
+            target: FaultTarget::Status,
+            mask: 0b01,
+        },
+    };
+    let report = tem.run_job(&mut m, &w, &[50], Some(plan));
+    assert!(report.outcome.delivered());
+    assert_eq!(report.outputs.unwrap()[0], golden[0]);
+}
+
+#[test]
+fn repeated_jobs_on_same_machine_accumulate_pid_state() {
+    let w = workloads::pid_controller();
+    let inputs = [1000u32, 600];
+    let tem = executor_for(&w, &inputs);
+    let mut m = w.instantiate();
+    let first = tem.run_job(&mut m, &w, &inputs, None);
+    let second = tem.run_job(&mut m, &w, &inputs, None);
+    let (u1, u2) = (
+        first.outputs.unwrap()[0].unwrap(),
+        second.outputs.unwrap()[0].unwrap(),
+    );
+    assert!(
+        u2 > u1,
+        "integral term must persist across delivered jobs: {u1} -> {u2}"
+    );
+}
