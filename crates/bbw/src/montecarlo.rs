@@ -8,7 +8,6 @@
 //! the joint system — agreement between the two validates both the chain
 //! construction and the independence assumption.
 
-use crossbeam::thread;
 use nlft_sim::event::EventQueue;
 use nlft_sim::rng::RngStream;
 use nlft_sim::stats::{OnlineStats, SurvivalCurve};
@@ -131,20 +130,22 @@ pub fn run_monte_carlo(config: &MonteCarloConfig) -> MonteCarloResult {
         return run_range(config, 0, config.replications);
     }
     let chunk = config.replications.div_ceil(threads as u64);
+    // Each replication forks its own stream from (seed, index), so the
+    // split into shards — and hence the thread count — cannot change any
+    // drawn value; it only changes which worker evaluates it.
     let mut parts: Vec<MonteCarloResult> = Vec::new();
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads as u64)
             .map(|i| {
                 let start = i * chunk;
                 let end = ((i + 1) * chunk).min(config.replications);
-                scope.spawn(move |_| run_range(config, start, end))
+                scope.spawn(move || run_range(config, start, end))
             })
             .collect();
         for h in handles {
             parts.push(h.join().expect("monte-carlo shard panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut iter = parts.into_iter();
     let mut total = iter.next().expect("at least one shard");
     for p in iter {
@@ -317,6 +318,51 @@ mod tests {
         let b = run_monte_carlo(&cfg);
         assert_eq!(a.reliability(), b.reliability());
         assert_eq!(a.failures, b.failures);
+    }
+
+    /// Golden values: the full Monte-Carlo outcome for a fixed seed is
+    /// pinned bit-for-bit and must be identical at every thread count.
+    /// Every published cross-validation number is defined by its master
+    /// seed, so neither an RNG change nor a work-partitioning change may
+    /// slip through silently — if this fails, either revert or treat it
+    /// as a new experiment and regenerate every recorded figure.
+    #[test]
+    fn golden_outcome_pinned_across_thread_counts() {
+        const GOLDEN_FAILURES: u64 = 114;
+        const GOLDEN_R_BITS: [u64; 3] = [
+            0x3FEE_E147_AE14_7AE1,
+            0x3FEA_B851_EB85_1EB8,
+            0x3FE6_E147_AE14_7AE1,
+        ];
+        for threads in [1, 2, 5] {
+            let cfg = MonteCarloConfig {
+                grid_hours: vec![2_000.0, 5_000.0, 8_760.0],
+                threads,
+                ..MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 400, 0x2005)
+            };
+            let r = run_monte_carlo(&cfg);
+            assert_eq!(r.failures, GOLDEN_FAILURES, "threads = {threads}");
+            let bits: Vec<u64> = r.reliability().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits, GOLDEN_R_BITS, "threads = {threads}");
+        }
+    }
+
+    /// Prints the constants for `golden_outcome_pinned_across_thread_counts`.
+    /// Run with `cargo test -p nlft-bbw --lib print_golden -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "helper for regenerating the golden constants"]
+    fn print_golden_monte_carlo() {
+        let cfg = MonteCarloConfig {
+            grid_hours: vec![2_000.0, 5_000.0, 8_760.0],
+            ..MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 400, 0x2005)
+        };
+        let r = run_monte_carlo(&cfg);
+        println!("const GOLDEN_FAILURES: u64 = {};", r.failures);
+        println!("const GOLDEN_R_BITS: [u64; 3] = [");
+        for x in r.reliability() {
+            println!("    {:#018X},", x.to_bits());
+        }
+        println!("];");
     }
 
     #[test]

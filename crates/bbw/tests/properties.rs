@@ -6,112 +6,160 @@ use nlft_bbw::analytic::{BbwSystem, Functionality, Policy};
 use nlft_bbw::montecarlo::{run_monte_carlo, MonteCarloConfig};
 use nlft_bbw::params::BbwParams;
 use nlft_reliability::model::ReliabilityModel;
-use proptest::prelude::*;
+use nlft_testkit::prop::Suite;
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq, prop_assume};
 
-fn arb_params() -> impl Strategy<Value = BbwParams> {
-    (
-        1e-7f64..1e-4,   // lambda_p
-        1.0f64..100.0,   // transient/permanent ratio
-        0.5f64..1.0,     // coverage
-        0.0f64..1.0,     // p_t raw
-        0.0f64..1.0,     // p_om raw (normalised below)
-        10.0f64..1e4,    // mu_r
-        10.0f64..1e4,    // mu_om
-    )
-        .prop_map(|(lp, ratio, cov, a, b, mu_r, mu_om)| {
-            // Normalise the split (p_t, p_om, p_fs) from two raw draws.
-            let total = a + b + 0.05;
-            let mut p = BbwParams::paper();
-            p.lambda_p = lp;
-            p.lambda_t = lp * ratio;
-            p.coverage = cov;
-            p.p_t = a / total;
-            p.p_om = b / total;
-            p.p_fs = 0.05 / total;
-            p.mu_r = mu_r;
-            p.mu_om = mu_om;
-            p
-        })
+const SUITE: Suite = Suite::new(0x5EED_00BB).cases(48);
+
+fn arb_params(r: &mut TkRng) -> BbwParams {
+    let lp = r.f64_range(1e-7, 1e-4); // lambda_p
+    let ratio = r.f64_range(1.0, 100.0); // transient/permanent ratio
+    let cov = r.f64_range(0.5, 1.0); // coverage
+    let a = r.f64_range(0.0, 1.0); // p_t raw
+    let b = r.f64_range(0.0, 1.0); // p_om raw (normalised below)
+    let mu_r = r.f64_range(10.0, 1e4);
+    let mu_om = r.f64_range(10.0, 1e4);
+    // Normalise the split (p_t, p_om, p_fs) from two raw draws.
+    let total = a + b + 0.05;
+    let mut p = BbwParams::paper();
+    p.lambda_p = lp;
+    p.lambda_t = lp * ratio;
+    p.coverage = cov;
+    p.p_t = a / total;
+    p.p_om = b / total;
+    p.p_fs = 0.05 / total;
+    p.mu_r = mu_r;
+    p.mu_om = mu_om;
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// System reliability is a valid, non-increasing function of time for
+/// any parameters.
+#[test]
+fn reliability_valid_and_monotone() {
+    SUITE.check(
+        "reliability_valid_and_monotone",
+        |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.range(0, 2) as u8),
+        |(params, policy, func)| {
+            prop_assume!(params.validate().is_ok());
+            let policy = if *policy == 0 { Policy::FailSilent } else { Policy::Nlft };
+            let func = if *func == 0 { Functionality::Full } else { Functionality::Degraded };
+            let sys = BbwSystem::new(params, policy, func);
+            let mut last = 1.0f64;
+            for i in 0..12 {
+                let r = sys.reliability(i as f64 * 800.0);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+                prop_assert!(r <= last + 1e-9, "R increased: {last} -> {r}");
+                last = r;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// System reliability is a valid, non-increasing function of time for
-    /// any parameters.
-    #[test]
-    fn reliability_valid_and_monotone(params in arb_params(), policy in 0u8..2, func in 0u8..2) {
-        prop_assume!(params.validate().is_ok());
-        let policy = if policy == 0 { Policy::FailSilent } else { Policy::Nlft };
-        let func = if func == 0 { Functionality::Full } else { Functionality::Degraded };
-        let sys = BbwSystem::new(&params, policy, func);
-        let mut last = 1.0f64;
-        for i in 0..12 {
-            let r = sys.reliability(i as f64 * 800.0);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
-            prop_assert!(r <= last + 1e-9, "R increased: {last} -> {r}");
-            last = r;
-        }
-    }
+/// NLFT nodes never hurt: for any parameters, the NLFT system is at
+/// least as reliable as the FS system in the same mode.
+#[test]
+fn nlft_never_worse_than_fs() {
+    SUITE.check(
+        "nlft_never_worse_than_fs",
+        |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.f64_range(10.0, 9000.0)),
+        |(params, func, t)| {
+            prop_assume!(params.validate().is_ok());
+            // The paper's premise (§3.2): an omission window is at most as
+            // long as a full restart. When omission recovery is *slower*
+            // than a restart, an NLFT node lingers longer in the vulnerable
+            // one-node-short state than an FS node would, and the ordering
+            // genuinely inverts — that regime is outside the claim.
+            prop_assume!(params.mu_om >= params.mu_r);
+            let t = *t;
+            let func = if *func == 0 { Functionality::Full } else { Functionality::Degraded };
+            let fs = BbwSystem::new(params, Policy::FailSilent, func);
+            let nlft = BbwSystem::new(params, Policy::Nlft, func);
+            prop_assert!(
+                nlft.reliability(t) >= fs.reliability(t) - 1e-9,
+                "NLFT {} < FS {} at t={t}",
+                nlft.reliability(t),
+                fs.reliability(t)
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// NLFT nodes never hurt: for any parameters, the NLFT system is at
-    /// least as reliable as the FS system in the same mode.
-    #[test]
-    fn nlft_never_worse_than_fs(params in arb_params(), func in 0u8..2, t in 10.0f64..9000.0) {
-        prop_assume!(params.validate().is_ok());
-        let func = if func == 0 { Functionality::Full } else { Functionality::Degraded };
-        let fs = BbwSystem::new(&params, Policy::FailSilent, func);
-        let nlft = BbwSystem::new(&params, Policy::Nlft, func);
-        prop_assert!(
-            nlft.reliability(t) >= fs.reliability(t) - 1e-9,
-            "NLFT {} < FS {} at t={t}",
-            nlft.reliability(t),
-            fs.reliability(t)
-        );
-    }
+/// Degraded functionality never hurts either.
+#[test]
+fn degraded_never_worse_than_full() {
+    SUITE.check(
+        "degraded_never_worse_than_full",
+        |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.f64_range(10.0, 9000.0)),
+        |(params, policy, t)| {
+            prop_assume!(params.validate().is_ok());
+            let t = *t;
+            let policy = if *policy == 0 { Policy::FailSilent } else { Policy::Nlft };
+            let full = BbwSystem::new(params, policy, Functionality::Full);
+            let degraded = BbwSystem::new(params, policy, Functionality::Degraded);
+            prop_assert!(degraded.reliability(t) >= full.reliability(t) - 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Degraded functionality never hurts either.
-    #[test]
-    fn degraded_never_worse_than_full(params in arb_params(), policy in 0u8..2, t in 10.0f64..9000.0) {
-        prop_assume!(params.validate().is_ok());
-        let policy = if policy == 0 { Policy::FailSilent } else { Policy::Nlft };
-        let full = BbwSystem::new(&params, policy, Functionality::Full);
-        let degraded = BbwSystem::new(&params, policy, Functionality::Degraded);
-        prop_assert!(degraded.reliability(t) >= full.reliability(t) - 1e-9);
-    }
+/// Better coverage never hurts.
+#[test]
+fn coverage_monotonicity() {
+    SUITE.check(
+        "coverage_monotonicity",
+        |r: &mut TkRng| (arb_params(r), r.f64_range(10.0, 9000.0), r.f64_range(0.001, 0.2)),
+        |(params, t, delta)| {
+            prop_assume!(params.validate().is_ok());
+            let t = *t;
+            let low = params.clone();
+            let mut high = params.clone();
+            high.coverage = (params.coverage + delta).min(1.0);
+            prop_assume!(high.validate().is_ok());
+            let sys_low = BbwSystem::new(&low, Policy::Nlft, Functionality::Degraded);
+            let sys_high = BbwSystem::new(&high, Policy::Nlft, Functionality::Degraded);
+            prop_assert!(sys_high.reliability(t) >= sys_low.reliability(t) - 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Better coverage never hurts.
-    #[test]
-    fn coverage_monotonicity(params in arb_params(), t in 10.0f64..9000.0, delta in 0.001f64..0.2) {
-        prop_assume!(params.validate().is_ok());
-        let low = params;
-        let mut high = params;
-        high.coverage = (params.coverage + delta).min(1.0);
-        prop_assume!(high.validate().is_ok());
-        let sys_low = BbwSystem::new(&low, Policy::Nlft, Functionality::Degraded);
-        let sys_high = BbwSystem::new(&high, Policy::Nlft, Functionality::Degraded);
-        prop_assert!(sys_high.reliability(t) >= sys_low.reliability(t) - 1e-9);
-    }
+/// Subsystem product law holds everywhere (independence composition).
+#[test]
+fn system_is_product_of_subsystems() {
+    SUITE.check(
+        "system_is_product_of_subsystems",
+        |r: &mut TkRng| (arb_params(r), r.f64_range(0.0, 9000.0)),
+        |(params, t)| {
+            prop_assume!(params.validate().is_ok());
+            let t = *t;
+            let sys = BbwSystem::new(params, Policy::Nlft, Functionality::Degraded);
+            let product = sys.central_unit().reliability(t) * sys.wheel_subsystem().reliability(t);
+            prop_assert!((sys.reliability(t) - product).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Subsystem product law holds everywhere (independence composition).
-    #[test]
-    fn system_is_product_of_subsystems(params in arb_params(), t in 0.0f64..9000.0) {
-        prop_assume!(params.validate().is_ok());
-        let sys = BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded);
-        let product = sys.central_unit().reliability(t) * sys.wheel_subsystem().reliability(t);
-        prop_assert!((sys.reliability(t) - product).abs() < 1e-9);
-    }
-
-    /// Monte-Carlo is deterministic in the seed and thread-count invariant
-    /// for arbitrary seeds.
-    #[test]
-    fn montecarlo_thread_invariance(seed in any::<u64>()) {
-        let mut cfg = MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 150, seed);
-        cfg.grid_hours = vec![4_000.0, 8_760.0];
-        let seq = run_monte_carlo(&cfg);
-        cfg.threads = 3;
-        let par = run_monte_carlo(&cfg);
-        prop_assert_eq!(seq.failures, par.failures);
-        prop_assert_eq!(seq.reliability(), par.reliability());
-    }
+/// Monte-Carlo is deterministic in the seed and thread-count invariant
+/// for arbitrary seeds.
+#[test]
+fn montecarlo_thread_invariance() {
+    SUITE.check(
+        "montecarlo_thread_invariance",
+        |r: &mut TkRng| r.next_u64(),
+        |&seed| {
+            let mut cfg = MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 150, seed);
+            cfg.grid_hours = vec![4_000.0, 8_760.0];
+            let seq = run_monte_carlo(&cfg);
+            cfg.threads = 3;
+            let par = run_monte_carlo(&cfg);
+            prop_assert_eq!(seq.failures, par.failures);
+            prop_assert_eq!(seq.reliability(), par.reliability());
+            Ok(())
+        },
+    );
 }

@@ -1,10 +1,10 @@
 //! Monte-Carlo cross-validation of the Figure 12 analytic curves,
 //! printed and benchmarked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlft_bbw::analytic::{Functionality, Policy};
 use nlft_bbw::montecarlo::{run_monte_carlo, MonteCarloConfig};
 use nlft_bench::{report, xcheck};
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_table() {
@@ -21,24 +21,20 @@ fn print_table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    print_table();
+fn main() {
+    let mut b = Bench::new("montecarlo");
+    if b.is_full() {
+        print_table();
+    }
 
-    let mut group = c.benchmark_group("montecarlo");
-    group.sample_size(20);
-    group.bench_function("100_replications_one_year", |b| {
-        b.iter(|| {
-            let cfg = MonteCarloConfig::one_year(
-                Policy::Nlft,
-                Functionality::Degraded,
-                100,
-                black_box(11),
-            );
-            black_box(run_monte_carlo(&cfg))
-        })
+    b.bench("100_replications_one_year", || {
+        let cfg = MonteCarloConfig::one_year(
+            Policy::Nlft,
+            Functionality::Degraded,
+            100,
+            black_box(11),
+        );
+        black_box(run_monte_carlo(&cfg))
     });
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,11 +4,11 @@
 //! pipeline that produces it (Markov transient solves + fault-tree
 //! composition + numeric MTTF).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nlft_bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
 use nlft_bbw::params::BbwParams;
 use nlft_bench::{fig12, report};
 use nlft_reliability::model::ReliabilityModel;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_figure() {
@@ -24,41 +24,38 @@ fn print_figure() {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    print_figure();
+fn main() {
+    let mut b = Bench::new("fig12");
+    if b.is_full() {
+        print_figure();
+    }
     let params = BbwParams::paper();
 
-    let mut group = c.benchmark_group("fig12");
-    group.bench_function("build_system_model", |b| {
-        b.iter(|| {
-            black_box(BbwSystem::new(
-                black_box(&params),
-                Policy::Nlft,
-                Functionality::Degraded,
-            ))
-        })
+    b.bench("build_system_model", || {
+        black_box(BbwSystem::new(
+            black_box(&params),
+            Policy::Nlft,
+            Functionality::Degraded,
+        ))
     });
-    group.bench_function("reliability_one_point", |b| {
+    {
         let sys = BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded);
-        b.iter(|| black_box(sys.reliability(black_box(HOURS_PER_YEAR))))
-    });
-    group.bench_function("reliability_series_13_points", |b| {
+        b.bench("reliability_one_point", || {
+            black_box(sys.reliability(black_box(HOURS_PER_YEAR)))
+        });
+    }
+    {
         let sys = BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded);
         let grid: Vec<f64> = (0..=12).map(|m| m as f64 * 730.0).collect();
-        b.iter(|| black_box(sys.reliability_series(black_box(&grid))))
-    });
-    group.bench_function("mttf_numeric", |b| {
-        b.iter_batched(
-            || BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded),
-            |sys| black_box(sys.mttf_hours()),
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("full_figure_generation", |b| {
-        b.iter(|| black_box(fig12::generate()))
-    });
-    group.finish();
+        b.bench("reliability_series_13_points", || {
+            black_box(sys.reliability_series(black_box(&grid)))
+        });
+    }
+    b.bench_with_setup(
+        "mttf_numeric",
+        || BbwSystem::new(&params, Policy::Nlft, Functionality::Degraded),
+        |sys| black_box(sys.mttf_hours()),
+    );
+    b.bench("full_figure_generation", || black_box(fig12::generate()));
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Figure 13 — subsystem reliabilities (CU duplex, wheel subsystem in full
 //! and degraded mode), printed and benchmarked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlft_bbw::analytic::{central_unit, wheel_subsystem, Functionality, Policy, HOURS_PER_YEAR};
 use nlft_bbw::params::BbwParams;
 use nlft_bench::{fig13, report};
 use nlft_reliability::model::ReliabilityModel;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_figure() {
@@ -17,28 +17,29 @@ fn print_figure() {
     print!("{}", report::series_table("t_hours", &series));
 }
 
-fn bench(c: &mut Criterion) {
-    print_figure();
+fn main() {
+    let mut b = Bench::new("fig13");
+    if b.is_full() {
+        print_figure();
+    }
     let params = BbwParams::paper();
 
-    let mut group = c.benchmark_group("fig13");
-    group.bench_function("central_unit_transient", |b| {
+    {
         let cu = central_unit(&params, Policy::Nlft);
-        b.iter(|| black_box(cu.reliability(black_box(HOURS_PER_YEAR))))
-    });
-    group.bench_function("wheel_subsystem_transient", |b| {
+        b.bench("central_unit_transient", || {
+            black_box(cu.reliability(black_box(HOURS_PER_YEAR)))
+        });
+    }
+    {
         let wn = wheel_subsystem(&params, Policy::Nlft, Functionality::Degraded);
-        b.iter(|| black_box(wn.reliability(black_box(HOURS_PER_YEAR))))
-    });
-    group.bench_function("subsystem_mttf_exact", |b| {
+        b.bench("wheel_subsystem_transient", || {
+            black_box(wn.reliability(black_box(HOURS_PER_YEAR)))
+        });
+    }
+    {
         let wn = wheel_subsystem(&params, Policy::Nlft, Functionality::Degraded);
-        b.iter(|| black_box(wn.mttf().expect("finite")))
-    });
-    group.bench_function("full_figure_generation", |b| {
-        b.iter(|| black_box(fig13::generate()))
-    });
-    group.finish();
+        b.bench("subsystem_mttf_exact", || black_box(wn.mttf().expect("finite")));
+    }
+    b.bench("full_figure_generation", || black_box(fig13::generate()));
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

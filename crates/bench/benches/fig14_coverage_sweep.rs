@@ -1,11 +1,11 @@
 //! Figure 14 — reliability after five hours for varying error-detection
 //! coverage and transient fault rate, printed and benchmarked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlft_bbw::analytic::{BbwSystem, Functionality, Policy};
 use nlft_bbw::params::BbwParams;
 use nlft_bench::{fig14, report};
 use nlft_reliability::model::ReliabilityModel;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_figure() {
@@ -17,24 +17,19 @@ fn print_figure() {
     print!("{}", report::series_table("lambda_t_multiplier", &series));
 }
 
-fn bench(c: &mut Criterion) {
-    print_figure();
+fn main() {
+    let mut b = Bench::new("fig14");
+    if b.is_full() {
+        print_figure();
+    }
 
-    let mut group = c.benchmark_group("fig14");
-    group.bench_function("one_sweep_point", |b| {
-        b.iter(|| {
-            let p = BbwParams::paper()
-                .with_coverage(black_box(0.999))
-                .with_transient_multiplier(black_box(100.0));
-            let sys = BbwSystem::new(&p, Policy::Nlft, Functionality::Degraded);
-            black_box(sys.reliability(fig14::MISSION_HOURS))
-        })
+    b.bench("one_sweep_point", || {
+        let p = BbwParams::paper()
+            .with_coverage(black_box(0.999))
+            .with_transient_multiplier(black_box(100.0));
+        let sys = BbwSystem::new(&p, Policy::Nlft, Functionality::Degraded);
+        black_box(sys.reliability(fig14::MISSION_HOURS))
     });
-    group.bench_function("full_sweep_56_points", |b| {
-        b.iter(|| black_box(fig14::generate()))
-    });
-    group.finish();
+    b.bench("full_sweep_56_points", || black_box(fig14::generate()));
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Fault-tolerant RTA slack ablation (§2.8): how much slack buys how much
 //! fault resilience, printed and benchmarked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlft_bench::{report, rta};
-use nlft_kernel::analysis::{analyse_with_faults, min_tolerable_fault_interval, tem_transform, TemCosts};
+use nlft_kernel::analysis::{
+    analyse_with_faults, min_tolerable_fault_interval, tem_transform, TemCosts,
+};
 use nlft_sim::time::SimDuration;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_table() {
@@ -25,33 +27,28 @@ fn print_table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    print_table();
+fn main() {
+    let mut b = Bench::new("rta");
+    if b.is_full() {
+        print_table();
+    }
     let costs = TemCosts::nominal();
     let set = tem_transform(&rta::task_set(0.30), &costs);
 
-    let mut group = c.benchmark_group("rta");
-    group.bench_function("ft_analysis_three_tasks", |b| {
-        b.iter(|| {
-            black_box(analyse_with_faults(
-                black_box(&set),
-                SimDuration::from_millis(5),
-                &costs,
-            ))
-        })
+    b.bench("ft_analysis_three_tasks", || {
+        black_box(analyse_with_faults(
+            black_box(&set),
+            SimDuration::from_millis(5),
+            &costs,
+        ))
     });
-    group.bench_function("min_fault_interval_search", |b| {
-        b.iter(|| {
-            black_box(min_tolerable_fault_interval(
-                black_box(&set),
-                &costs,
-                SimDuration::from_micros(10),
-            ))
-        })
+    b.bench("min_fault_interval_search", || {
+        black_box(min_tolerable_fault_interval(
+            black_box(&set),
+            &costs,
+            SimDuration::from_micros(10),
+        ))
     });
-    group.bench_function("full_ablation", |b| b.iter(|| black_box(rta::generate())));
-    group.finish();
+    b.bench("full_ablation", || black_box(rta::generate()));
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,6 @@
 //! solves, BDD fault trees, the TM32 interpreter, TEM jobs, the scheduler
 //! simulation, the TDMA bus and the campaign trial loop.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nlft_bbw::cluster::BbwCluster;
 use nlft_kernel::preemptive::{PreemptiveExecutive, ResidentTask};
 use nlft_kernel::sched::FpSimulator;
@@ -15,10 +14,11 @@ use nlft_reliability::ctmc::CtmcBuilder;
 use nlft_reliability::faulttree::FaultTreeBuilder;
 use nlft_reliability::linalg::Matrix;
 use nlft_sim::time::SimDuration;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
-fn bench_linalg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linalg");
+fn bench_linalg() {
+    let mut b = Bench::new("linalg");
     for n in [5usize, 10, 20] {
         let mut q = Matrix::zeros(n, n);
         for i in 0..n {
@@ -32,19 +32,21 @@ fn bench_linalg(c: &mut Criterion) {
             let row: f64 = (0..n).filter(|&j| j != i).map(|j| q.get(i, j)).sum();
             q.set(i, i, -row);
         }
-        group.bench_function(format!("expm_{n}x{n}_stiff"), |b| {
+        {
             let scaled = q.scale(1e5);
-            b.iter(|| black_box(scaled.expm()))
-        });
-        group.bench_function(format!("lu_solve_{n}x{n}"), |b| {
+            b.bench(&format!("expm_{n}x{n}_stiff"), || black_box(scaled.expm()));
+        }
+        {
             let rhs = Matrix::identity(n);
-            b.iter(|| black_box(q.sub(&Matrix::identity(n)).solve(&rhs).expect("nonsingular")))
-        });
+            b.bench(&format!("lu_solve_{n}x{n}"), || {
+                black_box(q.sub(&Matrix::identity(n)).solve(&rhs).expect("nonsingular"))
+            });
+        }
     }
-    group.finish();
+    b.finish();
 }
 
-fn bench_ctmc(c: &mut Criterion) {
+fn bench_ctmc() {
     let mut b5 = CtmcBuilder::new();
     let states: Vec<_> = (0..5).map(|i| b5.state(format!("s{i}"))).collect();
     for i in 0..4 {
@@ -55,68 +57,61 @@ fn bench_ctmc(c: &mut Criterion) {
     let chain = b5.build();
     let pi0 = [1.0, 0.0, 0.0, 0.0, 0.0];
 
-    let mut group = c.benchmark_group("ctmc");
-    group.bench_function("transient_5_states_stiff_1y", |b| {
-        b.iter(|| black_box(chain.transient(black_box(&pi0), 8760.0).expect("valid")))
+    let mut b = Bench::new("ctmc");
+    b.bench("transient_5_states_stiff_1y", || {
+        black_box(chain.transient(black_box(&pi0), 8760.0).expect("valid"))
     });
-    group.bench_function("mttf_5_states", |b| {
-        b.iter(|| chain.mttf(black_box(&pi0), &[states[4]]).ok())
-    });
-    group.finish();
+    b.bench("mttf_5_states", || chain.mttf(black_box(&pi0), &[states[4]]).ok());
+    b.finish();
 }
 
-fn bench_faulttree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("faulttree");
-    group.bench_function("build_8of16_bdd", |b| {
-        b.iter(|| {
-            let mut ft = FaultTreeBuilder::new();
-            let events: Vec<_> = (0..16).map(|i| ft.basic_event(format!("e{i}"))).collect();
-            let top = ft.k_of_n(8, events);
-            black_box(ft.build(top))
-        })
+fn bench_faulttree() {
+    let mut b = Bench::new("faulttree");
+    b.bench("build_8of16_bdd", || {
+        let mut ft = FaultTreeBuilder::new();
+        let events: Vec<_> = (0..16).map(|i| ft.basic_event(format!("e{i}"))).collect();
+        let top = ft.k_of_n(8, events);
+        black_box(ft.build(top))
     });
     let mut ft = FaultTreeBuilder::new();
     let events: Vec<_> = (0..16).map(|i| ft.basic_event(format!("e{i}"))).collect();
     let top = ft.k_of_n(8, events);
     let tree = ft.build(top);
     let probs = [0.01; 16];
-    group.bench_function("evaluate_8of16", |b| {
-        b.iter(|| black_box(tree.top_probability(black_box(&probs))))
+    b.bench("evaluate_8of16", || {
+        black_box(tree.top_probability(black_box(&probs)))
     });
-    group.finish();
+    b.finish();
 }
 
-fn bench_machine(c: &mut Criterion) {
+fn bench_machine() {
     let pid = workloads::pid_controller();
     let (_, cycles) = pid.golden_run(&[1000, 900]);
 
-    let mut group = c.benchmark_group("machine");
-    group.throughput(Throughput::Elements(cycles));
-    group.bench_function("pid_single_run", |b| {
-        b.iter(|| {
-            let mut m = pid.instantiate();
-            m.set_input(0, 1000);
-            m.set_input(1, 900);
-            black_box(m.run(100_000))
-        })
+    let mut b = Bench::new("machine");
+    b.bench_throughput("pid_single_run", cycles, || {
+        let mut m = pid.instantiate();
+        m.set_input(0, 1000);
+        m.set_input(1, 900);
+        black_box(m.run(100_000))
     });
-    group.finish();
+    b.finish();
 }
 
-fn bench_tem(c: &mut Criterion) {
+fn bench_tem() {
     let pid = workloads::pid_controller();
     let (_, cycles) = pid.golden_run(&[1000, 900]);
     let tem = TemExecutor::new(TemConfig::with_budget(cycles * 2));
 
-    let mut group = c.benchmark_group("tem");
-    group.bench_function("clean_job_two_copies", |b| {
-        let mut m = pid.instantiate();
-        b.iter(|| black_box(tem.run_job(&mut m, &pid, &[1000, 900], None)))
+    let mut b = Bench::new("tem");
+    let mut m = pid.instantiate();
+    b.bench("clean_job_two_copies", || {
+        black_box(tem.run_job(&mut m, &pid, &[1000, 900], None))
     });
-    group.finish();
+    b.finish();
 }
 
-fn bench_sched(c: &mut Criterion) {
+fn bench_sched() {
     let set: TaskSet = [
         (1u32, 0u32, 5_000u64, 500u64),
         (2, 1, 10_000, 1_000),
@@ -134,82 +129,78 @@ fn bench_sched(c: &mut Criterion) {
     })
     .collect();
 
-    let mut group = c.benchmark_group("sched");
-    group.bench_function("fp_sim_one_second", |b| {
-        let sim = FpSimulator::new(set.clone());
-        b.iter(|| black_box(sim.run(SimDuration::from_secs(1))))
+    let mut b = Bench::new("sched");
+    let sim = FpSimulator::new(set.clone());
+    b.bench("fp_sim_one_second", || {
+        black_box(sim.run(SimDuration::from_secs(1)))
     });
-    group.finish();
+    b.finish();
 }
 
-fn bench_preemptive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preemptive");
-    group.bench_function("two_tasks_10k_cycles", |b| {
-        b.iter(|| {
-            let mut exec = PreemptiveExecutive::new(2);
-            let mk = |id: u32, prio: u32, period: u64, budget: u64| ResidentTask {
-                id: TaskId(id),
-                name: format!("t{id}"),
-                period_cycles: period,
-                deadline_cycles: period,
-                budget_cycles: budget,
-                priority: Priority(prio),
-                inputs: vec![],
-                output_port: 0,
-                critical: false,
-            };
-            exec.add_task(
-                mk(1, 0, 400, 150),
-                "ldi r0, 5\nout r0, port0\nhalt",
-            )
-            .expect("loads");
-            exec.add_task(
-                mk(2, 1, 2_000, 1_500),
-                "    ldi r0, 0
-                     ldi r1, 150
-                     ldi r2, 1
-                 loop:
-                     add r0, r0, r2
-                     sub r1, r1, r2
-                     jnz loop
-                     out r0, port0
-                     halt",
-            )
-            .expect("loads");
-            black_box(exec.run(10_000))
-        })
+fn bench_preemptive() {
+    let mut b = Bench::new("preemptive");
+    b.bench("two_tasks_10k_cycles", || {
+        let mut exec = PreemptiveExecutive::new(2);
+        let mk = |id: u32, prio: u32, period: u64, budget: u64| ResidentTask {
+            id: TaskId(id),
+            name: format!("t{id}"),
+            period_cycles: period,
+            deadline_cycles: period,
+            budget_cycles: budget,
+            priority: Priority(prio),
+            inputs: vec![],
+            output_port: 0,
+            critical: false,
+        };
+        exec.add_task(
+            mk(1, 0, 400, 150),
+            "ldi r0, 5\nout r0, port0\nhalt",
+        )
+        .expect("loads");
+        exec.add_task(
+            mk(2, 1, 2_000, 1_500),
+            "    ldi r0, 0
+                 ldi r1, 150
+                 ldi r2, 1
+             loop:
+                 add r0, r0, r2
+                 sub r1, r1, r2
+                 jnz loop
+                 out r0, port0
+                 halt",
+        )
+        .expect("loads");
+        black_box(exec.run(10_000))
     });
-    group.finish();
+    b.finish();
 }
 
-fn bench_net(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group.bench_function("tdma_cycle_6_nodes", |b| {
+fn bench_net() {
+    let mut b = Bench::new("net");
+    {
         let mut bus = Bus::new(BusConfig::round_robin(6, 2));
-        b.iter(|| {
+        b.bench("tdma_cycle_6_nodes", || {
             bus.start_cycle();
             for n in 0..6 {
                 bus.transmit_static(NodeId(n), vec![1, 2, 3, 4]).expect("own slot");
             }
             black_box(bus.finish_cycle())
-        })
-    });
-    group.bench_function("bbw_cluster_cycle", |b| {
+        });
+    }
+    {
         let mut cluster = BbwCluster::new();
-        b.iter(|| black_box(cluster.run(1, |_| 1000)))
-    });
-    group.finish();
+        b.bench("bbw_cluster_cycle", || black_box(cluster.run(1, |_| 1000)));
+    }
+    b.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_linalg,
-    bench_ctmc,
-    bench_faulttree,
-    bench_machine,
-    bench_tem,
-    bench_sched,
-    bench_preemptive,
-    bench_net
-);
-criterion_main!(benches);
+fn main() {
+    bench_linalg();
+    bench_ctmc();
+    bench_faulttree();
+    bench_machine();
+    bench_tem();
+    bench_sched();
+    bench_preemptive();
+    bench_net();
+}

@@ -1,10 +1,10 @@
 //! Table 1 — error-detection mechanism matrix and parameter estimation
 //! from a fault-injection campaign, printed and benchmarked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nlft_bench::{report, table1};
 use nlft_core::campaign::{run_campaign, CampaignConfig};
 use nlft_core::policy::NodePolicy;
+use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_table() {
@@ -17,21 +17,17 @@ fn print_table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    print_table();
+fn main() {
+    let mut b = Bench::new("table1");
+    if b.is_full() {
+        print_table();
+    }
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(20);
     for policy in [NodePolicy::LightweightNlft, NodePolicy::FailSilent] {
-        group.bench_function(format!("campaign_100_trials_{policy}"), |b| {
-            b.iter(|| {
-                let cfg = CampaignConfig::new(100, black_box(7), policy);
-                black_box(run_campaign(&cfg))
-            })
+        b.bench(&format!("campaign_100_trials_{policy}"), || {
+            let cfg = CampaignConfig::new(100, black_box(7), policy);
+            black_box(run_campaign(&cfg))
         });
     }
-    group.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,39 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p nlft-bench --bin paper_figures [--csv] [--trials N] [--reps N]
+//! cargo run --release -p nlft-bench --bin paper_figures [--csv] [--json] [--trials N] [--reps N]
 //! ```
+//!
+//! `--json` prints one machine-readable document with every figure's data
+//! instead of the human tables; the layout matches the old serde-derived
+//! artifacts field for field.
 
 use nlft_bench::{ablation, fig12, fig13, fig14, report, rta, table1, xcheck};
 use nlft_core::policy::NodePolicy;
+use nlft_testkit::json::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let trials = flag_value(&args, "--trials").unwrap_or(20_000);
     let reps = flag_value(&args, "--reps").unwrap_or(20_000);
+
+    if args.iter().any(|a| a == "--json") {
+        let doc = Json::obj([
+            ("fig12", fig12::generate().to_json()),
+            ("fig13", fig13::generate().to_json()),
+            ("fig14", fig14::generate().to_json()),
+            ("xcheck", xcheck::generate(reps, 0x5EED).to_json()),
+            (
+                "slack_ablation",
+                ablation::slack_pressure(trials.min(5_000), 0xAB1A).to_json(),
+            ),
+            ("ecc_ablation", ablation::ecc(trials.min(5_000), 0xECC).to_json()),
+            ("rta", rta::generate().to_json()),
+        ]);
+        println!("{doc}");
+        return;
+    }
 
     print!("{}", report::heading("Figure 12 — BBW system reliability over one year"));
     let curves = fig12::generate();

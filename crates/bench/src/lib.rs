@@ -25,10 +25,10 @@ pub mod fig12 {
     use nlft_bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
     use nlft_bbw::params::BbwParams;
     use nlft_reliability::model::ReliabilityModel;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// One configuration's curve.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct Curve {
         /// Configuration label, e.g. `"NLFT/degraded"`.
         pub label: String,
@@ -36,6 +36,20 @@ pub mod fig12 {
         pub points: Vec<(f64, f64)>,
         /// Mean time to failure in years.
         pub mttf_years: f64,
+    }
+
+    impl ToJson for Curve {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("label", Json::from(self.label.as_str())),
+                ("points", points_json(&self.points)),
+                ("mttf_years", Json::from(self.mttf_years)),
+            ])
+        }
+    }
+
+    pub(crate) fn points_json(points: &[(f64, f64)]) -> Json {
+        Json::Arr(points.iter().map(|&(a, b)| Json::pair(a, b)).collect())
     }
 
     /// The four paper configurations in presentation order.
@@ -71,15 +85,24 @@ pub mod fig13 {
     use nlft_bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
     use nlft_bbw::params::BbwParams;
     use nlft_reliability::model::ReliabilityModel;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// One subsystem's curve.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct Curve {
         /// Subsystem label, e.g. `"CU duplex (NLFT)"`.
         pub label: String,
         /// `(t_hours, reliability)` points.
         pub points: Vec<(f64, f64)>,
+    }
+
+    impl ToJson for Curve {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("label", Json::from(self.label.as_str())),
+                ("points", crate::fig12::points_json(&self.points)),
+            ])
+        }
     }
 
     /// Generates the Fig. 13 subsystem curves.
@@ -122,13 +145,13 @@ pub mod fig14 {
     use nlft_bbw::analytic::{BbwSystem, Functionality, Policy};
     use nlft_bbw::params::BbwParams;
     use nlft_reliability::model::ReliabilityModel;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// Mission time the paper uses for this figure.
     pub const MISSION_HOURS: f64 = 5.0;
 
     /// One `(coverage, policy)` series over fault-rate multipliers.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct Series {
         /// Coverage `C_D` of the series.
         pub coverage: f64,
@@ -136,6 +159,16 @@ pub mod fig14 {
         pub policy: String,
         /// `(multiplier of λ_T, reliability at 5 h)` points.
         pub points: Vec<(f64, f64)>,
+    }
+
+    impl ToJson for Series {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("coverage", Json::from(self.coverage)),
+                ("policy", Json::from(self.policy.as_str())),
+                ("points", crate::fig12::points_json(&self.points)),
+            ])
+        }
     }
 
     /// Coverage values swept (paper shows a comparable spread).
@@ -194,10 +227,10 @@ pub mod xcheck {
     use nlft_bbw::montecarlo::{run_monte_carlo, MonteCarloConfig};
     use nlft_bbw::params::BbwParams;
     use nlft_reliability::model::ReliabilityModel;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// One comparison row.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct Row {
         /// Configuration label.
         pub label: String,
@@ -209,6 +242,18 @@ pub mod xcheck {
         pub monte_carlo: f64,
         /// 95% Wilson band of the estimate.
         pub ci: (f64, f64),
+    }
+
+    impl ToJson for Row {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("label", Json::from(self.label.as_str())),
+                ("t_hours", Json::from(self.t_hours)),
+                ("analytic", Json::from(self.analytic)),
+                ("monte_carlo", Json::from(self.monte_carlo)),
+                ("ci", Json::pair(self.ci.0, self.ci.1)),
+            ])
+        }
     }
 
     /// Generates the cross-check table.
@@ -253,10 +298,10 @@ pub mod ablation {
     use nlft_core::policy::NodePolicy;
     use nlft_machine::fault::FaultSpace;
     use nlft_reliability::model::ReliabilityModel;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// One slack-pressure ablation row.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct SlackRow {
         /// Fraction of jobs with no recovery slack.
         pub tight_fraction: f64,
@@ -267,6 +312,17 @@ pub mod ablation {
         /// System R(1 year) with the measured split plugged into the
         /// degraded-mode analytic model.
         pub r_one_year: f64,
+    }
+
+    impl ToJson for SlackRow {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("tight_fraction", Json::from(self.tight_fraction)),
+                ("p_t", Json::from(self.p_t)),
+                ("p_om", Json::from(self.p_om)),
+                ("r_one_year", Json::from(self.r_one_year)),
+            ])
+        }
     }
 
     /// Sweeps deadline pressure: how much reliability does reserved slack
@@ -303,7 +359,7 @@ pub mod ablation {
     }
 
     /// One ECC ablation row.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct EccRow {
         /// Whether ECC was enabled.
         pub ecc: bool,
@@ -315,6 +371,18 @@ pub mod ablation {
         pub benign: u64,
         /// Undetected wrong outputs.
         pub undetected: u64,
+    }
+
+    impl ToJson for EccRow {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("ecc", Json::from(self.ecc)),
+                ("policy", Json::from(self.policy.as_str())),
+                ("coverage", Json::from(self.coverage)),
+                ("benign", Json::from(self.benign)),
+                ("undetected", Json::from(self.undetected)),
+            ])
+        }
     }
 
     /// Compares coverage with and without ECC memory under a fault space
@@ -349,10 +417,10 @@ pub mod rta {
     use nlft_kernel::analysis::{min_tolerable_fault_interval, tem_transform, TemCosts};
     use nlft_kernel::task::{Criticality, Priority, TaskId, TaskSet, TaskSpecBuilder};
     use nlft_sim::time::SimDuration;
-    use serde::Serialize;
+    use nlft_testkit::json::{Json, ToJson};
 
     /// One ablation row.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct Row {
         /// Single-copy utilisation of the task set.
         pub utilisation: f64,
@@ -361,6 +429,19 @@ pub mod rta {
         /// Shortest tolerable fault inter-arrival time (µs), `None` when
         /// even rare faults break a deadline.
         pub min_fault_interval_us: Option<u64>,
+    }
+
+    impl ToJson for Row {
+        fn to_json(&self) -> Json {
+            Json::obj([
+                ("utilisation", Json::from(self.utilisation)),
+                ("tem_utilisation", Json::from(self.tem_utilisation)),
+                (
+                    "min_fault_interval_us",
+                    self.min_fault_interval_us.map_or(Json::Null, Json::from),
+                ),
+            ])
+        }
     }
 
     /// A three-task set scaled to a target single-copy utilisation.

@@ -228,13 +228,16 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         return run_shard(config, 0, config.trials);
     }
     let chunk = config.trials.div_ceil(threads as u64);
+    // Every trial forks its own stream from (seed, trial index), so the
+    // shard boundaries — and hence the thread count — cannot perturb any
+    // drawn value; parallelism only decides which worker runs a trial.
     let mut shards: Vec<CampaignResult> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads as u64)
             .map(|i| {
                 let start = i * chunk;
                 let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     if start < end {
                         run_shard(config, start, end)
                     } else {
@@ -246,8 +249,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         for h in handles {
             shards.push(h.join().expect("campaign shard panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut total = CampaignResult::default();
     for s in &shards {
         total.merge(s);

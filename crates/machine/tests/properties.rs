@@ -7,113 +7,162 @@ use nlft_machine::machine::{Machine, RunExit};
 use nlft_machine::mmu::MemoryMap;
 use nlft_machine::workloads;
 use nlft_sim::rng::RngStream;
-use proptest::prelude::*;
+use nlft_testkit::prop::{gens, Suite};
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(|i| Reg::new(i).unwrap())
+const SUITE: Suite = Suite::new(0x5EED_00AC);
+
+fn arb_reg(r: &mut TkRng) -> Reg {
+    Reg::new(r.range(0, 8) as u8).unwrap()
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        Just(Instr::Ret),
-        (arb_reg(), any::<i16>()).prop_map(|(r, v)| Instr::Ldi(r, v)),
-        (arb_reg(), any::<u16>()).prop_map(|(r, v)| Instr::Lui(r, v)),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::Ld(a, b, v)),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::St(a, b, v)),
-        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mov(a, b)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Add(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Sub(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Mul(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Div(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Instr::Xor(a, b, c)),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(a, b, v)| Instr::Addi(a, b, v)),
-        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Cmp(a, b)),
-        any::<u16>().prop_map(Instr::Jmp),
-        any::<u16>().prop_map(Instr::Jz),
-        any::<u16>().prop_map(Instr::Call),
-        arb_reg().prop_map(Instr::Push),
-        arb_reg().prop_map(Instr::Pop),
-        (arb_reg(), 0u16..16).prop_map(|(r, p)| Instr::In(r, p)),
-        (arb_reg(), 0u16..16).prop_map(|(r, p)| Instr::Out(r, p)),
-    ]
+fn arb_i16(r: &mut TkRng) -> i16 {
+    r.next_u64() as i16
 }
 
-proptest! {
-    /// Every instruction round-trips through encode/decode.
-    #[test]
-    fn isa_encode_decode_roundtrip(instr in arb_instr()) {
+fn arb_u16(r: &mut TkRng) -> u16 {
+    r.next_u64() as u16
+}
+
+fn arb_instr(r: &mut TkRng) -> Instr {
+    match r.usize_range(0, 22) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::Ret,
+        3 => Instr::Ldi(arb_reg(r), arb_i16(r)),
+        4 => Instr::Lui(arb_reg(r), arb_u16(r)),
+        5 => Instr::Ld(arb_reg(r), arb_reg(r), arb_i16(r)),
+        6 => Instr::St(arb_reg(r), arb_reg(r), arb_i16(r)),
+        7 => Instr::Mov(arb_reg(r), arb_reg(r)),
+        8 => Instr::Add(arb_reg(r), arb_reg(r), arb_reg(r)),
+        9 => Instr::Sub(arb_reg(r), arb_reg(r), arb_reg(r)),
+        10 => Instr::Mul(arb_reg(r), arb_reg(r), arb_reg(r)),
+        11 => Instr::Div(arb_reg(r), arb_reg(r), arb_reg(r)),
+        12 => Instr::Xor(arb_reg(r), arb_reg(r), arb_reg(r)),
+        13 => Instr::Addi(arb_reg(r), arb_reg(r), arb_i16(r)),
+        14 => Instr::Cmp(arb_reg(r), arb_reg(r)),
+        15 => Instr::Jmp(arb_u16(r)),
+        16 => Instr::Jz(arb_u16(r)),
+        17 => Instr::Call(arb_u16(r)),
+        18 => Instr::Push(arb_reg(r)),
+        19 => Instr::Pop(arb_reg(r)),
+        20 => Instr::In(arb_reg(r), r.range(0, 16) as u16),
+        _ => Instr::Out(arb_reg(r), r.range(0, 16) as u16),
+    }
+}
+
+/// Every instruction round-trips through encode/decode.
+#[test]
+fn isa_encode_decode_roundtrip() {
+    SUITE.check("isa_encode_decode_roundtrip", arb_instr, |&instr| {
         prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
-    }
+        Ok(())
+    });
+}
 
-    /// The machine never panics on arbitrary programs — every outcome is a
-    /// clean halt, budget stop, or a typed exception.
-    #[test]
-    fn machine_total_on_arbitrary_programs(
-        words in prop::collection::vec(any::<u32>(), 1..64),
-        inputs in prop::collection::vec(any::<u32>(), 16),
-    ) {
-        let mut m = Machine::new(4096, MemoryMap::permissive());
-        m.load_program(0, &words).unwrap();
-        m.reset(0, 4096);
-        for (p, &v) in inputs.iter().enumerate() {
-            m.set_input(p, v);
-        }
-        let out = m.run(10_000);
-        match out.exit {
-            RunExit::Halted | RunExit::BudgetExhausted | RunExit::Exception(_) => {}
-        }
-        prop_assert!(out.cycles_used <= 10_000 + 8, "budget respected modulo one instruction");
-    }
+/// The machine never panics on arbitrary programs — every outcome is a
+/// clean halt, budget stop, or a typed exception.
+#[test]
+fn machine_total_on_arbitrary_programs() {
+    SUITE.check(
+        "machine_total_on_arbitrary_programs",
+        {
+            let mut words = gens::vec(|r| r.next_u32(), 1..64);
+            let mut inputs = gens::vec(|r| r.next_u32(), 16..17);
+            move |r: &mut TkRng| (words(r), inputs(r))
+        },
+        |(words, inputs)| {
+            let mut m = Machine::new(4096, MemoryMap::permissive());
+            m.load_program(0, words).unwrap();
+            m.reset(0, 4096);
+            for (p, &v) in inputs.iter().enumerate() {
+                m.set_input(p, v);
+            }
+            let out = m.run(10_000);
+            match out.exit {
+                RunExit::Halted | RunExit::BudgetExhausted | RunExit::Exception(_) => {}
+            }
+            prop_assert!(out.cycles_used <= 10_000 + 8, "budget respected modulo one instruction");
+            Ok(())
+        },
+    );
+}
 
-    /// Disassembly never panics and emits one line per word.
-    #[test]
-    fn disassemble_total(words in prop::collection::vec(any::<u32>(), 0..64)) {
-        let text = disassemble(&words);
-        prop_assert_eq!(text.lines().count(), words.len());
-    }
+/// Disassembly never panics and emits one line per word.
+#[test]
+fn disassemble_total() {
+    SUITE.check(
+        "disassemble_total",
+        gens::vec(|r| r.next_u32(), 0..64),
+        |words| {
+            let text = disassemble(words);
+            prop_assert_eq!(text.lines().count(), words.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Two machines running the same program with the same injected fault
-    /// behave identically (campaigns are exactly replayable).
-    #[test]
-    fn injection_is_deterministic(seed in any::<u64>(), cycle in 1u64..2000) {
-        let w = workloads::pid_controller();
-        let mut rng = RngStream::new(seed);
-        let fault = FaultSpace::cpu_only().sample(&mut rng);
+/// Two machines running the same program with the same injected fault
+/// behave identically (campaigns are exactly replayable).
+#[test]
+fn injection_is_deterministic() {
+    SUITE.check(
+        "injection_is_deterministic",
+        |r: &mut TkRng| (r.next_u64(), r.range(1, 2000)),
+        |&(seed, cycle)| {
+            let w = workloads::pid_controller();
+            let mut rng = RngStream::new(seed);
+            let fault = FaultSpace::cpu_only().sample(&mut rng);
 
-        let run = |fault, cycle| {
-            let mut m = w.instantiate();
-            m.set_input(0, 1200);
-            m.set_input(1, 800);
-            let (out, injected) = run_with_injection(&mut m, 20_000, cycle, fault);
-            (out, injected, *m.outputs())
-        };
-        let a = run(fault, cycle);
-        let b = run(fault, cycle);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-        prop_assert_eq!(a.2, b.2);
-    }
+            let run = |fault, cycle| {
+                let mut m = w.instantiate();
+                m.set_input(0, 1200);
+                m.set_input(1, 800);
+                let (out, injected) = run_with_injection(&mut m, 20_000, cycle, fault);
+                (out, injected, *m.outputs())
+            };
+            let a = run(fault, cycle);
+            let b = run(fault, cycle);
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2, b.2);
+            Ok(())
+        },
+    );
+}
 
-    /// The golden PID command is always within the actuator range for any
-    /// inputs in the sensor range.
-    #[test]
-    fn pid_output_always_in_actuator_range(sp in 0u32..4096, meas in 0u32..4096) {
-        let w = workloads::pid_controller();
-        let (out, _) = w.golden_run(&[sp, meas]);
-        let u = out[0].expect("pid always writes its output");
-        prop_assert!(u <= 4095, "command {u} exceeds actuator range");
-    }
+/// The golden PID command is always within the actuator range for any
+/// inputs in the sensor range.
+#[test]
+fn pid_output_always_in_actuator_range() {
+    SUITE.check(
+        "pid_output_always_in_actuator_range",
+        |r: &mut TkRng| (r.range(0, 4096) as u32, r.range(0, 4096) as u32),
+        |&(sp, meas)| {
+            let w = workloads::pid_controller();
+            let (out, _) = w.golden_run(&[sp, meas]);
+            let u = out[0].expect("pid always writes its output");
+            prop_assert!(u <= 4095, "command {u} exceeds actuator range");
+            Ok(())
+        },
+    );
+}
 
-    /// Assembling then disassembling preserves mnemonics for a simple program.
-    #[test]
-    fn asm_disasm_consistent(n in 1u32..50) {
-        let src = format!("ldi r0, {n}\naddi r0, r0, 1\nhalt");
-        let image = assemble(&src).unwrap();
-        let text = disassemble(&image.words);
-        let expected = format!("ldi r0, {}", n);
-        prop_assert!(text.contains(&expected));
-        prop_assert!(text.contains("halt"));
-    }
+/// Assembling then disassembling preserves mnemonics for a simple program.
+#[test]
+fn asm_disasm_consistent() {
+    SUITE.check(
+        "asm_disasm_consistent",
+        |r: &mut TkRng| r.range(1, 50) as u32,
+        |&n| {
+            let src = format!("ldi r0, {n}\naddi r0, r0, 1\nhalt");
+            let image = assemble(&src).unwrap();
+            let text = disassemble(&image.words);
+            let expected = format!("ldi r0, {}", n);
+            prop_assert!(text.contains(&expected));
+            prop_assert!(text.contains("halt"));
+            Ok(())
+        },
+    );
 }

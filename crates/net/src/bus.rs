@@ -11,8 +11,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use bytes::Bytes;
-
 use crate::frame::{Frame, FrameError, NodeId, SlotId};
 
 /// Static configuration of one communication cycle.
@@ -114,8 +112,8 @@ pub struct Bus {
     config: BusConfig,
     cycle: u32,
     in_cycle: bool,
-    static_pending: BTreeMap<SlotId, Bytes>,
-    dynamic_pending: Vec<(u8, Bytes)>, // (priority, frame)
+    static_pending: BTreeMap<SlotId, Vec<u8>>,
+    dynamic_pending: Vec<(u8, Vec<u8>)>, // (priority, frame)
     corrupt_next: Option<(usize, u8)>, // (byte index, xor mask)
     guardian_blocks: u64,
     crc_rejects: u64,
@@ -224,10 +222,8 @@ impl Bus {
         let frame = Frame::new(node, slot, self.cycle, payload);
         let mut bytes = frame.encode();
         if let Some((idx, mask)) = self.corrupt_next.take() {
-            let mut v = bytes.to_vec();
-            let i = idx % v.len();
-            v[i] ^= mask;
-            bytes = Bytes::from(v);
+            let i = idx % bytes.len();
+            bytes[i] ^= mask;
         }
         self.static_pending.insert(slot, bytes);
         Ok(())

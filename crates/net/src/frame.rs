@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 /// Identity of a node on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u8);
@@ -96,18 +94,18 @@ impl Frame {
     }
 
     /// Serialises to wire bytes: header, payload words (LE), CRC.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(HEADER_BYTES + self.payload.len() * 4 + CRC_BYTES);
-        buf.put_u8(self.sender.0);
-        buf.put_u8(self.slot.0);
-        buf.put_u32_le(self.cycle);
-        buf.put_u16_le(self.payload.len() as u16);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_BYTES + self.payload.len() * 4 + CRC_BYTES);
+        buf.push(self.sender.0);
+        buf.push(self.slot.0);
+        buf.extend_from_slice(&self.cycle.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
         for &w in &self.payload {
-            buf.put_u32_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
         let crc = crc32(&buf);
-        buf.put_u32_le(crc);
-        buf.freeze()
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
     }
 
     /// Parses and verifies wire bytes.
@@ -121,20 +119,22 @@ impl Frame {
             return Err(FrameError::Truncated);
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - CRC_BYTES);
-        let mut crc_buf = crc_bytes;
-        let stored_crc = crc_buf.get_u32_le();
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("CRC_BYTES wide"));
         if crc32(body) != stored_crc {
             return Err(FrameError::CrcMismatch);
         }
-        let mut cursor = body;
-        let sender = NodeId(cursor.get_u8());
-        let slot = SlotId(cursor.get_u8());
-        let cycle = cursor.get_u32_le();
-        let len = cursor.get_u16_le() as usize;
-        if cursor.remaining() != len * 4 {
+        let sender = NodeId(body[0]);
+        let slot = SlotId(body[1]);
+        let cycle = u32::from_le_bytes(body[2..6].try_into().expect("header slice"));
+        let len = u16::from_le_bytes(body[6..8].try_into().expect("header slice")) as usize;
+        let words = &body[HEADER_BYTES..];
+        if words.len() != len * 4 {
             return Err(FrameError::LengthMismatch);
         }
-        let payload = (0..len).map(|_| cursor.get_u32_le()).collect();
+        let payload = words
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
         Ok(Frame {
             sender,
             slot,
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn single_bit_corruption_detected_everywhere() {
         let f = sample();
-        let bytes = f.encode().to_vec();
+        let bytes = f.encode();
         for byte in 0..bytes.len() {
             for bit in 0..8 {
                 let mut corrupt = bytes.clone();
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn crc_error_reported_specifically() {
-        let mut bytes = sample().encode().to_vec();
+        let mut bytes = sample().encode();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         assert_eq!(Frame::decode(&bytes), Err(FrameError::CrcMismatch));

@@ -3,125 +3,170 @@
 use nlft_net::bus::{Bus, BusConfig};
 use nlft_net::frame::{Frame, NodeId, SlotId};
 use nlft_net::membership::Membership;
-use proptest::prelude::*;
+use nlft_testkit::prop::{gens, Suite};
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Frames round-trip any payload.
-    #[test]
-    fn frame_round_trip(
-        sender in 0u8..32,
-        slot in 0u8..32,
-        cycle in any::<u32>(),
-        payload in prop::collection::vec(any::<u32>(), 0..64),
-    ) {
-        let f = Frame::new(NodeId(sender), SlotId(slot), cycle, payload);
-        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
-    }
+const SUITE: Suite = Suite::new(0x5EED_0030);
 
-    /// Any 1- or 2-bit corruption is detected (CRC-32 guarantees all
-    /// double-bit errors within these frame lengths).
-    #[test]
-    fn frame_detects_small_corruption(
-        payload in prop::collection::vec(any::<u32>(), 0..32),
-        b1 in any::<prop::sample::Index>(),
-        bit1 in 0u8..8,
-        b2 in any::<prop::sample::Index>(),
-        bit2 in 0u8..8,
-    ) {
-        let f = Frame::new(NodeId(1), SlotId(2), 3, payload);
-        let clean = f.encode().to_vec();
-        let mut corrupt = clean.clone();
-        corrupt[b1.index(clean.len())] ^= 1 << bit1;
-        corrupt[b2.index(clean.len())] ^= 1 << bit2;
-        if corrupt != clean {
-            prop_assert!(Frame::decode(&corrupt).is_err());
-        }
-    }
+/// Frames round-trip any payload.
+#[test]
+fn frame_round_trip() {
+    SUITE.check(
+        "frame_round_trip",
+        {
+            let mut payload = gens::vec(|r| r.next_u32(), 0..64);
+            move |r: &mut TkRng| {
+                (r.range(0, 32) as u8, r.range(0, 32) as u8, r.next_u32(), payload(r))
+            }
+        },
+        |(sender, slot, cycle, payload)| {
+            let f = Frame::new(NodeId(*sender), SlotId(*slot), *cycle, payload.clone());
+            prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+            Ok(())
+        },
+    );
+}
 
-    /// Truncated frames never decode.
-    #[test]
-    fn frame_rejects_truncation(
-        payload in prop::collection::vec(any::<u32>(), 0..16),
-        cut in any::<prop::sample::Index>(),
-    ) {
-        let bytes = Frame::new(NodeId(0), SlotId(0), 0, payload).encode();
-        let keep = cut.index(bytes.len()); // strictly shorter than full
-        prop_assert!(Frame::decode(&bytes[..keep]).is_err());
-    }
+/// Any 1- or 2-bit corruption is detected (CRC-32 guarantees all
+/// double-bit errors within these frame lengths).
+#[test]
+fn frame_detects_small_corruption() {
+    SUITE.check(
+        "frame_detects_small_corruption",
+        {
+            let mut payload = gens::vec(|r| r.next_u32(), 0..32);
+            let mut b1 = gens::index();
+            let mut b2 = gens::index();
+            move |r: &mut TkRng| {
+                (payload(r), b1(r), r.range(0, 8) as u8, b2(r), r.range(0, 8) as u8)
+            }
+        },
+        |(payload, b1, bit1, b2, bit2)| {
+            let f = Frame::new(NodeId(1), SlotId(2), 3, payload.clone());
+            let clean = f.encode();
+            let mut corrupt = clean.clone();
+            corrupt[b1.index(clean.len())] ^= 1 << bit1;
+            corrupt[b2.index(clean.len())] ^= 1 << bit2;
+            if corrupt != clean {
+                prop_assert!(Frame::decode(&corrupt).is_err());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Bus delivery: exactly the transmitting owners' frames arrive, in
-    /// slot order, whatever the subset of speakers.
-    #[test]
-    fn bus_delivers_exactly_the_speakers(speakers in prop::collection::btree_set(0u8..8, 0..8)) {
-        let mut bus = Bus::new(BusConfig::round_robin(8, 0));
-        bus.start_cycle();
-        for &s in &speakers {
-            bus.transmit_static(NodeId(s), vec![u32::from(s)]).unwrap();
-        }
-        let d = bus.finish_cycle();
-        prop_assert_eq!(d.static_frames.len(), speakers.len());
-        for &s in &speakers {
-            let f = d.from_node(bus.config(), NodeId(s)).expect("delivered");
-            prop_assert_eq!(f.payload.clone(), vec![u32::from(s)]);
-        }
-    }
+/// Truncated frames never decode.
+#[test]
+fn frame_rejects_truncation() {
+    SUITE.check(
+        "frame_rejects_truncation",
+        {
+            let mut payload = gens::vec(|r| r.next_u32(), 0..16);
+            let mut cut = gens::index();
+            move |r: &mut TkRng| (payload(r), cut(r))
+        },
+        |(payload, cut)| {
+            let bytes = Frame::new(NodeId(0), SlotId(0), 0, payload.clone()).encode();
+            let keep = cut.index(bytes.len()); // strictly shorter than full
+            prop_assert!(Frame::decode(&bytes[..keep]).is_err());
+            Ok(())
+        },
+    );
+}
 
-    /// Membership never contains a node that has been silent for at least
-    /// the exclusion threshold, and member count is bounded by node count.
-    #[test]
-    fn membership_invariants(
-        pattern in prop::collection::vec(prop::collection::btree_set(0u8..4, 0..4), 1..20),
-        exclude_after in 1u32..4,
-    ) {
-        let config = BusConfig::round_robin(4, 0);
-        let mut bus = Bus::new(config.clone());
-        let mut membership = Membership::new(&config, exclude_after, 2);
-        let mut silent_streak = [0u32; 4];
-        for speakers in &pattern {
+/// Bus delivery: exactly the transmitting owners' frames arrive, in
+/// slot order, whatever the subset of speakers.
+#[test]
+fn bus_delivers_exactly_the_speakers() {
+    SUITE.check(
+        "bus_delivers_exactly_the_speakers",
+        gens::btree_set(|r| r.range(0, 8) as u8, 0..8),
+        |speakers| {
+            let mut bus = Bus::new(BusConfig::round_robin(8, 0));
             bus.start_cycle();
             for &s in speakers {
-                bus.transmit_static(NodeId(s), vec![1]).unwrap();
+                bus.transmit_static(NodeId(s), vec![u32::from(s)]).unwrap();
             }
             let d = bus.finish_cycle();
-            membership.observe(&d);
-            for n in 0u8..4 {
-                if speakers.contains(&n) {
-                    silent_streak[n as usize] = 0;
-                } else {
-                    silent_streak[n as usize] += 1;
-                }
-            }
-            prop_assert!(membership.members().len() <= 4);
-            for n in 0u8..4 {
-                if silent_streak[n as usize] >= exclude_after {
-                    prop_assert!(
-                        !membership.is_member(NodeId(n)),
-                        "node {n} silent {} cycles but still member",
-                        silent_streak[n as usize]
-                    );
-                }
-            }
-        }
-    }
-
-    /// A continuously transmitting node is always a member, whatever the
-    /// other nodes do.
-    #[test]
-    fn reliable_node_never_excluded(
-        pattern in prop::collection::vec(prop::collection::btree_set(1u8..4, 0..3), 1..20),
-    ) {
-        let config = BusConfig::round_robin(4, 0);
-        let mut bus = Bus::new(config.clone());
-        let mut membership = Membership::new(&config, 2, 2);
-        for speakers in &pattern {
-            bus.start_cycle();
-            bus.transmit_static(NodeId(0), vec![0]).unwrap();
+            prop_assert_eq!(d.static_frames.len(), speakers.len());
             for &s in speakers {
-                bus.transmit_static(NodeId(s), vec![1]).unwrap();
+                let f = d.from_node(bus.config(), NodeId(s)).expect("delivered");
+                prop_assert_eq!(f.payload.clone(), vec![u32::from(s)]);
             }
-            let d = bus.finish_cycle();
-            membership.observe(&d);
-            prop_assert!(membership.is_member(NodeId(0)));
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Membership never contains a node that has been silent for at least
+/// the exclusion threshold, and member count is bounded by node count.
+#[test]
+fn membership_invariants() {
+    SUITE.check(
+        "membership_invariants",
+        {
+            let mut pattern = gens::vec(gens::btree_set(|r| r.range(0, 4) as u8, 0..4), 1..20);
+            move |r: &mut TkRng| (pattern(r), r.range(1, 4) as u32)
+        },
+        |(pattern, exclude_after)| {
+            let exclude_after = *exclude_after;
+            let config = BusConfig::round_robin(4, 0);
+            let mut bus = Bus::new(config.clone());
+            let mut membership = Membership::new(&config, exclude_after, 2);
+            let mut silent_streak = [0u32; 4];
+            for speakers in pattern {
+                bus.start_cycle();
+                for &s in speakers {
+                    bus.transmit_static(NodeId(s), vec![1]).unwrap();
+                }
+                let d = bus.finish_cycle();
+                membership.observe(&d);
+                for n in 0u8..4 {
+                    if speakers.contains(&n) {
+                        silent_streak[n as usize] = 0;
+                    } else {
+                        silent_streak[n as usize] += 1;
+                    }
+                }
+                prop_assert!(membership.members().len() <= 4);
+                for n in 0u8..4 {
+                    if silent_streak[n as usize] >= exclude_after {
+                        prop_assert!(
+                            !membership.is_member(NodeId(n)),
+                            "node {n} silent {} cycles but still member",
+                            silent_streak[n as usize]
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A continuously transmitting node is always a member, whatever the
+/// other nodes do.
+#[test]
+fn reliable_node_never_excluded() {
+    SUITE.check(
+        "reliable_node_never_excluded",
+        gens::vec(gens::btree_set(|r| r.range(1, 4) as u8, 0..3), 1..20),
+        |pattern| {
+            let config = BusConfig::round_robin(4, 0);
+            let mut bus = Bus::new(config.clone());
+            let mut membership = Membership::new(&config, 2, 2);
+            for speakers in pattern {
+                bus.start_cycle();
+                bus.transmit_static(NodeId(0), vec![0]).unwrap();
+                for &s in speakers {
+                    bus.transmit_static(NodeId(s), vec![1]).unwrap();
+                }
+                let d = bus.finish_cycle();
+                membership.observe(&d);
+                prop_assert!(membership.is_member(NodeId(0)));
+            }
+            Ok(())
+        },
+    );
 }

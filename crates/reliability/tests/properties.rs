@@ -4,7 +4,19 @@ use nlft_reliability::ctmc::{CtmcBuilder, StateId};
 use nlft_reliability::faulttree::{FaultTreeBuilder, GateId};
 use nlft_reliability::model::{CtmcReliability, Exponential, ReliabilityModel};
 use nlft_reliability::rbd::Block;
-use proptest::prelude::*;
+use nlft_testkit::prop::{gens, Suite};
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::prop_assert;
+
+const SUITE: Suite = Suite::new(0x5EED_0021).cases(64);
+
+/// Printable ASCII plus newline — the charset of the original
+/// `[ -~\n]{0,300}` fuzz strategy.
+const PRINTABLE_AND_NEWLINE: &str = concat!(
+    " !\"#$%&'()*+,-./0123456789:;<=>?",
+    "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_",
+    "`abcdefghijklmnopqrstuvwxyz{|}~\n"
+);
 
 /// Builds a random irreducible-ish CTMC over `n` states with rates drawn
 /// from `rates` (cyclically), plus a guaranteed forward chain so every
@@ -30,213 +42,277 @@ fn random_ctmc(n: usize, rates: &[f64]) -> nlft_reliability::ctmc::Ctmc {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Transient distributions are valid probability vectors at any time.
-    #[test]
-    fn ctmc_transient_is_distribution(
-        n in 2usize..6,
-        rates in prop::collection::vec(0.01f64..5.0, 4..12),
-        t in 0.0f64..100.0,
-    ) {
-        let chain = random_ctmc(n, &rates);
-        let mut pi0 = vec![0.0; n];
-        pi0[0] = 1.0;
-        let pi = chain.transient(&pi0, t).unwrap();
-        let sum: f64 = pi.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
-        for &p in &pi {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
-        }
-    }
-
-    /// The two transient algorithms agree wherever uniformization applies.
-    #[test]
-    fn ctmc_expm_matches_uniformization(
-        n in 2usize..5,
-        rates in prop::collection::vec(0.01f64..2.0, 4..10),
-        t in 0.01f64..20.0,
-    ) {
-        let chain = random_ctmc(n, &rates);
-        let mut pi0 = vec![0.0; n];
-        pi0[0] = 1.0;
-        let a = chain.transient(&pi0, t).unwrap();
-        let u = chain.transient_uniformized(&pi0, t, 1e-12).unwrap();
-        for (x, y) in a.iter().zip(&u) {
-            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
-        }
-    }
-
-    /// Reliability of an absorbing chain is non-increasing in time.
-    #[test]
-    fn absorbing_reliability_monotone(
-        lam in 1e-4f64..1.0,
-        mu in 0.1f64..100.0,
-        nu in 1e-4f64..1.0,
-    ) {
-        let mut b = CtmcBuilder::new();
-        let s0 = b.state("up");
-        let s1 = b.state("deg");
-        let f = b.state("f");
-        b.transition(s0, s1, lam).unwrap();
-        b.transition(s1, s0, mu).unwrap();
-        b.transition(s1, f, nu).unwrap();
-        let model = CtmcReliability::new(b.build(), vec![1.0, 0.0, 0.0], vec![f]);
-        let mut last = 1.0f64;
-        for i in 0..20 {
-            let r = model.reliability(i as f64 * 5.0);
-            prop_assert!(r <= last + 1e-12, "reliability increased: {last} -> {r}");
-            prop_assert!((0.0..=1.0).contains(&r));
-            last = r;
-        }
-    }
-
-    /// RBD algebra: series is bounded by its weakest child, parallel by its
-    /// strongest, and k-of-n is monotone in k.
-    #[test]
-    fn rbd_bounds(ps in prop::collection::vec(1e-6f64..1e-2, 2..6), t in 1.0f64..1000.0) {
-        let blocks: Vec<Block> = ps.iter().map(|&r| Block::component(Exponential::new(r))).collect();
-        let child_r: Vec<f64> = blocks.iter().map(|b| b.reliability(t)).collect();
-        let min = child_r.iter().cloned().fold(1.0, f64::min);
-        let max = child_r.iter().cloned().fold(0.0, f64::max);
-
-        let series = Block::series(blocks.clone()).reliability(t);
-        prop_assert!(series <= min + 1e-12);
-        let parallel = Block::parallel(blocks.clone()).reliability(t);
-        prop_assert!(parallel >= max - 1e-12);
-        prop_assert!(parallel <= 1.0);
-
-        let mut last = 1.0f64;
-        for k in 1..=blocks.len() {
-            let r = Block::k_of_n(k, blocks.clone()).reliability(t);
-            prop_assert!(r <= last + 1e-12, "k-of-n must decrease with k");
-            last = r;
-        }
-        // 1-of-n == parallel, n-of-n == series.
-        prop_assert!((Block::k_of_n(1, blocks.clone()).reliability(t) - parallel).abs() < 1e-12);
-        prop_assert!((Block::k_of_n(blocks.len(), blocks).reliability(t) - series).abs() < 1e-12);
-    }
-
-    /// BDD fault-tree evaluation equals brute-force enumeration over all
-    /// event assignments, including shared events.
-    #[test]
-    fn faulttree_matches_enumeration(
-        probs in prop::collection::vec(0.0f64..1.0, 2..7),
-        structure in 0u8..6,
-    ) {
-        let n = probs.len();
-        let mut b = FaultTreeBuilder::new();
-        let events: Vec<GateId> = (0..n).map(|i| b.basic_event(format!("e{i}"))).collect();
-        // A few fixed shapes over n events, including one with sharing.
-        let top = match structure % 6 {
-            0 => b.or(events.clone()),
-            1 => b.and(events.clone()),
-            2 => b.k_of_n((n / 2).max(1), events.clone()),
-            3 => {
-                let left = b.and(events[..n / 2 + 1].to_vec());
-                let right = b.or(events[n / 2..].to_vec());
-                b.or(vec![left, right])
+/// Transient distributions are valid probability vectors at any time.
+#[test]
+fn ctmc_transient_is_distribution() {
+    SUITE.check(
+        "ctmc_transient_is_distribution",
+        {
+            let mut rates = gens::vec(|r| r.f64_range(0.01, 5.0), 4..12);
+            move |r: &mut TkRng| (r.usize_range(2, 6), rates(r), r.f64_range(0.0, 100.0))
+        },
+        |(n, rates, t)| {
+            let n = *n;
+            let chain = random_ctmc(n, rates);
+            let mut pi0 = vec![0.0; n];
+            pi0[0] = 1.0;
+            let pi = chain.transient(&pi0, *t).unwrap();
+            let sum: f64 = pi.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+            for &p in &pi {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
             }
-            4 => {
-                // Shared first event in two AND branches.
-                let shared = b.shared_event(nlft_reliability::faulttree::EventId(0));
-                let a1 = b.and(vec![events[0], events[n - 1]]);
-                let a2 = b.and(vec![shared, events[n / 2]]);
-                b.or(vec![a1, a2])
-            }
-            _ => {
-                let inner = b.k_of_n(1.max(n - 1), events.clone());
-                b.or(vec![inner, events[0]])
-            }
-        };
-        let tree = b.build(top);
+            Ok(())
+        },
+    );
+}
 
-        // Brute force over all 2^n assignments, evaluating the same shape.
-        let eval = |assign: &[bool]| -> bool {
-            match structure % 6 {
-                0 => assign.iter().any(|&x| x),
-                1 => assign.iter().all(|&x| x),
-                2 => assign.iter().filter(|&&x| x).count() >= (n / 2).max(1),
+/// The two transient algorithms agree wherever uniformization applies.
+#[test]
+fn ctmc_expm_matches_uniformization() {
+    SUITE.check(
+        "ctmc_expm_matches_uniformization",
+        {
+            let mut rates = gens::vec(|r| r.f64_range(0.01, 2.0), 4..10);
+            move |r: &mut TkRng| (r.usize_range(2, 5), rates(r), r.f64_range(0.01, 20.0))
+        },
+        |(n, rates, t)| {
+            let n = *n;
+            let chain = random_ctmc(n, rates);
+            let mut pi0 = vec![0.0; n];
+            pi0[0] = 1.0;
+            let a = chain.transient(&pi0, *t).unwrap();
+            let u = chain.transient_uniformized(&pi0, *t, 1e-12).unwrap();
+            for (x, y) in a.iter().zip(&u) {
+                prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Reliability of an absorbing chain is non-increasing in time.
+#[test]
+fn absorbing_reliability_monotone() {
+    SUITE.check(
+        "absorbing_reliability_monotone",
+        |r: &mut TkRng| {
+            (r.f64_range(1e-4, 1.0), r.f64_range(0.1, 100.0), r.f64_range(1e-4, 1.0))
+        },
+        |&(lam, mu, nu)| {
+            let mut b = CtmcBuilder::new();
+            let s0 = b.state("up");
+            let s1 = b.state("deg");
+            let f = b.state("f");
+            b.transition(s0, s1, lam).unwrap();
+            b.transition(s1, s0, mu).unwrap();
+            b.transition(s1, f, nu).unwrap();
+            let model = CtmcReliability::new(b.build(), vec![1.0, 0.0, 0.0], vec![f]);
+            let mut last = 1.0f64;
+            for i in 0..20 {
+                let r = model.reliability(i as f64 * 5.0);
+                prop_assert!(r <= last + 1e-12, "reliability increased: {last} -> {r}");
+                prop_assert!((0.0..=1.0).contains(&r));
+                last = r;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// RBD algebra: series is bounded by its weakest child, parallel by its
+/// strongest, and k-of-n is monotone in k.
+#[test]
+fn rbd_bounds() {
+    SUITE.check(
+        "rbd_bounds",
+        {
+            let mut ps = gens::vec(|r| r.f64_range(1e-6, 1e-2), 2..6);
+            move |r: &mut TkRng| (ps(r), r.f64_range(1.0, 1000.0))
+        },
+        |(ps, t)| {
+            let t = *t;
+            let blocks: Vec<Block> =
+                ps.iter().map(|&r| Block::component(Exponential::new(r))).collect();
+            let child_r: Vec<f64> = blocks.iter().map(|b| b.reliability(t)).collect();
+            let min = child_r.iter().cloned().fold(1.0, f64::min);
+            let max = child_r.iter().cloned().fold(0.0, f64::max);
+
+            let series = Block::series(blocks.clone()).reliability(t);
+            prop_assert!(series <= min + 1e-12);
+            let parallel = Block::parallel(blocks.clone()).reliability(t);
+            prop_assert!(parallel >= max - 1e-12);
+            prop_assert!(parallel <= 1.0);
+
+            let mut last = 1.0f64;
+            for k in 1..=blocks.len() {
+                let r = Block::k_of_n(k, blocks.clone()).reliability(t);
+                prop_assert!(r <= last + 1e-12, "k-of-n must decrease with k");
+                last = r;
+            }
+            // 1-of-n == parallel, n-of-n == series.
+            prop_assert!((Block::k_of_n(1, blocks.clone()).reliability(t) - parallel).abs() < 1e-12);
+            prop_assert!((Block::k_of_n(blocks.len(), blocks).reliability(t) - series).abs() < 1e-12);
+            Ok(())
+        },
+    );
+}
+
+/// BDD fault-tree evaluation equals brute-force enumeration over all
+/// event assignments, including shared events.
+#[test]
+fn faulttree_matches_enumeration() {
+    SUITE.check(
+        "faulttree_matches_enumeration",
+        {
+            let mut probs = gens::vec(|r| r.f64_range(0.0, 1.0), 2..7);
+            move |r: &mut TkRng| (probs(r), r.range(0, 6) as u8)
+        },
+        |(probs, structure)| {
+            let structure = *structure;
+            let n = probs.len();
+            let mut b = FaultTreeBuilder::new();
+            let events: Vec<GateId> = (0..n).map(|i| b.basic_event(format!("e{i}"))).collect();
+            // A few fixed shapes over n events, including one with sharing.
+            let top = match structure % 6 {
+                0 => b.or(events.clone()),
+                1 => b.and(events.clone()),
+                2 => b.k_of_n((n / 2).max(1), events.clone()),
                 3 => {
-                    assign[..n / 2 + 1].iter().all(|&x| x)
-                        || assign[n / 2..].iter().any(|&x| x)
+                    let left = b.and(events[..n / 2 + 1].to_vec());
+                    let right = b.or(events[n / 2..].to_vec());
+                    b.or(vec![left, right])
                 }
-                4 => (assign[0] && assign[n - 1]) || (assign[0] && assign[n / 2]),
+                4 => {
+                    // Shared first event in two AND branches.
+                    let shared = b.shared_event(nlft_reliability::faulttree::EventId(0));
+                    let a1 = b.and(vec![events[0], events[n - 1]]);
+                    let a2 = b.and(vec![shared, events[n / 2]]);
+                    b.or(vec![a1, a2])
+                }
                 _ => {
-                    assign.iter().filter(|&&x| x).count() >= 1.max(n - 1) || assign[0]
+                    let inner = b.k_of_n(1.max(n - 1), events.clone());
+                    b.or(vec![inner, events[0]])
+                }
+            };
+            let tree = b.build(top);
+
+            // Brute force over all 2^n assignments, evaluating the same shape.
+            let eval = |assign: &[bool]| -> bool {
+                match structure % 6 {
+                    0 => assign.iter().any(|&x| x),
+                    1 => assign.iter().all(|&x| x),
+                    2 => assign.iter().filter(|&&x| x).count() >= (n / 2).max(1),
+                    3 => {
+                        assign[..n / 2 + 1].iter().all(|&x| x)
+                            || assign[n / 2..].iter().any(|&x| x)
+                    }
+                    4 => (assign[0] && assign[n - 1]) || (assign[0] && assign[n / 2]),
+                    _ => {
+                        assign.iter().filter(|&&x| x).count() >= 1.max(n - 1) || assign[0]
+                    }
+                }
+            };
+            let mut expect = 0.0f64;
+            for mask in 0..(1u32 << n) {
+                let assign: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                if eval(&assign) {
+                    let p: f64 = assign
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| if x { probs[i] } else { 1.0 - probs[i] })
+                        .product();
+                    expect += p;
                 }
             }
-        };
-        let mut expect = 0.0f64;
-        for mask in 0..(1u32 << n) {
-            let assign: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
-            if eval(&assign) {
-                let p: f64 = assign
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &x)| if x { probs[i] } else { 1.0 - probs[i] })
-                    .product();
-                expect += p;
+            let got = tree.top_probability(probs);
+            prop_assert!((got - expect).abs() < 1e-9, "bdd {got} vs enumeration {expect}");
+            Ok(())
+        },
+    );
+}
+
+/// Birnbaum importance lies in [0, 1] for monotone trees.
+#[test]
+fn birnbaum_in_unit_interval() {
+    SUITE.check(
+        "birnbaum_in_unit_interval",
+        gens::vec(|r| r.f64_range(0.0, 1.0), 2..6),
+        |probs| {
+            let mut b = FaultTreeBuilder::new();
+            let events: Vec<GateId> =
+                (0..probs.len()).map(|i| b.basic_event(format!("e{i}"))).collect();
+            let top = b.k_of_n((probs.len() / 2).max(1), events);
+            let tree = b.build(top);
+            for imp in tree.birnbaum_importance(probs) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&imp));
             }
-        }
-        let got = tree.top_probability(&probs);
-        prop_assert!((got - expect).abs() < 1e-9, "bdd {got} vs enumeration {expect}");
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Birnbaum importance lies in [0, 1] for monotone trees.
-    #[test]
-    fn birnbaum_in_unit_interval(probs in prop::collection::vec(0.0f64..1.0, 2..6)) {
-        let mut b = FaultTreeBuilder::new();
-        let events: Vec<GateId> = (0..probs.len()).map(|i| b.basic_event(format!("e{i}"))).collect();
-        let top = b.k_of_n((probs.len() / 2).max(1), events);
-        let tree = b.build(top);
-        for imp in tree.birnbaum_importance(&probs) {
-            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&imp));
-        }
-    }
+/// The DSL parser is total: arbitrary input text produces a result or
+/// an error with a line number — never a panic.
+#[test]
+fn lang_parser_never_panics() {
+    SUITE.check(
+        "lang_parser_never_panics",
+        gens::string_from(PRINTABLE_AND_NEWLINE, 0..301),
+        |src| {
+            match nlft_reliability::lang::parse(src) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(e.line <= src.lines().count() + 1),
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The DSL parser is total: arbitrary input text produces a result or
-    /// an error with a line number — never a panic.
-    #[test]
-    fn lang_parser_never_panics(src in "[ -~\n]{0,300}") {
-        match nlft_reliability::lang::parse(&src) {
-            Ok(_) => {}
-            Err(e) => prop_assert!(e.line <= src.lines().count() + 1),
-        }
-    }
+/// Structured fuzz: random keyword soup with valid-ish shapes.
+#[test]
+fn lang_parser_total_on_keyword_soup() {
+    SUITE.check(
+        "lang_parser_total_on_keyword_soup",
+        {
+            let mut words = gens::vec(
+                gens::select(vec![
+                    "bind", "markov", "rbd", "ftree", "end", "trans", "init",
+                    "absorb", "comp", "series", "parallel", "kofn", "basic",
+                    "and", "or", "top", "x", "y", "1.5", "-2", "exp(1)",
+                    "markov(x)", "(", ")", "*", "+",
+                ]),
+                0..60,
+            );
+            move |r: &mut TkRng| (words(r), r.usize_range(1, 6))
+        },
+        |(words, newline_every)| {
+            let mut src = String::new();
+            for (i, w) in words.iter().enumerate() {
+                src.push_str(w);
+                src.push(if i % newline_every == 0 { '\n' } else { ' ' });
+            }
+            let _ = nlft_reliability::lang::parse(&src);
+            Ok(())
+        },
+    );
+}
 
-    /// Structured fuzz: random keyword soup with valid-ish shapes.
-    #[test]
-    fn lang_parser_total_on_keyword_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "bind", "markov", "rbd", "ftree", "end", "trans", "init",
-                "absorb", "comp", "series", "parallel", "kofn", "basic",
-                "and", "or", "top", "x", "y", "1.5", "-2", "exp(1)",
-                "markov(x)", "(", ")", "*", "+",
-            ]),
-            0..60,
-        ),
-        newline_every in 1usize..6,
-    ) {
-        let mut src = String::new();
-        for (i, w) in words.iter().enumerate() {
-            src.push_str(w);
-            src.push(if i % newline_every == 0 { '\n' } else { ' ' });
-        }
-        let _ = nlft_reliability::lang::parse(&src);
-    }
-
-    /// The SHARPE-style DSL agrees with programmatic construction for
-    /// arbitrary two-state chains.
-    #[test]
-    fn lang_matches_programmatic(lam in 1e-6f64..1.0, t in 0.0f64..100.0) {
-        let src = format!(
-            "markov m\n trans up down {lam}\n absorb down\n init up 1\nend"
-        );
-        let set = nlft_reliability::lang::parse(&src).unwrap();
-        let got = set.reliability("m", t).unwrap();
-        prop_assert!((got - (-lam * t).exp()).abs() < 1e-9);
-    }
+/// The SHARPE-style DSL agrees with programmatic construction for
+/// arbitrary two-state chains.
+#[test]
+fn lang_matches_programmatic() {
+    SUITE.check(
+        "lang_matches_programmatic",
+        |r: &mut TkRng| (r.f64_range(1e-6, 1.0), r.f64_range(0.0, 100.0)),
+        |&(lam, t)| {
+            let src = format!(
+                "markov m\n trans up down {lam}\n absorb down\n init up 1\nend"
+            );
+            let set = nlft_reliability::lang::parse(&src).unwrap();
+            let got = set.reliability("m", t).unwrap();
+            prop_assert!((got - (-lam * t).exp()).abs() < 1e-9);
+            Ok(())
+        },
+    );
 }

@@ -4,141 +4,220 @@ use nlft_sim::event::EventQueue;
 use nlft_sim::rng::RngStream;
 use nlft_sim::stats::{OnlineStats, Proportion, SurvivalCurve};
 use nlft_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
+use nlft_testkit::prop::{gens, Suite};
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Events always come out sorted by time regardless of insertion order.
-    #[test]
-    fn event_queue_emits_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), i).unwrap();
-        }
-        let mut last = SimTime::ZERO;
-        let mut popped = 0usize;
-        while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
-            last = t;
-            popped += 1;
-        }
-        prop_assert_eq!(popped, times.len());
-    }
+const SUITE: Suite = Suite::new(0x5EED_0051);
 
-    /// Equal timestamps preserve insertion (FIFO) order.
-    #[test]
-    fn event_queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
-        let mut q = EventQueue::new();
-        for i in 0..n {
-            q.schedule(SimTime::from_nanos(t), i).unwrap();
-        }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
-    }
-
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn event_queue_cancellation_subset(
-        times in prop::collection::vec(0u64..10_000, 1..100),
-        mask in prop::collection::vec(any::<bool>(), 100),
-    ) {
-        let mut q = EventQueue::new();
-        let ids: Vec<_> = times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i).unwrap()))
-            .collect();
-        let mut kept = Vec::new();
-        for (i, id) in &ids {
-            if mask[*i % mask.len()] {
-                q.cancel(*id);
-            } else {
-                kept.push(*i);
+/// Events always come out sorted by time regardless of insertion order.
+#[test]
+fn event_queue_emits_sorted() {
+    SUITE.check(
+        "event_queue_emits_sorted",
+        gens::vec(|r| r.range(0, 1_000_000), 1..200),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i).unwrap();
             }
-        }
-        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        seen.sort_unstable();
-        kept.sort_unstable();
-        prop_assert_eq!(seen, kept);
-    }
+            let mut last = SimTime::ZERO;
+            let mut popped = 0usize;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                popped += 1;
+            }
+            prop_assert_eq!(popped, times.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Forked streams reproduce exactly for equal (seed, label).
-    #[test]
-    fn rng_fork_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
-        let mut a = RngStream::new(seed).fork(&label);
-        let mut b = RngStream::new(seed).fork(&label);
-        for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
+/// Equal timestamps preserve insertion (FIFO) order.
+#[test]
+fn event_queue_fifo_on_ties() {
+    SUITE.check(
+        "event_queue_fifo_on_ties",
+        |r: &mut TkRng| (r.usize_range(1, 100), r.range(0, 1000)),
+        |&(n, t)| {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(SimTime::from_nanos(t), i).unwrap();
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+            Ok(())
+        },
+    );
+}
 
-    /// Exponential draws are strictly positive and finite for any sane rate.
-    #[test]
-    fn rng_exponential_positive(seed in any::<u64>(), rate in 1e-9f64..1e9) {
-        let mut s = RngStream::new(seed);
-        for _ in 0..64 {
-            let x = s.exponential(rate);
-            prop_assert!(x > 0.0 && x.is_finite());
-        }
-    }
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn event_queue_cancellation_subset() {
+    SUITE.check(
+        "event_queue_cancellation_subset",
+        {
+            let mut times = gens::vec(|r| r.range(0, 10_000), 1..100);
+            let mut mask = gens::vec(|r| r.bool(), 100..101);
+            move |r: &mut TkRng| (times(r), mask(r))
+        },
+        |(times, mask)| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i).unwrap()))
+                .collect();
+            let mut kept = Vec::new();
+            for (i, id) in &ids {
+                if mask[*i % mask.len()] {
+                    q.cancel(*id);
+                } else {
+                    kept.push(*i);
+                }
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            kept.sort_unstable();
+            prop_assert_eq!(seen, kept);
+            Ok(())
+        },
+    );
+}
 
-    /// Online statistics merge is equivalent to sequential accumulation.
-    #[test]
-    fn stats_merge_associative(
-        xs in prop::collection::vec(-1e6f64..1e6, 0..200),
-        split in 0usize..200,
-    ) {
-        let split = split.min(xs.len());
-        let mut whole = OnlineStats::new();
-        for &x in &xs { whole.record(x); }
-        let mut l = OnlineStats::new();
-        let mut r = OnlineStats::new();
-        for &x in &xs[..split] { l.record(x); }
-        for &x in &xs[split..] { r.record(x); }
-        l.merge(&r);
-        prop_assert_eq!(l.count(), whole.count());
-        if !xs.is_empty() {
-            prop_assert!((l.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-            prop_assert!(
-                (l.sample_variance() - whole.sample_variance()).abs()
-                    <= 1e-6 * (1.0 + whole.sample_variance())
-            );
-        }
-    }
+/// Forked streams reproduce exactly for equal (seed, label).
+#[test]
+fn rng_fork_reproducible() {
+    SUITE.check(
+        "rng_fork_reproducible",
+        {
+            let mut label = gens::string_from("abcdefghijklmnopqrstuvwxyz", 1..13);
+            move |r: &mut TkRng| (r.next_u64(), label(r))
+        },
+        |(seed, label)| {
+            let mut a = RngStream::new(*seed).fork(label);
+            let mut b = RngStream::new(*seed).fork(label);
+            for _ in 0..16 {
+                prop_assert_eq!(a.next_u64(), b.next_u64());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Wilson intervals always contain the point estimate and stay in [0,1].
-    #[test]
-    fn wilson_contains_estimate(s in 0u64..500, extra in 0u64..500) {
-        let p = Proportion::from_counts(s, s + extra.max(1));
-        let (lo, hi) = p.wilson_interval(Default::default());
-        prop_assert!(lo <= p.estimate() + 1e-12);
-        prop_assert!(hi >= p.estimate() - 1e-12);
-        prop_assert!((0.0..=1.0).contains(&lo));
-        prop_assert!((0.0..=1.0).contains(&hi));
-    }
+/// Exponential draws are strictly positive and finite for any sane rate.
+#[test]
+fn rng_exponential_positive() {
+    SUITE.check(
+        "rng_exponential_positive",
+        |r: &mut TkRng| (r.next_u64(), r.f64_range(1e-9, 1e9)),
+        |&(seed, rate)| {
+            let mut s = RngStream::new(seed);
+            for _ in 0..64 {
+                let x = s.exponential(rate);
+                prop_assert!(x > 0.0 && x.is_finite());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Reliability curves are non-increasing in time.
-    #[test]
-    fn survival_curve_monotone(
-        failures in prop::collection::vec(0.0f64..100.0, 0..100),
-        survivors in 0u64..50,
-    ) {
-        let mut c = SurvivalCurve::new(vec![10.0, 25.0, 50.0, 75.0, 99.0]);
-        for &t in &failures { c.record_failure(t); }
-        for _ in 0..survivors { c.record_survivor(); }
-        let r = c.reliability();
-        for w in r.windows(2) {
-            prop_assert!(w[0] >= w[1]);
-        }
-        for v in r {
-            prop_assert!((0.0..=1.0).contains(&v));
-        }
-    }
+/// Online statistics merge is equivalent to sequential accumulation.
+#[test]
+fn stats_merge_associative() {
+    SUITE.check(
+        "stats_merge_associative",
+        {
+            let mut xs = gens::vec(|r| r.f64_range(-1e6, 1e6), 0..200);
+            move |r: &mut TkRng| (xs(r), r.usize_range(0, 200))
+        },
+        |(xs, split)| {
+            let split = (*split).min(xs.len());
+            let mut whole = OnlineStats::new();
+            for &x in xs {
+                whole.record(x);
+            }
+            let mut l = OnlineStats::new();
+            let mut r = OnlineStats::new();
+            for &x in &xs[..split] {
+                l.record(x);
+            }
+            for &x in &xs[split..] {
+                r.record(x);
+            }
+            l.merge(&r);
+            prop_assert_eq!(l.count(), whole.count());
+            if !xs.is_empty() {
+                prop_assert!((l.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+                prop_assert!(
+                    (l.sample_variance() - whole.sample_variance()).abs()
+                        <= 1e-6 * (1.0 + whole.sample_variance())
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// SimDuration::div_ceil agrees with a f64 ceiling computation.
-    #[test]
-    fn div_ceil_matches_float(r in 1u64..1_000_000, t in 1u64..1_000_000) {
-        let d = SimDuration::from_nanos(r).div_ceil(SimDuration::from_nanos(t));
-        let expect = (r as f64 / t as f64).ceil() as u64;
-        prop_assert_eq!(d, expect);
-    }
+/// Wilson intervals always contain the point estimate and stay in [0,1].
+#[test]
+fn wilson_contains_estimate() {
+    SUITE.check(
+        "wilson_contains_estimate",
+        |r: &mut TkRng| (r.range(0, 500), r.range(0, 500)),
+        |&(s, extra)| {
+            let p = Proportion::from_counts(s, s + extra.max(1));
+            let (lo, hi) = p.wilson_interval(Default::default());
+            prop_assert!(lo <= p.estimate() + 1e-12);
+            prop_assert!(hi >= p.estimate() - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+            Ok(())
+        },
+    );
+}
+
+/// Reliability curves are non-increasing in time.
+#[test]
+fn survival_curve_monotone() {
+    SUITE.check(
+        "survival_curve_monotone",
+        {
+            let mut failures = gens::vec(|r| r.f64_range(0.0, 100.0), 0..100);
+            move |r: &mut TkRng| (failures(r), r.range(0, 50))
+        },
+        |(failures, survivors)| {
+            let mut c = SurvivalCurve::new(vec![10.0, 25.0, 50.0, 75.0, 99.0]);
+            for &t in failures {
+                c.record_failure(t);
+            }
+            for _ in 0..*survivors {
+                c.record_survivor();
+            }
+            let r = c.reliability();
+            for w in r.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+            for v in r {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// SimDuration::div_ceil agrees with a f64 ceiling computation.
+#[test]
+fn div_ceil_matches_float() {
+    SUITE.check(
+        "div_ceil_matches_float",
+        |r: &mut TkRng| (r.range(1, 1_000_000), r.range(1, 1_000_000)),
+        |&(r, t)| {
+            let d = SimDuration::from_nanos(r).div_ceil(SimDuration::from_nanos(t));
+            let expect = (r as f64 / t as f64).ceil() as u64;
+            prop_assert_eq!(d, expect);
+            Ok(())
+        },
+    );
 }

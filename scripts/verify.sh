@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic (offline) release build plus the full test
+# suite. Must pass on a machine with no network access and no crates.io
+# mirror — the workspace depends on nothing outside this repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline

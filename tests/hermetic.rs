@@ -1,0 +1,59 @@
+//! Guard against dependency creep: the workspace must resolve from path
+//! dependencies alone, with nothing drawn from a registry or a git source.
+//! This is what keeps the build reproducible on an air-gapped machine.
+
+use std::process::Command;
+
+/// Extracts every `"id":"..."` value from the metadata JSON. Package ids
+/// carry their source as a prefix (`path+file://...`, `registry+https://...`),
+/// so this is enough to audit the resolved graph without a JSON parser.
+fn package_ids(metadata: &str) -> Vec<&str> {
+    let mut ids = Vec::new();
+    let mut rest = metadata;
+    while let Some(at) = rest.find("\"id\":\"") {
+        let tail = &rest[at + 6..];
+        let end = tail.find('"').expect("terminated string");
+        ids.push(&tail[..end]);
+        rest = &tail[end..];
+    }
+    ids
+}
+
+#[test]
+fn workspace_has_no_external_dependencies() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["metadata", "--format-version", "1", "--offline"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo metadata runs");
+    assert!(
+        out.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metadata = String::from_utf8(out.stdout).expect("utf-8 metadata");
+
+    assert!(
+        !metadata.contains("registry+"),
+        "a registry dependency crept into the workspace"
+    );
+    assert!(
+        !metadata.contains("git+"),
+        "a git dependency crept into the workspace"
+    );
+
+    let ids = package_ids(&metadata);
+    assert!(ids.len() >= 10, "metadata parse looks vacuous: {ids:?}");
+    for id in ids {
+        assert!(
+            id.starts_with("path+file://"),
+            "package resolved from outside the workspace: {id}"
+        );
+        let name = id.rsplit('#').next().unwrap_or(id);
+        assert!(
+            name.starts_with("nlft"),
+            "unexpected package in the graph: {id}"
+        );
+    }
+}
