@@ -18,10 +18,12 @@ use nlft_kernel::tem::{InjectionPlan, JobOutcome, TemConfig, TemExecutor};
 use nlft_machine::fault::TransientFault;
 use nlft_machine::machine::Machine;
 use nlft_machine::workloads::{self, Workload};
-use nlft_net::bus::{Bus, BusConfig};
+use nlft_net::bus::{Bus, BusConfig, CycleDelivery, WireFault};
 use nlft_net::frame::NodeId;
+use nlft_net::inject::{InjectionCounts, NetFaultInjector, NetFaultPlan};
 use nlft_net::membership::{Membership, MembershipEvent};
-use nlft_net::replication::{select_duplex, DuplexPair, DuplexValue};
+use nlft_net::replication::{select_duplex_among, DuplexPair, DuplexValue, StateResync};
+use nlft_sim::rng::RngStream;
 
 /// Bus node ids: two CU replicas then four wheel nodes.
 pub const CU_A: NodeId = NodeId(0);
@@ -76,6 +78,24 @@ pub struct ClusterReport {
     pub omissions: u32,
     /// `true` if braking service was lost (CU silent or <3 wheels serving).
     pub service_lost: bool,
+    /// `true` if the membership majority was lost at any point (≤ 3 of 6
+    /// nodes left in the view) — the cluster can no longer tell who failed.
+    pub split_membership: bool,
+    /// Smallest membership seen in any cycle.
+    pub min_members: usize,
+    /// For every readmission during the run: cycles between the exclusion
+    /// and the matching [`MembershipEvent::Reintegrated`].
+    pub reintegration_latencies: Vec<u32>,
+    /// Frames rejected by CRC during this run (bus counter delta).
+    pub crc_rejects: u64,
+    /// Babbling transmissions blocked by the guardian during this run.
+    pub guardian_blocks: u64,
+    /// Well-formed forged frames rejected by the identity check.
+    pub masquerade_rejects: u64,
+    /// Wire corruptions that actually landed on a transmitted frame.
+    pub corruptions_applied: u64,
+    /// Wire masquerades that actually landed on a transmitted frame.
+    pub masquerades_applied: u64,
 }
 
 struct StationRuntime {
@@ -130,6 +150,17 @@ pub struct BbwCluster {
     wheels: BTreeMap<NodeId, StationRuntime>,
     injections: Vec<ClusterInjection>,
     wire_corruptions: Vec<(u32, NodeId)>,
+    /// Network-level fault injector, when a storm is attached.
+    net_injector: Option<NetFaultInjector>,
+    /// Per-CU state-resync endpoints, driven when a replica returns from an
+    /// outage.
+    cu_resync: BTreeMap<NodeId, StateResync>,
+    /// Whether each CU was silent (enforced or net-crashed) last cycle.
+    cu_silent_last: BTreeMap<NodeId, bool>,
+    /// Last delivery, fed into the resync endpoints next cycle.
+    prev_delivery: Option<CycleDelivery>,
+    /// First cycle of each node's current exclusion episode.
+    exclusion_started: BTreeMap<NodeId, u32>,
 }
 
 impl BbwCluster {
@@ -154,20 +185,59 @@ impl BbwCluster {
         for id in WHEELS {
             wheels.insert(id, StationRuntime::new(pid.clone(), pid_cycles * 2 + 50));
         }
+        let cu_pair = DuplexPair::new(CU_A, CU_B);
         BbwCluster {
             bus,
             membership,
-            cu_pair: DuplexPair::new(CU_A, CU_B),
+            cu_pair,
             cu,
             wheels,
             injections: Vec::new(),
             wire_corruptions: Vec::new(),
+            net_injector: None,
+            cu_resync: [CU_A, CU_B]
+                .into_iter()
+                .map(|id| (id, StateResync::new(id, cu_pair)))
+                .collect(),
+            cu_silent_last: [CU_A, CU_B].into_iter().map(|id| (id, false)).collect(),
+            prev_delivery: None,
+            exclusion_started: BTreeMap::new(),
         }
     }
 
     /// Schedules a machine-level fault injection.
     pub fn inject(&mut self, injection: ClusterInjection) {
         self.injections.push(injection);
+    }
+
+    /// Attaches a network fault-injection plan, driven every cycle of
+    /// subsequent [`BbwCluster::run`] calls. `rng` should be a dedicated
+    /// fork of the experiment's master stream so cluster decisions and
+    /// injection decisions never entangle.
+    pub fn attach_net_faults(&mut self, plan: NetFaultPlan, rng: RngStream) {
+        self.net_injector = Some(NetFaultInjector::new(plan, rng));
+    }
+
+    /// Replaces the attached plan (e.g. to quiesce the storm mid-run);
+    /// outage windows already opened keep running. No-op when no storm is
+    /// attached.
+    pub fn set_net_fault_plan(&mut self, plan: NetFaultPlan) {
+        if let Some(inj) = self.net_injector.as_mut() {
+            inj.set_plan(plan);
+        }
+    }
+
+    /// Detaches the network fault injector entirely.
+    pub fn clear_net_faults(&mut self) {
+        self.net_injector = None;
+    }
+
+    /// Injection decisions taken by the attached storm so far.
+    pub fn net_injection_counts(&self) -> InjectionCounts {
+        self.net_injector
+            .as_ref()
+            .map(|i| i.counts())
+            .unwrap_or_default()
     }
 
     /// Corrupts `node`'s frame on the wire in the given cycle: the CRC
@@ -186,12 +256,22 @@ impl BbwCluster {
     }
 
     /// Runs the cluster for `cycles` communication cycles with the given
-    /// pedal profile (pedal position per cycle, 0..4095).
+    /// pedal profile (pedal position per cycle, 0..4095). May be called
+    /// repeatedly: bus, membership and injector state persist, so a storm
+    /// phase can be followed by a quiet phase on the same cluster.
     pub fn run(&mut self, cycles: u32, pedal: impl Fn(u32) -> u32) -> ClusterReport {
         let mut records = Vec::with_capacity(cycles as usize);
         let mut degraded_cycles = 0;
         let mut omissions = 0;
         let mut service_lost = false;
+        let mut split_membership = false;
+        let mut min_members = self.membership.members().len();
+        let mut reintegration_latencies = Vec::new();
+        let crc_rejects_0 = self.bus.crc_rejects();
+        let guardian_blocks_0 = self.bus.guardian_blocks();
+        let masquerade_rejects_0 = self.bus.masquerade_rejects();
+        let corruptions_applied_0 = self.bus.corruptions_applied();
+        let masquerades_applied_0 = self.bus.masquerades_applied();
         // Wheel set-points computed from the previous cycle's CU frames.
         let mut setpoints: [Option<u32>; 4] = [None; 4];
         let mut measured: [u32; 4] = [0; 4];
@@ -200,40 +280,77 @@ impl BbwCluster {
             let pedal_now = pedal(cycle).min(4095);
             self.bus.start_cycle();
 
+            // Network storm first: decide this cycle's wire faults and
+            // which nodes are held down by crash/clock outages.
+            let net_silenced: Vec<NodeId> = match self.net_injector.as_mut() {
+                Some(inj) => inj.perturb_cycle(&mut self.bus),
+                None => Vec::new(),
+            };
+            let bus_cycle = self.bus.cycle();
+
             // Central units: compute the 4-way force distribution under TEM.
             for (&id, station) in self.cu.iter_mut() {
-                let plan = plan_for(&self.injections, cycle, id);
-                if self.wire_corruptions.contains(&(cycle, id)) {
-                    self.bus.corrupt_next_frame(7, 0x40);
+                let plan = plan_for(&self.injections, bus_cycle, id);
+                if self.wire_corruptions.contains(&(bus_cycle, id)) {
+                    let slot = self.bus.config().slot_of(id).expect("CU owns a slot");
+                    self.bus
+                        .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
                 }
-                if let Some(outputs) = station.run_job(&[pedal_now], plan) {
-                    // Degraded-mode redistribution: scale the shares of the
-                    // serving wheels when some are out of the membership.
-                    let serving: Vec<usize> = (0..4)
-                        .filter(|&w| self.membership.is_member(WHEELS[w]))
-                        .collect();
-                    let mut payload = vec![0u32; 4];
-                    if !serving.is_empty() {
-                        let scale_num = 4 as u32;
-                        let scale_den = serving.len() as u32;
-                        for &w in &serving {
-                            payload[w] = outputs[w] * scale_num / scale_den;
+                let net_down = net_silenced.contains(&id);
+                let was_silent = self.cu_silent_last[&id];
+                let silent_now = net_down || station.silent_for > 0;
+                let resync = self.cu_resync.get_mut(&id).expect("CU endpoint");
+                if was_silent && !silent_now {
+                    // The replica returns: it resumes transmitting at once
+                    // (the distribution task is stateless) while refreshing
+                    // soft state from its partner over the dynamic segment.
+                    resync.begin_resync();
+                }
+                self.cu_silent_last.insert(id, silent_now);
+                let mut our_state: Vec<u32> = Vec::new();
+                if !net_down {
+                    if let Some(outputs) = station.run_job(&[pedal_now], plan) {
+                        // Degraded-mode redistribution: scale the shares of the
+                        // serving wheels when some are out of the membership.
+                        let serving: Vec<usize> = (0..4)
+                            .filter(|&w| self.membership.is_member(WHEELS[w]))
+                            .collect();
+                        let mut payload = vec![0u32; 4];
+                        if !serving.is_empty() {
+                            let scale_num = 4 as u32;
+                            let scale_den = serving.len() as u32;
+                            for &w in &serving {
+                                payload[w] = outputs[w] * scale_num / scale_den;
+                            }
                         }
+                        our_state = payload.clone();
+                        let _ = self.bus.transmit_static(id, payload);
                     }
-                    let _ = self.bus.transmit_static(id, payload);
+                }
+                if !silent_now {
+                    resync.tick(&mut self.bus);
+                    if let Some(prev) = &self.prev_delivery {
+                        let _ = resync.process_cycle(&mut self.bus, prev, &our_state);
+                    }
                 }
             }
 
             // Wheel nodes: run PID on last cycle's set-point.
             for (w, &id) in WHEELS.iter().enumerate() {
                 let station = self.wheels.get_mut(&id).expect("wheel exists");
+                if net_silenced.contains(&id) {
+                    // Crashed / clock-lost: the node does not execute.
+                    continue;
+                }
                 let Some(sp) = setpoints[w] else {
                     // No set-point yet (first cycle or CU silent): stay quiet.
                     continue;
                 };
-                let plan = plan_for(&self.injections, cycle, id);
-                if self.wire_corruptions.contains(&(cycle, id)) {
-                    self.bus.corrupt_next_frame(7, 0x40);
+                let plan = plan_for(&self.injections, bus_cycle, id);
+                if self.wire_corruptions.contains(&(bus_cycle, id)) {
+                    let slot = self.bus.config().slot_of(id).expect("wheel owns a slot");
+                    self.bus
+                        .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
                 }
                 if let Some(outputs) = station.run_job(&[sp, measured[w]], plan) {
                     let force = outputs[0];
@@ -251,7 +368,7 @@ impl BbwCluster {
             // once the first set-points arrive (cycle 1), so their silent
             // first cycle is not an omission.
             for id in [CU_A, CU_B].iter().chain(WHEELS.iter()) {
-                let expected = *id == CU_A || *id == CU_B || cycle > 0;
+                let expected = *id == CU_A || *id == CU_B || bus_cycle > 0;
                 if expected
                     && self.membership.is_member(*id)
                     && delivery.from_node(self.bus.config(), *id).is_none()
@@ -261,9 +378,29 @@ impl BbwCluster {
             }
 
             let events = self.membership.observe(&delivery);
+            for ev in &events {
+                match ev {
+                    MembershipEvent::Excluded(n) => {
+                        self.exclusion_started.insert(*n, bus_cycle);
+                    }
+                    MembershipEvent::Reintegrated(n) => {
+                        if let Some(started) = self.exclusion_started.remove(n) {
+                            reintegration_latencies.push(bus_cycle - started);
+                        }
+                    }
+                }
+            }
 
-            // Consume CU duplex value → next cycle's wheel set-points.
-            let cu_value = select_duplex(self.bus.config(), &delivery, self.cu_pair);
+            // Consume CU duplex value → next cycle's wheel set-points. The
+            // selection is membership-aware: a replica still outside the
+            // view (excluded, or restarted and not yet readmitted) cannot
+            // poison the pair with stale state.
+            let cu_value = select_duplex_among(
+                self.bus.config(),
+                &delivery,
+                self.cu_pair,
+                |n| self.membership.is_member(n),
+            );
             let cu_single = matches!(cu_value, DuplexValue::Single { .. });
             match cu_value.payload() {
                 Some(forces) if forces.len() == 4 => {
@@ -299,15 +436,22 @@ impl BbwCluster {
                     .and_then(|f| f.payload.first().copied());
             }
 
+            let members = self.membership.members().len();
+            min_members = min_members.min(members);
+            if members <= 3 {
+                split_membership = true;
+            }
+
             records.push(CycleRecord {
-                cycle,
+                cycle: bus_cycle,
                 pedal: pedal_now,
                 wheel_force,
-                members: self.membership.members().len(),
+                members,
                 cu_single,
                 degraded,
                 events,
             });
+            self.prev_delivery = Some(delivery);
         }
 
         ClusterReport {
@@ -315,6 +459,14 @@ impl BbwCluster {
             degraded_cycles,
             omissions,
             service_lost,
+            split_membership,
+            min_members,
+            reintegration_latencies,
+            crc_rejects: self.bus.crc_rejects() - crc_rejects_0,
+            guardian_blocks: self.bus.guardian_blocks() - guardian_blocks_0,
+            masquerade_rejects: self.bus.masquerade_rejects() - masquerade_rejects_0,
+            corruptions_applied: self.bus.corruptions_applied() - corruptions_applied_0,
+            masquerades_applied: self.bus.masquerades_applied() - masquerades_applied_0,
         }
     }
 }
@@ -483,6 +635,73 @@ mod tests {
         );
         // And it reintegrates once the wire is clean again.
         assert_eq!(report.records.last().unwrap().members, 6);
+    }
+
+    #[test]
+    fn storm_on_one_wheel_degrades_but_never_loses_service() {
+        use nlft_net::inject::NetFaultRates;
+
+        let mut cluster = BbwCluster::new();
+        // A total omission storm on one wheel: every frame it sends is
+        // lost, so it is permanently excluded while the storm lasts.
+        let plan = NetFaultPlan::quiet().with_node(
+            WHEELS[2],
+            NetFaultRates {
+                omission: 1.0,
+                ..NetFaultRates::QUIET
+            },
+        );
+        cluster.attach_net_faults(plan, RngStream::new(0xACCE).fork("net-injector"));
+        let storm = cluster.run(20, |_| 1200);
+        assert!(!storm.service_lost, "3-of-4 wheels must keep braking");
+        assert!(!storm.split_membership);
+        assert!(storm.degraded_cycles >= 15, "wheel excluded almost throughout");
+        assert_eq!(storm.records.last().unwrap().members, 5);
+        assert_eq!(storm.min_members, 5);
+
+        // The storm subsides: the node's fault rate drops to zero and it
+        // must reintegrate within `reintegrate_after` cycles of its first
+        // clean transmission.
+        cluster.set_net_fault_plan(NetFaultPlan::quiet());
+        let calm = cluster.run(10, |_| 1200);
+        let reintegrate_after = 2; // Membership::new(&config, 2, 2) above
+        let back = calm
+            .records
+            .iter()
+            .position(|r| r.members == 6)
+            .expect("wheel must reintegrate once the storm ends");
+        assert!(
+            back < reintegrate_after + 1,
+            "reintegration took {back} cycles, window is {reintegrate_after}"
+        );
+        assert!(!calm.service_lost);
+        assert_eq!(calm.reintegration_latencies.len(), 1);
+        assert_eq!(calm.records.last().unwrap().members, 6);
+    }
+
+    #[test]
+    fn cluster_storm_bus_counters_reported_per_run() {
+        use nlft_net::inject::NetFaultRates;
+
+        let mut cluster = BbwCluster::new();
+        let plan = NetFaultPlan::quiet().with_node(
+            WHEELS[0],
+            NetFaultRates {
+                corruption: 1.0,
+                ..NetFaultRates::QUIET
+            },
+        );
+        cluster.attach_net_faults(plan, RngStream::new(0x0C2C).fork("net-injector"));
+        let storm = cluster.run(10, |_| 1200);
+        // The wheel transmits from cycle 1 on; every frame is corrupted and
+        // every corruption is caught by the CRC.
+        assert!(storm.corruptions_applied >= 8);
+        assert_eq!(storm.crc_rejects, storm.corruptions_applied);
+        // Counters are per-run deltas: a quiet second run reports zero.
+        cluster.set_net_fault_plan(NetFaultPlan::quiet());
+        let calm = cluster.run(5, |_| 1200);
+        assert_eq!(calm.crc_rejects, 0);
+        assert_eq!(calm.corruptions_applied, 0);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub mod sensitivity;
 
 pub use analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
 pub use cluster::{BbwCluster, ClusterInjection, ClusterReport};
-pub use cluster_campaign::{run_cluster_campaign, ClusterCampaignConfig, ClusterCampaignResult};
+pub use cluster_campaign::{
+    run_cluster_campaign, run_net_storm_campaign, ClusterCampaignConfig, ClusterCampaignResult,
+    NetStormCampaignConfig, NetStormCampaignResult, NetStormOutcomes,
+};
 pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloResult};
 pub use params::BbwParams;

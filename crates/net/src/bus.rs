@@ -71,6 +71,65 @@ impl fmt::Display for TransmitError {
 
 impl std::error::Error for TransmitError {}
 
+/// A fault staged against the *current* cycle's traffic on the wire.
+///
+/// Wire faults are the network half of the fault-injection story: they
+/// model what a noisy channel, a faulty transceiver or a malicious node
+/// does to frames *after* the sender handed them over. Faults are staged
+/// any time between [`Bus::start_cycle`] and [`Bus::finish_cycle`] and
+/// applied when the cycle closes, in a fixed order (drops, then
+/// masquerades, then corruptions, then dynamic-segment perturbations) so
+/// the outcome is independent of staging order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// XOR `mask` into byte `byte % len` of the static frame in `slot`
+    /// (bit corruption in transit; the CRC must reject it).
+    CorruptStatic {
+        /// Victim slot.
+        slot: SlotId,
+        /// Byte index (taken modulo the frame length).
+        byte: usize,
+        /// XOR mask, non-zero for an effective fault.
+        mask: u8,
+    },
+    /// Remove the static frame in `slot` entirely — a slot omission; the
+    /// receivers see silence.
+    DropStatic {
+        /// Victim slot.
+        slot: SlotId,
+    },
+    /// Rewrite the sender id of the static frame in `slot` to `claim`,
+    /// recomputing the CRC. A masquerading transceiver emits a
+    /// *well-formed* frame, so only the receiver-side identity check (slot
+    /// ownership) can catch it.
+    MasqueradeStatic {
+        /// Victim slot.
+        slot: SlotId,
+        /// The forged sender identity.
+        claim: NodeId,
+    },
+    /// XOR `mask` into byte `byte % len` of the dynamic frame at
+    /// arbitration index `index` (after priority ordering). Out-of-range
+    /// indices are ignored.
+    CorruptDynamic {
+        /// Arbitration index after priority sorting.
+        index: usize,
+        /// Byte index (taken modulo the frame length).
+        byte: usize,
+        /// XOR mask.
+        mask: u8,
+    },
+    /// Deliver the dynamic frame at arbitration index `index` twice.
+    /// Out-of-range indices are ignored.
+    DuplicateDynamic {
+        /// Arbitration index after priority sorting.
+        index: usize,
+    },
+    /// Reverse the arbitration order of the dynamic segment — receivers
+    /// must not depend on priority order for correctness.
+    ReorderDynamic,
+}
+
 /// Everything delivered in one completed cycle.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CycleDelivery {
@@ -114,9 +173,14 @@ pub struct Bus {
     in_cycle: bool,
     static_pending: BTreeMap<SlotId, Vec<u8>>,
     dynamic_pending: Vec<(u8, Vec<u8>)>, // (priority, frame)
-    corrupt_next: Option<(usize, u8)>, // (byte index, xor mask)
+    wire_faults: Vec<WireFault>,
+    corrupt_next: Option<(usize, u8)>, // legacy one-shot shim state
     guardian_blocks: u64,
     crc_rejects: u64,
+    masquerade_rejects: u64,
+    corruptions_applied: u64,
+    drops_applied: u64,
+    masquerades_applied: u64,
 }
 
 impl Bus {
@@ -128,9 +192,14 @@ impl Bus {
             in_cycle: false,
             static_pending: BTreeMap::new(),
             dynamic_pending: Vec::new(),
+            wire_faults: Vec::new(),
             corrupt_next: None,
             guardian_blocks: 0,
             crc_rejects: 0,
+            masquerade_rejects: 0,
+            corruptions_applied: 0,
+            drops_applied: 0,
+            masquerades_applied: 0,
         }
     }
 
@@ -154,6 +223,28 @@ impl Bus {
         self.crc_rejects
     }
 
+    /// Total well-formed frames rejected because their sender id did not
+    /// match the slot owner (masquerade detection) so far.
+    pub fn masquerade_rejects(&self) -> u64 {
+        self.masquerade_rejects
+    }
+
+    /// Wire corruptions actually applied to a pending frame so far (staged
+    /// corruptions on silent or dropped slots do not count).
+    pub fn corruptions_applied(&self) -> u64 {
+        self.corruptions_applied
+    }
+
+    /// Wire drops actually applied to a pending frame so far.
+    pub fn drops_applied(&self) -> u64 {
+        self.drops_applied
+    }
+
+    /// Wire masquerades actually applied to a pending frame so far.
+    pub fn masquerades_applied(&self) -> u64 {
+        self.masquerades_applied
+    }
+
     /// Opens a new communication cycle.
     ///
     /// # Panics
@@ -164,6 +255,7 @@ impl Bus {
         self.in_cycle = true;
         self.static_pending.clear();
         self.dynamic_pending.clear();
+        self.wire_faults.clear();
     }
 
     /// Transmits in the sender's own static slot.
@@ -220,10 +312,11 @@ impl Bus {
             return Err(TransmitError::SlotBusy(slot));
         }
         let frame = Frame::new(node, slot, self.cycle, payload);
-        let mut bytes = frame.encode();
-        if let Some((idx, mask)) = self.corrupt_next.take() {
-            let i = idx % bytes.len();
-            bytes[i] ^= mask;
+        let bytes = frame.encode();
+        if let Some((byte, mask)) = self.corrupt_next.take() {
+            // Legacy one-shot shim: convert into a staged wire fault
+            // against the slot that transmitted next.
+            self.wire_faults.push(WireFault::CorruptStatic { slot, byte, mask });
         }
         self.static_pending.insert(slot, bytes);
         Ok(())
@@ -255,8 +348,26 @@ impl Bus {
 
     /// Corrupts the next static frame on the wire (fault injection): XORs
     /// `mask` into byte `index` (mod length).
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot footgun: stage a persistent `WireFault::CorruptStatic` \
+                via `stage_wire_fault` (or drive a `NetFaultInjector`) instead"
+    )]
     pub fn corrupt_next_frame(&mut self, index: usize, mask: u8) {
         self.corrupt_next = Some((index, mask));
+    }
+
+    /// Stages a [`WireFault`] against the current cycle. Faults accumulate
+    /// and are applied when the cycle closes; staging order is irrelevant
+    /// (see [`WireFault`] for the canonical application order). Faults
+    /// addressing slots that end up silent are no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycle is open.
+    pub fn stage_wire_fault(&mut self, fault: WireFault) {
+        assert!(self.in_cycle, "no open cycle");
+        self.wire_faults.push(fault);
     }
 
     /// Closes the cycle, delivering all valid frames to every receiver.
@@ -271,10 +382,20 @@ impl Bus {
             cycle: self.cycle,
             ..CycleDelivery::default()
         };
+        let faults = std::mem::take(&mut self.wire_faults);
+        self.apply_static_faults(&faults);
         for (slot, bytes) in std::mem::take(&mut self.static_pending) {
             match Frame::decode(&bytes) {
                 Ok(f) => {
-                    delivery.static_frames.insert(slot, f);
+                    // Receiver-side identity check: a well-formed frame
+                    // whose sender is not the slot owner is a masquerade
+                    // and must not enter any node's view.
+                    if self.config.static_slots.get(slot.0 as usize) == Some(&f.sender) {
+                        delivery.static_frames.insert(slot, f);
+                    } else {
+                        self.masquerade_rejects += 1;
+                        delivery.rejected += 1;
+                    }
                 }
                 Err(FrameError::Truncated | FrameError::LengthMismatch | FrameError::CrcMismatch) => {
                     self.crc_rejects += 1;
@@ -284,7 +405,9 @@ impl Bus {
         }
         let mut dynamic = std::mem::take(&mut self.dynamic_pending);
         dynamic.sort_by_key(|&(prio, _)| prio);
-        for (_, bytes) in dynamic {
+        let mut dynamic: Vec<Vec<u8>> = dynamic.into_iter().map(|(_, bytes)| bytes).collect();
+        Self::apply_dynamic_faults(&faults, &mut dynamic);
+        for bytes in dynamic {
             match Frame::decode(&bytes) {
                 Ok(f) => delivery.dynamic_frames.push(f),
                 Err(_) => {
@@ -295,6 +418,66 @@ impl Bus {
         }
         self.cycle += 1;
         delivery
+    }
+
+    /// Applies staged static-segment faults in canonical order: drops,
+    /// then masquerades, then corruptions. A corruption therefore only
+    /// lands on frames that survive to the wire, which keeps the
+    /// `corruptions_applied` counter a valid denominator for the measured
+    /// CRC reject rate.
+    fn apply_static_faults(&mut self, faults: &[WireFault]) {
+        for f in faults {
+            if let WireFault::DropStatic { slot } = f {
+                if self.static_pending.remove(slot).is_some() {
+                    self.drops_applied += 1;
+                }
+            }
+        }
+        for f in faults {
+            if let WireFault::MasqueradeStatic { slot, claim } = f {
+                if let Some(bytes) = self.static_pending.get_mut(slot) {
+                    bytes[0] = claim.0;
+                    let body_len = bytes.len() - 4;
+                    let crc = crate::frame::crc32(&bytes[..body_len]).to_le_bytes();
+                    bytes[body_len..].copy_from_slice(&crc);
+                    self.masquerades_applied += 1;
+                }
+            }
+        }
+        for f in faults {
+            if let WireFault::CorruptStatic { slot, byte, mask } = f {
+                if let Some(bytes) = self.static_pending.get_mut(slot) {
+                    let i = byte % bytes.len();
+                    bytes[i] ^= mask;
+                    if *mask != 0 {
+                        self.corruptions_applied += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies staged dynamic-segment faults to the arbitration-ordered
+    /// frame list: corruptions, then duplications, then reordering.
+    fn apply_dynamic_faults(faults: &[WireFault], dynamic: &mut Vec<Vec<u8>>) {
+        for f in faults {
+            if let WireFault::CorruptDynamic { index, byte, mask } = f {
+                if let Some(bytes) = dynamic.get_mut(*index) {
+                    let i = byte % bytes.len();
+                    bytes[i] ^= mask;
+                }
+            }
+        }
+        for f in faults {
+            if let WireFault::DuplicateDynamic { index } = f {
+                if let Some(bytes) = dynamic.get(*index).cloned() {
+                    dynamic.insert(index + 1, bytes);
+                }
+            }
+        }
+        if faults.iter().any(|f| matches!(f, WireFault::ReorderDynamic)) {
+            dynamic.reverse();
+        }
     }
 }
 
@@ -361,7 +544,11 @@ mod tests {
     fn corrupted_frame_discarded_and_counted() {
         let mut bus = bus3();
         bus.start_cycle();
-        bus.corrupt_next_frame(5, 0x80);
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(0),
+            byte: 5,
+            mask: 0x80,
+        });
         bus.transmit_static(NodeId(0), vec![1, 2, 3]).unwrap();
         bus.transmit_static(NodeId(1), vec![4]).unwrap();
         let d = bus.finish_cycle();
@@ -369,6 +556,132 @@ mod tests {
         assert!(d.static_frames.get(&SlotId(0)).is_none());
         assert!(d.static_frames.contains_key(&SlotId(1)), "other frames unaffected");
         assert_eq!(bus.crc_rejects(), 1);
+        assert_eq!(bus.corruptions_applied(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn corrupt_next_frame_shim_still_corrupts() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.corrupt_next_frame(5, 0x80);
+        bus.transmit_static(NodeId(0), vec![1, 2, 3]).unwrap();
+        bus.transmit_static(NodeId(1), vec![4]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.rejected, 1);
+        assert!(d.static_frames.get(&SlotId(0)).is_none(), "first transmitter hit");
+        assert!(d.static_frames.contains_key(&SlotId(1)));
+    }
+
+    #[test]
+    fn staged_corruption_on_silent_slot_is_noop() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(2),
+            byte: 0,
+            mask: 0xFF,
+        });
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.rejected, 0);
+        assert_eq!(bus.corruptions_applied(), 0, "nothing on the wire to corrupt");
+    }
+
+    #[test]
+    fn dropped_frame_is_a_silent_omission() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        bus.transmit_static(NodeId(1), vec![2]).unwrap();
+        bus.stage_wire_fault(WireFault::DropStatic { slot: SlotId(1) });
+        let d = bus.finish_cycle();
+        assert!(d.static_frames.get(&SlotId(1)).is_none());
+        assert_eq!(d.rejected, 0, "an omission is silence, not a rejected frame");
+        assert_eq!(bus.drops_applied(), 1);
+        assert_eq!(bus.crc_rejects(), 0);
+    }
+
+    #[test]
+    fn masqueraded_frame_rejected_by_identity_check() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![7]).unwrap();
+        bus.stage_wire_fault(WireFault::MasqueradeStatic {
+            slot: SlotId(0),
+            claim: NodeId(2),
+        });
+        let d = bus.finish_cycle();
+        // The frame is well-formed (CRC valid) but claims the wrong
+        // sender, so the receiver-side identity check discards it.
+        assert!(d.static_frames.get(&SlotId(0)).is_none());
+        assert_eq!(d.rejected, 1);
+        assert_eq!(bus.crc_rejects(), 0, "CRC cannot see a masquerade");
+        assert_eq!(bus.masquerade_rejects(), 1);
+        assert_eq!(bus.masquerades_applied(), 1);
+    }
+
+    #[test]
+    fn drop_beats_corruption_on_same_slot() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(0),
+            byte: 3,
+            mask: 0x01,
+        });
+        bus.stage_wire_fault(WireFault::DropStatic { slot: SlotId(0) });
+        let d = bus.finish_cycle();
+        assert!(d.static_frames.is_empty());
+        assert_eq!(bus.drops_applied(), 1);
+        assert_eq!(
+            bus.corruptions_applied(),
+            0,
+            "a dropped frame cannot also be corrupted: the counters stay honest"
+        );
+        assert_eq!(d.rejected, 0);
+    }
+
+    #[test]
+    fn dynamic_duplication_and_reorder() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_dynamic(NodeId(0), 0, vec![10]).unwrap();
+        bus.transmit_dynamic(NodeId(1), 1, vec![20]).unwrap();
+        bus.stage_wire_fault(WireFault::DuplicateDynamic { index: 0 });
+        bus.stage_wire_fault(WireFault::ReorderDynamic);
+        let d = bus.finish_cycle();
+        let payloads: Vec<u32> = d.dynamic_frames.iter().map(|f| f.payload[0]).collect();
+        assert_eq!(payloads, vec![20, 10, 10], "duplicated then reversed");
+    }
+
+    #[test]
+    fn dynamic_corruption_rejected() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_dynamic(NodeId(0), 0, vec![10]).unwrap();
+        bus.stage_wire_fault(WireFault::CorruptDynamic {
+            index: 0,
+            byte: 2,
+            mask: 0x10,
+        });
+        let d = bus.finish_cycle();
+        assert!(d.dynamic_frames.is_empty());
+        assert_eq!(d.rejected, 1);
+        assert_eq!(bus.crc_rejects(), 1);
+    }
+
+    #[test]
+    fn out_of_range_dynamic_faults_ignored() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_dynamic(NodeId(0), 0, vec![10]).unwrap();
+        bus.stage_wire_fault(WireFault::DuplicateDynamic { index: 9 });
+        bus.stage_wire_fault(WireFault::CorruptDynamic { index: 9, byte: 0, mask: 1 });
+        let d = bus.finish_cycle();
+        assert_eq!(d.dynamic_frames.len(), 1);
+        assert_eq!(d.rejected, 0);
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl std::error::Error for FrameError {}
 const HEADER_BYTES: usize = 1 + 1 + 4 + 2; // sender, slot, cycle, payload len
 const CRC_BYTES: usize = 4;
 
-fn crc32(bytes: &[u8]) -> u32 {
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
     for &b in bytes {
         crc ^= u32::from(b);

@@ -13,7 +13,10 @@
 //!   mechanism behind the paper's repair rates `μ_R` and `μ_OM`;
 //! * [`replication`] — duplex active replication (the central-unit
 //!   configuration) and the §4 state-resynchronisation protocol over the
-//!   dynamic segment.
+//!   dynamic segment;
+//! * [`inject`] — deterministic network fault injection: per-node rates of
+//!   corruption, omission, crash, babbling, masquerade and clock faults,
+//!   driven against the bus to measure how well the above defences hold.
 //!
 //! # Examples
 //!
@@ -40,14 +43,18 @@
 
 pub mod bus;
 pub mod frame;
+pub mod inject;
 pub mod membership;
 pub mod replication;
 pub mod sync;
 pub mod timing;
 
-pub use bus::{Bus, BusConfig, CycleDelivery, TransmitError};
+pub use bus::{Bus, BusConfig, CycleDelivery, TransmitError, WireFault};
 pub use frame::{Frame, FrameError, NodeId, SlotId};
+pub use inject::{InjectionCounts, NetFaultInjector, NetFaultPlan, NetFaultRates};
 pub use membership::{Membership, MembershipEvent};
-pub use sync::{ClockBehaviour, SyncConfig, SyncReport};
+pub use sync::{ClockBehaviour, ClockGlitch, SyncConfig, SyncReport};
 pub use timing::{derive_repair_rates, BusTiming, DerivedRepairRates};
-pub use replication::{select_duplex, DuplexPair, DuplexValue, StateResync};
+pub use replication::{
+    select_duplex, select_duplex_among, DuplexPair, DuplexValue, ResyncPolicy, StateResync,
+};

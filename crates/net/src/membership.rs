@@ -64,18 +64,69 @@ pub enum MembershipEvent {
 #[derive(Debug, Clone)]
 pub struct Membership {
     states: BTreeMap<NodeId, MemberState>,
+    /// Per-node hit/miss history of the last cycles while Active, newest in
+    /// bit 0 (1 = miss). Only consulted when the m-in-k window rule is on.
+    history: BTreeMap<NodeId, u64>,
     config: BusConfig,
     exclude_after: u32,
     reintegrate_after: u32,
+    /// Misses within the window that trigger exclusion (`m`); 0 disables
+    /// the window rule.
+    window_misses: u32,
+    /// Window length in cycles (`k`), at most 64.
+    window_cycles: u32,
 }
 
 impl Membership {
     /// Creates a monitor for all slot-owning nodes, all initially members.
+    /// Exclusion is purely consecutive: `exclude_after` missed cycles in a
+    /// row. Intermittent senders that always recover in time are never
+    /// excluded — see [`Membership::with_hysteresis`] for the windowed rule
+    /// that catches them.
     ///
     /// # Panics
     ///
     /// Panics if either threshold is zero.
     pub fn new(config: &BusConfig, exclude_after: u32, reintegrate_after: u32) -> Self {
+        Self::build(config, exclude_after, reintegrate_after, 0, 0)
+    }
+
+    /// Creates a monitor that additionally enforces a weakly-hard **m-in-k
+    /// window**: a node accumulating `window_misses` missed slots within
+    /// its last `window_cycles` cycles is excluded even if no single run of
+    /// misses reaches `exclude_after`. Combined with the
+    /// `reintegrate_after` consecutive-clean readmission requirement this
+    /// gives hysteresis: an intermittently faulty node is taken out once
+    /// and must prove itself stable before coming back, instead of
+    /// flapping in and out of the membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold is zero, `window_cycles > 64`, or
+    /// `window_misses > window_cycles`.
+    pub fn with_hysteresis(
+        config: &BusConfig,
+        exclude_after: u32,
+        reintegrate_after: u32,
+        window_misses: u32,
+        window_cycles: u32,
+    ) -> Self {
+        assert!(window_misses > 0, "window_misses must be positive");
+        assert!(window_cycles <= 64, "window_cycles must be at most 64");
+        assert!(
+            window_misses <= window_cycles,
+            "window_misses must be at most window_cycles"
+        );
+        Self::build(config, exclude_after, reintegrate_after, window_misses, window_cycles)
+    }
+
+    fn build(
+        config: &BusConfig,
+        exclude_after: u32,
+        reintegrate_after: u32,
+        window_misses: u32,
+        window_cycles: u32,
+    ) -> Self {
         assert!(exclude_after > 0, "exclude_after must be positive");
         assert!(reintegrate_after > 0, "reintegrate_after must be positive");
         Membership {
@@ -84,9 +135,12 @@ impl Membership {
                 .iter()
                 .map(|&n| (n, MemberState::Active { missed: 0 }))
                 .collect(),
+            history: config.static_slots.iter().map(|&n| (n, 0)).collect(),
             config: config.clone(),
             exclude_after,
             reintegrate_after,
+            window_misses,
+            window_cycles,
         }
     }
 
@@ -120,21 +174,30 @@ impl Membership {
                 .is_some_and(|s| delivery.static_frames.contains_key(&s));
             match state {
                 MemberState::Active { missed } => {
+                    let history = self.history.entry(node).or_insert(0);
+                    *history = (*history << 1) | u64::from(!transmitted);
+                    let window_violated = self.window_cycles > 0
+                        && (*history & mask(self.window_cycles)).count_ones()
+                            >= self.window_misses;
                     if transmitted {
                         *missed = 0;
                     } else {
                         *missed += 1;
-                        if *missed >= self.exclude_after {
-                            *state = MemberState::Excluded { seen: 0 };
-                            events.push(MembershipEvent::Excluded(node));
-                        }
+                    }
+                    if *missed >= self.exclude_after || window_violated {
+                        *state = MemberState::Excluded { seen: 0 };
+                        *history = 0;
+                        events.push(MembershipEvent::Excluded(node));
                     }
                 }
                 MemberState::Excluded { seen } => {
                     if transmitted {
                         *seen += 1;
                         if *seen >= self.reintegrate_after {
+                            // Readmitted with a clean slate: old misses must
+                            // not count against the fresh membership.
                             *state = MemberState::Active { missed: 0 };
+                            self.history.insert(node, 0);
                             events.push(MembershipEvent::Reintegrated(node));
                         }
                     } else {
@@ -154,6 +217,15 @@ impl Membership {
     /// Cycles from first correct slot to readmission.
     pub fn reintegration_latency_cycles(&self) -> u32 {
         self.reintegrate_after
+    }
+}
+
+/// Bitmask selecting the `k` most recent history bits (`k ≤ 64`).
+fn mask(k: u32) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
     }
 }
 
@@ -236,7 +308,11 @@ mod tests {
         let mut bus = Bus::new(config.clone());
         let mut m = Membership::new(&config, 1, 1);
         bus.start_cycle();
-        bus.corrupt_next_frame(3, 0x01);
+        bus.stage_wire_fault(crate::bus::WireFault::CorruptStatic {
+            slot: crate::frame::SlotId(0),
+            byte: 3,
+            mask: 0x01,
+        });
         bus.transmit_static(NodeId(0), vec![5]).unwrap();
         bus.transmit_static(NodeId(1), vec![6]).unwrap();
         let d = bus.finish_cycle();
@@ -258,5 +334,134 @@ mod tests {
     fn zero_threshold_rejected() {
         let config = BusConfig::round_robin(2, 0);
         Membership::new(&config, 0, 1);
+    }
+
+    #[test]
+    fn exclude_after_one_is_immediate() {
+        let (mut bus, mut m) = setup(1, 1);
+        let ev = cycle(&mut bus, &mut m, &[0, 1]);
+        assert_eq!(ev, vec![MembershipEvent::Excluded(NodeId(2))]);
+        // And a single good cycle readmits (reintegrate_after = 1).
+        let ev = cycle(&mut bus, &mut m, &[0, 1, 2]);
+        assert_eq!(ev, vec![MembershipEvent::Reintegrated(NodeId(2))]);
+    }
+
+    #[test]
+    fn readmission_exactly_at_reintegrate_after() {
+        let reint = 4;
+        let (mut bus, mut m) = setup(1, reint);
+        cycle(&mut bus, &mut m, &[0, 1]); // exclude node 2
+        for good in 1..reint {
+            let ev = cycle(&mut bus, &mut m, &[0, 1, 2]);
+            assert!(ev.is_empty(), "good cycle {good}: still excluded");
+            assert_eq!(m.state(NodeId(2)), Some(MemberState::Excluded { seen: good }));
+        }
+        let ev = cycle(&mut bus, &mut m, &[0, 1, 2]);
+        assert_eq!(
+            ev,
+            vec![MembershipEvent::Reintegrated(NodeId(2))],
+            "readmitted exactly at cycle {reint}, not one later"
+        );
+    }
+
+    #[test]
+    fn alternating_misses_evade_consecutive_rule() {
+        // Without the m-in-k window an every-other-cycle node is never
+        // excluded: the consecutive counter resets on each hit.
+        let (mut bus, mut m) = setup(2, 2);
+        for i in 0..40 {
+            let senders: &[u8] = if i % 2 == 0 { &[0, 1] } else { &[0, 1, 2] };
+            assert!(cycle(&mut bus, &mut m, senders).is_empty());
+        }
+        assert!(m.is_member(NodeId(2)), "50% loss yet still a member");
+    }
+
+    #[test]
+    fn window_rule_catches_alternating_misses() {
+        let config = BusConfig::round_robin(3, 0);
+        let mut bus = Bus::new(config.clone());
+        // Consecutive rule needs 3 in a row; window rule: 4 misses in 8.
+        let mut m = Membership::with_hysteresis(&config, 3, 2, 4, 8);
+        let mut excluded_at = None;
+        for i in 0..40 {
+            let senders: &[u8] = if i % 2 == 0 { &[0, 1] } else { &[0, 1, 2] };
+            bus.start_cycle();
+            for &s in senders {
+                bus.transmit_static(NodeId(s), vec![s as u32]).unwrap();
+            }
+            let d = bus.finish_cycle();
+            for ev in m.observe(&d) {
+                if ev == MembershipEvent::Excluded(NodeId(2)) && excluded_at.is_none() {
+                    excluded_at = Some(i);
+                }
+            }
+        }
+        // The 4th miss lands on cycle 6 (misses at 0, 2, 4, 6).
+        assert_eq!(excluded_at, Some(6));
+    }
+
+    #[test]
+    fn hysteresis_suppresses_flapping() {
+        let config = BusConfig::round_robin(2, 0);
+        let mut bus = Bus::new(config.clone());
+        // Window 3-in-8, readmission after 2 *consecutive* clean cycles.
+        let mut m = Membership::with_hysteresis(&config, 3, 2, 3, 8);
+        let mut transitions = 0;
+        for i in 0..120 {
+            bus.start_cycle();
+            bus.transmit_static(NodeId(0), vec![0]).unwrap();
+            // Node 1 alternates hit/miss forever — a classic flapper.
+            if i % 2 != 0 {
+                bus.transmit_static(NodeId(1), vec![1]).unwrap();
+            }
+            let d = bus.finish_cycle();
+            transitions += m.observe(&d).len();
+        }
+        // The window rule excludes it once (3rd miss in window, cycle 4);
+        // after that the consecutive-clean readmission requirement is never
+        // met by an alternating sender, so the membership changes exactly
+        // once in 120 cycles instead of oscillating.
+        assert_eq!(transitions, 1, "membership must not flap");
+        assert!(!m.is_member(NodeId(1)));
+    }
+
+    #[test]
+    fn readmission_starts_with_clean_window() {
+        let config = BusConfig::round_robin(2, 0);
+        let mut bus = Bus::new(config.clone());
+        let mut m = Membership::with_hysteresis(&config, 10, 1, 2, 64);
+        let run = |m: &mut Membership, bus: &mut Bus, node1_sends: bool| {
+            bus.start_cycle();
+            bus.transmit_static(NodeId(0), vec![0]).unwrap();
+            if node1_sends {
+                bus.transmit_static(NodeId(1), vec![1]).unwrap();
+            }
+            let d = bus.finish_cycle();
+            m.observe(&d)
+        };
+        run(&mut m, &mut bus, false); // miss 1
+        let ev = run(&mut m, &mut bus, false); // miss 2 → window fires
+        assert_eq!(ev, vec![MembershipEvent::Excluded(NodeId(1))]);
+        let ev = run(&mut m, &mut bus, true); // readmitted (reint = 1)
+        assert_eq!(ev, vec![MembershipEvent::Reintegrated(NodeId(1))]);
+        // One further miss must NOT re-exclude: the pre-exclusion history
+        // was wiped on readmission, so the 64-cycle window holds one miss.
+        let ev = run(&mut m, &mut bus, false);
+        assert!(ev.is_empty(), "stale window re-excluded the node: {ev:?}");
+        assert!(m.is_member(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window_misses must be at most")]
+    fn window_wider_than_k_rejected() {
+        let config = BusConfig::round_robin(2, 0);
+        Membership::with_hysteresis(&config, 1, 1, 9, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn window_longer_than_history_rejected() {
+        let config = BusConfig::round_robin(2, 0);
+        Membership::with_hysteresis(&config, 1, 1, 2, 65);
     }
 }

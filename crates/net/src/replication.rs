@@ -125,10 +125,83 @@ pub fn select_duplex(config: &BusConfig, delivery: &CycleDelivery, pair: DuplexP
     }
 }
 
+/// Selects the duplex pair's value considering only replicas that
+/// `is_member` accepts. A replica outside the membership view — excluded,
+/// or freshly restarted and not yet reintegrated — may transmit with stale
+/// state; consumers must not let it poison the pair, so its frames are
+/// treated as silence.
+pub fn select_duplex_among(
+    config: &BusConfig,
+    delivery: &CycleDelivery,
+    pair: DuplexPair,
+    is_member: impl Fn(NodeId) -> bool,
+) -> DuplexValue {
+    let fa = delivery.from_node(config, pair.a).filter(|_| is_member(pair.a));
+    let fb = delivery.from_node(config, pair.b).filter(|_| is_member(pair.b));
+    match (fa, fb) {
+        (Some(x), Some(y)) => {
+            if x.payload == y.payload {
+                DuplexValue::Agreed(x.payload.clone())
+            } else {
+                DuplexValue::Disagreement {
+                    a: x.payload.clone(),
+                    b: y.payload.clone(),
+                }
+            }
+        }
+        (Some(x), None) => DuplexValue::Single {
+            from: pair.a,
+            payload: x.payload.clone(),
+        },
+        (None, Some(y)) => DuplexValue::Single {
+            from: pair.b,
+            payload: y.payload.clone(),
+        },
+        (None, None) => DuplexValue::Silent,
+    }
+}
+
 /// Message kinds of the state-resynchronisation protocol, encoded as the
 /// first payload word of dynamic-segment frames.
 const RESYNC_REQUEST: u32 = 0x5259_0001; // "RY" 1
 const RESYNC_RESPONSE: u32 = 0x5259_0002;
+
+/// Retry schedule for [`StateResync::tick`]: bounded attempts with capped
+/// exponential backoff. Under a network fault storm a resync request or its
+/// answer can be lost like any other frame, so a single-shot request is not
+/// enough — but unbounded aggressive retries would squat the dynamic
+/// segment the rest of the cluster also needs. The compromise is classic:
+/// retry, back off exponentially, cap the backoff, bound the attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncPolicy {
+    /// Cycles to wait for an answer to the first request.
+    pub initial_wait_cycles: u32,
+    /// Cap on the exponentially growing wait.
+    pub max_wait_cycles: u32,
+    /// Requests sent before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for ResyncPolicy {
+    fn default() -> Self {
+        ResyncPolicy {
+            initial_wait_cycles: 2,
+            max_wait_cycles: 16,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl ResyncPolicy {
+    /// The wait after the `attempt`-th request (1-based): capped
+    /// exponential.
+    fn wait_after(&self, attempt: u32) -> u32 {
+        self.initial_wait_cycles
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.max_wait_cycles)
+            .max(1)
+    }
+}
 
 /// The state-resync endpoint a replica runs.
 ///
@@ -142,6 +215,11 @@ pub struct StateResync {
     node: NodeId,
     pair: DuplexPair,
     outstanding: bool,
+    policy: ResyncPolicy,
+    resyncing: bool,
+    gave_up: bool,
+    attempts: u32,
+    wait: u32,
 }
 
 /// An event produced by the resync endpoint.
@@ -160,20 +238,87 @@ impl StateResync {
     ///
     /// Panics if `node` is not in the pair.
     pub fn new(node: NodeId, pair: DuplexPair) -> Self {
+        Self::with_policy(node, pair, ResyncPolicy::default())
+    }
+
+    /// Creates the endpoint with an explicit retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the pair or `max_attempts` is zero.
+    pub fn with_policy(node: NodeId, pair: DuplexPair, policy: ResyncPolicy) -> Self {
         assert!(
             pair.partner_of(node).is_some(),
             "{node} is not part of the duplex pair"
         );
+        assert!(policy.max_attempts > 0, "max_attempts must be positive");
         StateResync {
             node,
             pair,
             outstanding: false,
+            policy,
+            resyncing: false,
+            gave_up: false,
+            attempts: 0,
+            wait: 0,
         }
     }
 
     /// Whether a request is waiting for an answer.
     pub fn awaiting_state(&self) -> bool {
         self.outstanding
+    }
+
+    /// Whether a [`StateResync::begin_resync`] episode is still running.
+    pub fn is_resyncing(&self) -> bool {
+        self.resyncing
+    }
+
+    /// Whether the last episode exhausted its retry budget without an
+    /// answer. The replica then resumes from its own (possibly stale)
+    /// state rather than blocking forever — availability over freshness.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// Requests sent in the current/last episode.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Starts (or restarts) a resynchronisation episode: [`StateResync::tick`]
+    /// will send the first request on its next call and retry per the
+    /// [`ResyncPolicy`] until an answer arrives or the budget runs out.
+    pub fn begin_resync(&mut self) {
+        self.resyncing = true;
+        self.gave_up = false;
+        self.outstanding = false;
+        self.attempts = 0;
+        self.wait = 0;
+    }
+
+    /// Drives one cycle of the retry schedule. Call once per cycle between
+    /// [`Bus::start_cycle`] and [`Bus::finish_cycle`] while an episode is
+    /// running; a no-op otherwise. Infallible by design: a full dynamic
+    /// segment simply consumes the attempt — under a storm that *is* a
+    /// failed request.
+    pub fn tick(&mut self, bus: &mut Bus) {
+        if !self.resyncing {
+            return;
+        }
+        if self.wait > 0 {
+            self.wait -= 1;
+            return;
+        }
+        if self.attempts >= self.policy.max_attempts {
+            self.gave_up = true;
+            self.resyncing = false;
+            self.outstanding = false;
+            return;
+        }
+        self.attempts += 1;
+        self.wait = self.policy.wait_after(self.attempts);
+        let _ = self.request_state(bus);
     }
 
     /// Broadcasts a state request in the dynamic segment (on return from an
@@ -220,6 +365,8 @@ impl StateResync {
                         && rest.first() == Some(&u32::from(self.node.0))
                     {
                         self.outstanding = false;
+                        self.resyncing = false;
+                        self.wait = 0;
                         events.push(ResyncEvent::StateReceived(rest[1..].to_vec()));
                     }
                 }
@@ -361,6 +508,122 @@ mod tests {
         let ev = node.process_cycle(&mut bus, &d, &[]).unwrap();
         assert!(ev.is_empty(), "unsolicited state must not be installed");
         bus.finish_cycle();
+    }
+
+    #[test]
+    fn membership_aware_selection_ignores_non_members() {
+        let (mut bus, config, pair) = setup();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        bus.transmit_static(NodeId(1), vec![2]).unwrap();
+        let d = bus.finish_cycle();
+        // Node 0 is outside the membership: its (divergent, stale) frame
+        // must not produce a Disagreement — the healthy replica rules.
+        let v = select_duplex_among(&config, &d, pair, |n| n != NodeId(0));
+        assert_eq!(
+            v,
+            DuplexValue::Single {
+                from: NodeId(1),
+                payload: vec![2]
+            }
+        );
+        // With both members it is the usual disagreement.
+        assert!(matches!(
+            select_duplex_among(&config, &d, pair, |_| true),
+            DuplexValue::Disagreement { .. }
+        ));
+        // With neither, silence.
+        assert_eq!(
+            select_duplex_among(&config, &d, pair, |_| false),
+            DuplexValue::Silent
+        );
+    }
+
+    #[test]
+    fn tick_retries_with_capped_exponential_backoff() {
+        let (mut bus, _, pair) = setup();
+        let policy = ResyncPolicy {
+            initial_wait_cycles: 2,
+            max_wait_cycles: 4,
+            max_attempts: 4,
+        };
+        let mut node = StateResync::with_policy(NodeId(1), pair, policy);
+        node.begin_resync();
+        // The partner never answers; record which cycles carry a request.
+        let mut request_cycles = Vec::new();
+        for cycle in 0..30u32 {
+            bus.start_cycle();
+            node.tick(&mut bus);
+            let d = bus.finish_cycle();
+            if d.dynamic_frames.iter().any(is_resync_frame) {
+                request_cycles.push(cycle);
+            }
+        }
+        // Waits: 2, 4, 4 (capped) → requests at cycles 0, 3, 8, 13.
+        assert_eq!(request_cycles, vec![0, 3, 8, 13]);
+        assert_eq!(node.attempts(), 4);
+        assert!(node.gave_up(), "budget exhausted without an answer");
+        assert!(!node.is_resyncing());
+    }
+
+    #[test]
+    fn tick_stops_once_state_received() {
+        let (mut bus, _, pair) = setup();
+        let mut recovering = StateResync::new(NodeId(1), pair);
+        let mut healthy = StateResync::new(NodeId(0), pair);
+        recovering.begin_resync();
+
+        // Cycle 1: first request goes out.
+        bus.start_cycle();
+        recovering.tick(&mut bus);
+        let d1 = bus.finish_cycle();
+        assert!(recovering.awaiting_state());
+
+        // Cycle 2: partner answers.
+        bus.start_cycle();
+        recovering.tick(&mut bus);
+        healthy.process_cycle(&mut bus, &d1, &[55]).unwrap();
+        let d2 = bus.finish_cycle();
+
+        // Cycle 3: state installed; the episode ends.
+        bus.start_cycle();
+        recovering.tick(&mut bus);
+        let ev = recovering.process_cycle(&mut bus, &d2, &[]).unwrap();
+        assert_eq!(ev, vec![ResyncEvent::StateReceived(vec![55])]);
+        assert!(!recovering.is_resyncing());
+        assert!(!recovering.gave_up());
+        bus.finish_cycle();
+
+        // Further ticks are no-ops: no more requests on the wire.
+        for _ in 0..10 {
+            bus.start_cycle();
+            recovering.tick(&mut bus);
+            let d = bus.finish_cycle();
+            assert!(!d.dynamic_frames.iter().any(is_resync_frame));
+        }
+        assert_eq!(recovering.attempts(), 1);
+    }
+
+    #[test]
+    fn begin_resync_resets_a_given_up_episode() {
+        let (mut bus, _, pair) = setup();
+        let policy = ResyncPolicy {
+            initial_wait_cycles: 1,
+            max_wait_cycles: 1,
+            max_attempts: 1,
+        };
+        let mut node = StateResync::with_policy(NodeId(0), pair, policy);
+        node.begin_resync();
+        for _ in 0..3 {
+            bus.start_cycle();
+            node.tick(&mut bus);
+            bus.finish_cycle();
+        }
+        assert!(node.gave_up());
+        node.begin_resync();
+        assert!(!node.gave_up());
+        assert!(node.is_resyncing());
+        assert_eq!(node.attempts(), 0);
     }
 
     #[test]

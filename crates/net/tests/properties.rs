@@ -1,6 +1,6 @@
 //! Property-based tests for the time-triggered network.
 
-use nlft_net::bus::{Bus, BusConfig};
+use nlft_net::bus::{Bus, BusConfig, WireFault};
 use nlft_net::frame::{Frame, NodeId, SlotId};
 use nlft_net::membership::Membership;
 use nlft_testkit::prop::{gens, Suite};
@@ -94,6 +94,86 @@ fn bus_delivers_exactly_the_speakers() {
                 let f = d.from_node(bus.config(), NodeId(s)).expect("delivered");
                 prop_assert_eq!(f.payload.clone(), vec![u32::from(s)]);
             }
+            Ok(())
+        },
+    );
+}
+
+/// A staged wire corruption flipping one or two bits of one byte is
+/// *always* rejected by the CRC — whatever the payload, the victim byte or
+/// the bit pattern — and never disturbs the other slots. This is the
+/// bus-level counterpart of `frame_detects_small_corruption`: the measured
+/// CRC reject rate the storm campaign reports must be exactly 1.
+#[test]
+fn staged_corruption_always_rejected() {
+    SUITE.check(
+        "staged_corruption_always_rejected",
+        {
+            let mut payload = gens::vec(|r| r.next_u32(), 0..16);
+            let mut byte = gens::index();
+            move |r: &mut TkRng| {
+                (
+                    payload(r),
+                    r.range(0, 4) as u8,       // victim slot
+                    byte(r),                   // victim byte
+                    r.range(0, 8) as u8,       // first flipped bit
+                    r.range(0, 8) as u8,       // second flipped bit
+                )
+            }
+        },
+        |(payload, victim, byte, bit1, bit2)| {
+            let mask = (1u8 << bit1) | (1 << bit2); // one or two bits
+            let mut bus = Bus::new(BusConfig::round_robin(4, 0));
+            bus.start_cycle();
+            bus.stage_wire_fault(WireFault::CorruptStatic {
+                slot: SlotId(*victim),
+                byte: byte.index(usize::MAX),
+                mask,
+            });
+            for n in 0u8..4 {
+                bus.transmit_static(NodeId(n), payload.clone()).unwrap();
+            }
+            let d = bus.finish_cycle();
+            prop_assert!(
+                d.static_frames.get(&SlotId(*victim)).is_none(),
+                "corrupted frame (byte {byte:?}, mask {mask:#04x}) survived"
+            );
+            prop_assert_eq!(d.rejected, 1);
+            prop_assert_eq!(bus.crc_rejects(), 1);
+            prop_assert_eq!(bus.corruptions_applied(), 1);
+            prop_assert_eq!(d.static_frames.len(), 3, "other slots unaffected");
+            Ok(())
+        },
+    );
+}
+
+/// Every babbling-idiot attempt — any node, any foreign slot, any number
+/// of attempts per cycle — is blocked by the guardian and counted exactly
+/// once; no foreign frame ever reaches a receiver. The guardian block rate
+/// the storm campaign measures must therefore be exactly 1.
+#[test]
+fn guardian_counts_each_babble_exactly_once() {
+    SUITE.check(
+        "guardian_counts_each_babble_exactly_once",
+        gens::vec(
+            |r| (r.range(0, 4) as u8, r.range(1, 4) as u8),
+            0..12,
+        ),
+        |attempts| {
+            let mut bus = Bus::new(BusConfig::round_robin(4, 0));
+            bus.start_cycle();
+            for &(node, shift) in attempts {
+                // A foreign slot: the babbler's own slot index plus a
+                // non-zero shift, mod the slot count.
+                let foreign = SlotId((node + shift) % 4);
+                prop_assert!(bus
+                    .transmit_in_slot(NodeId(node), foreign, vec![0xBAD])
+                    .is_err());
+            }
+            prop_assert_eq!(bus.guardian_blocks(), attempts.len() as u64);
+            let d = bus.finish_cycle();
+            prop_assert_eq!(d.static_frames.len(), 0, "nothing leaked to the wire");
+            prop_assert_eq!(d.rejected, 0);
             Ok(())
         },
     );

@@ -251,7 +251,7 @@ impl Bench {
                 Json::Arr(self.records.iter().map(Record::to_json).collect()),
             ),
         ]);
-        let path = report_path(&self.group);
+        let path = artifact_path(&format!("BENCH_{}.json", self.group));
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -262,22 +262,23 @@ impl Bench {
     }
 }
 
-/// Where the JSON report for a group lands: `NLFT_BENCH_OUT` if set,
-/// otherwise `<target>/testkit/` next to the running bench executable,
-/// falling back to `./target/testkit/`.
-fn report_path(group: &str) -> PathBuf {
-    let file = format!("BENCH_{group}.json");
+/// Where a named artifact lands: `NLFT_BENCH_OUT` if set, otherwise
+/// `<target>/testkit/` next to the running executable, falling back to
+/// `./target/testkit/`. Benches use it for their `BENCH_<group>.json`
+/// reports; campaigns and experiments can drop their own JSON next to
+/// them through the same resolution rules.
+pub fn artifact_path(file_name: &str) -> PathBuf {
     if let Ok(dir) = std::env::var("NLFT_BENCH_OUT") {
-        return PathBuf::from(dir).join(file);
+        return PathBuf::from(dir).join(file_name);
     }
     if let Ok(exe) = std::env::current_exe() {
         for dir in exe.ancestors() {
             if dir.file_name().is_some_and(|n| n == "target") {
-                return dir.join("testkit").join(file);
+                return dir.join("testkit").join(file_name);
             }
         }
     }
-    PathBuf::from("target").join("testkit").join(file)
+    PathBuf::from("target").join("testkit").join(file_name)
 }
 
 fn fmt_ns(ns: f64) -> String {

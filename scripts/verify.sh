@@ -7,3 +7,14 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+
+# Smoke-run every example. Each must exit zero on a small workload: the
+# campaign-style examples read a trial count from their first argument,
+# the rest ignore it.
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "== example: $name =="
+    cargo run --release --offline --example "$name" -- 50 >/dev/null
+done
+
+echo "verify: OK"
