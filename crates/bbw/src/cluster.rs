@@ -14,8 +14,10 @@
 
 use std::collections::BTreeMap;
 
-use nlft_kernel::tem::{InjectionPlan, JobOutcome, TemConfig, TemExecutor};
-use nlft_machine::fault::TransientFault;
+use nlft_core::diagnosis::{AlphaCountConfig, NodeSupervisor};
+use nlft_kernel::escalation::{EscalationEvent, EscalationPolicy, NodeHealth};
+use nlft_kernel::tem::{InjectionPlan, JobFault, JobOutcome, TemConfig, TemExecutor};
+use nlft_machine::fault::{IntermittentFault, StuckAtFault, TransientFault};
 use nlft_machine::machine::Machine;
 use nlft_machine::workloads::{self, Workload};
 use nlft_net::bus::{Bus, BusConfig, CycleDelivery, WireFault};
@@ -96,36 +98,140 @@ pub struct ClusterReport {
     pub corruptions_applied: u64,
     /// Wire masquerades that actually landed on a transmitted frame.
     pub masquerades_applied: u64,
+    /// Escalation-ladder transitions of supervised nodes, in cycle order:
+    /// `(cycle, node, event)`.
+    pub escalations: Vec<(u32, NodeId, EscalationEvent)>,
+    /// Restarts scheduled by supervised nodes during this run.
+    pub restarts: u32,
+    /// Nodes retired by their supervisor during this run.
+    pub retired_nodes: Vec<NodeId>,
+}
+
+impl ClusterReport {
+    /// The escalation events of one node, in order.
+    pub fn escalations_for(&self, node: NodeId) -> Vec<EscalationEvent> {
+        self.escalations
+            .iter()
+            .filter(|(_, n, _)| *n == node)
+            .map(|(_, _, e)| *e)
+            .collect()
+    }
+}
+
+/// A node-local intermittent fault: the recurring transient, the job
+/// slots elapsed since onset, and a dedicated stream for its recurrence
+/// and placement draws.
+struct IntermittentRuntime {
+    fault: IntermittentFault,
+    slots_since_onset: u32,
+    rng: RngStream,
 }
 
 struct StationRuntime {
     workload: Workload,
     machine: Machine,
-    tem: TemExecutor,
+    tem_config: TemConfig,
+    /// Task cycles of a clean run, for placing recurring injections.
+    clean_cycles: u64,
     /// Remaining cycles of enforced silence (fail-silent restart window).
     silent_for: u32,
+    /// Diagnosis + escalation, when this node is supervised.
+    supervisor: Option<NodeSupervisor>,
+    /// A permanent hardware fault: re-asserted before every instruction of
+    /// every copy, and deliberately surviving restarts.
+    stuck_at: Option<StuckAtFault>,
+    /// A recurring (intermittent) fault attached to this node.
+    intermittent: Option<IntermittentRuntime>,
 }
 
 impl StationRuntime {
-    fn new(workload: Workload, budget: u64) -> Self {
+    fn new(workload: Workload, clean_cycles: u64) -> Self {
         let machine = workload.instantiate();
         StationRuntime {
             workload,
             machine,
-            tem: TemExecutor::new(TemConfig::with_budget(budget)),
+            tem_config: TemConfig::with_budget(clean_cycles * 2 + 50),
+            clean_cycles,
             silent_for: 0,
+            supervisor: None,
+            stuck_at: None,
+            intermittent: None,
         }
     }
 
-    fn run_job(&mut self, inputs: &[u32], plan: Option<InjectionPlan>) -> Option<Vec<u32>> {
+    /// Whether the escalation ladder holds this node silent.
+    fn supervised_silent(&self) -> bool {
+        self.supervisor.as_ref().is_some_and(|s| !s.jobs_active())
+    }
+
+    /// Advances one silent job slot: restart scheduling/countdown, plus
+    /// the intermittent fault's burst clock (wall time passes whether or
+    /// not the node executes). A completed restart reboots the machine —
+    /// fresh state, same hardware, so a stuck-at survives it.
+    fn tick_supervisor(&mut self) -> Vec<EscalationEvent> {
+        if let Some(i) = self.intermittent.as_mut() {
+            i.slots_since_onset += 1;
+        }
+        let Some(sup) = self.supervisor.as_mut() else {
+            return Vec::new();
+        };
+        let events = sup.tick_silent();
+        if events.contains(&EscalationEvent::Restarted) {
+            self.machine = self.workload.instantiate();
+        }
+        events
+    }
+
+    /// The fault manifesting in this job, merging the node's persistent
+    /// faults with an externally scheduled one-shot plan.
+    fn job_fault(&mut self, plan: Option<InjectionPlan>) -> Option<JobFault> {
+        if let Some(stuck) = self.stuck_at {
+            return Some(JobFault::StuckAt(stuck));
+        }
+        if let Some(i) = self.intermittent.as_mut() {
+            let since = i.slots_since_onset;
+            i.slots_since_onset += 1;
+            if i.fault.manifests(since, &mut i.rng) {
+                return Some(JobFault::Transient(InjectionPlan {
+                    copy: i.rng.uniform_range(0, 2) as u32,
+                    at_cycle: i.rng.uniform_range(1, self.clean_cycles.max(2)),
+                    fault: i.fault.fault,
+                }));
+            }
+        }
+        plan.map(JobFault::Transient)
+    }
+
+    fn run_job(
+        &mut self,
+        inputs: &[u32],
+        plan: Option<InjectionPlan>,
+    ) -> (Option<Vec<u32>>, Vec<EscalationEvent>) {
         if self.silent_for > 0 {
             self.silent_for -= 1;
-            return None;
+            return (None, Vec::new());
         }
-        let report = self
-            .tem
-            .run_job(&mut self.machine, &self.workload, inputs, plan);
-        match report.outcome {
+        if self.supervised_silent() {
+            return (None, self.tick_supervisor());
+        }
+        let fault = self.job_fault(plan);
+        let mut config = self.tem_config;
+        if self.supervisor.as_ref().is_some_and(|s| s.tem_triples()) {
+            // Suspect / reintegrating: TEM always triples (three copies +
+            // majority vote on every job).
+            config.min_results = 3;
+        }
+        let tem = TemExecutor::new(config);
+        let report = tem.run_job_with_fault(&mut self.machine, &self.workload, inputs, fault);
+        let errored = matches!(
+            report.outcome,
+            JobOutcome::DeliveredMasked { .. } | JobOutcome::Omission { .. }
+        );
+        let events = match self.supervisor.as_mut() {
+            Some(sup) => sup.observe_job(errored),
+            None => Vec::new(),
+        };
+        let outputs = match report.outcome {
             JobOutcome::DeliveredClean | JobOutcome::DeliveredMasked { .. } => {
                 let outputs = report.outputs.expect("delivered");
                 Some(
@@ -137,7 +243,8 @@ impl StationRuntime {
                 )
             }
             JobOutcome::Omission { .. } => None,
-        }
+        };
+        (outputs, events)
     }
 }
 
@@ -179,11 +286,11 @@ impl BbwCluster {
 
         let mut cu = BTreeMap::new();
         for id in [CU_A, CU_B] {
-            cu.insert(id, StationRuntime::new(dist.clone(), dist_cycles * 2 + 50));
+            cu.insert(id, StationRuntime::new(dist.clone(), dist_cycles));
         }
         let mut wheels = BTreeMap::new();
         for id in WHEELS {
-            wheels.insert(id, StationRuntime::new(pid.clone(), pid_cycles * 2 + 50));
+            wheels.insert(id, StationRuntime::new(pid.clone(), pid_cycles));
         }
         let cu_pair = DuplexPair::new(CU_A, CU_B);
         BbwCluster {
@@ -250,9 +357,65 @@ impl BbwCluster {
     /// Forces a node silent for `cycles` cycles (models a fail-silent
     /// restart window without machine-level detail).
     pub fn silence_node(&mut self, node: NodeId, cycles: u32) {
-        if let Some(s) = self.cu.get_mut(&node).or_else(|| self.wheels.get_mut(&node)) {
+        if let Some(s) = self.station_mut(node) {
             s.silent_for = cycles;
         }
+    }
+
+    fn station_mut(&mut self, node: NodeId) -> Option<&mut StationRuntime> {
+        self.cu
+            .get_mut(&node)
+            .or_else(|| self.wheels.get_mut(&node))
+    }
+
+    /// Puts `node` under a diagnosis supervisor: its TEM error stream
+    /// feeds an α-count, and the escalation ladder silences, restarts,
+    /// reintegrates or retires the node. The resulting
+    /// [`EscalationEvent`]s land in [`ClusterReport::escalations`].
+    pub fn supervise(&mut self, node: NodeId, alpha: AlphaCountConfig, policy: EscalationPolicy) {
+        if let Some(s) = self.station_mut(node) {
+            s.supervisor = Some(NodeSupervisor::new(alpha, policy));
+        }
+    }
+
+    /// Supervises all six nodes with the same configuration.
+    pub fn supervise_all(&mut self, alpha: AlphaCountConfig, policy: EscalationPolicy) {
+        for id in [CU_A, CU_B].iter().chain(WHEELS.iter()).copied() {
+            self.supervise(id, alpha, policy);
+        }
+    }
+
+    /// Attaches a permanent stuck-at fault to `node`'s processor. It is
+    /// re-asserted before every instruction of every TEM copy and — being
+    /// hardware — survives node restarts.
+    pub fn attach_stuck_at(&mut self, node: NodeId, fault: StuckAtFault) {
+        if let Some(s) = self.station_mut(node) {
+            s.stuck_at = Some(fault);
+        }
+    }
+
+    /// Attaches an intermittent fault to `node`: from the next job slot
+    /// on, the transient recurs with the fault's recurrence probability
+    /// until its burst expires. `rng` should be a dedicated fork of the
+    /// experiment's master stream.
+    pub fn attach_intermittent(&mut self, node: NodeId, fault: IntermittentFault, rng: RngStream) {
+        if let Some(s) = self.station_mut(node) {
+            s.intermittent = Some(IntermittentRuntime {
+                fault,
+                slots_since_onset: 0,
+                rng,
+            });
+        }
+    }
+
+    /// The ladder position of a supervised node (`None` when the node is
+    /// not supervised).
+    pub fn node_health(&self, node: NodeId) -> Option<NodeHealth> {
+        self.cu
+            .get(&node)
+            .or_else(|| self.wheels.get(&node))
+            .and_then(|s| s.supervisor.as_ref())
+            .map(|sup| sup.health())
     }
 
     /// Runs the cluster for `cycles` communication cycles with the given
@@ -267,6 +430,9 @@ impl BbwCluster {
         let mut split_membership = false;
         let mut min_members = self.membership.members().len();
         let mut reintegration_latencies = Vec::new();
+        let mut escalations: Vec<(u32, NodeId, EscalationEvent)> = Vec::new();
+        let mut restarts = 0;
+        let mut retired_nodes: Vec<NodeId> = Vec::new();
         let crc_rejects_0 = self.bus.crc_rejects();
         let guardian_blocks_0 = self.bus.guardian_blocks();
         let masquerade_rejects_0 = self.bus.masquerade_rejects();
@@ -298,7 +464,8 @@ impl BbwCluster {
                 }
                 let net_down = net_silenced.contains(&id);
                 let was_silent = self.cu_silent_last[&id];
-                let silent_now = net_down || station.silent_for > 0;
+                let silent_now =
+                    net_down || station.silent_for > 0 || station.supervised_silent();
                 let resync = self.cu_resync.get_mut(&id).expect("CU endpoint");
                 if was_silent && !silent_now {
                     // The replica returns: it resumes transmitting at once
@@ -308,8 +475,32 @@ impl BbwCluster {
                 }
                 self.cu_silent_last.insert(id, silent_now);
                 let mut our_state: Vec<u32> = Vec::new();
-                if !net_down {
-                    if let Some(outputs) = station.run_job(&[pedal_now], plan) {
+                if net_down {
+                    // Held down by the network outage: the node does not
+                    // execute, but its supervisor's restart clock still runs.
+                    for ev in station.tick_supervisor() {
+                        record_escalation(
+                            &mut escalations,
+                            &mut restarts,
+                            &mut retired_nodes,
+                            bus_cycle,
+                            id,
+                            ev,
+                        );
+                    }
+                } else {
+                    let (result, events) = station.run_job(&[pedal_now], plan);
+                    for ev in events {
+                        record_escalation(
+                            &mut escalations,
+                            &mut restarts,
+                            &mut retired_nodes,
+                            bus_cycle,
+                            id,
+                            ev,
+                        );
+                    }
+                    if let Some(outputs) = result {
                         // Degraded-mode redistribution: scale the shares of the
                         // serving wheels when some are out of the membership.
                         let serving: Vec<usize> = (0..4)
@@ -342,6 +533,21 @@ impl BbwCluster {
                     // Crashed / clock-lost: the node does not execute.
                     continue;
                 }
+                if station.supervised_silent() {
+                    // The escalation ladder holds this wheel down (silent,
+                    // restarting or retired): advance its restart clock.
+                    for ev in station.tick_supervisor() {
+                        record_escalation(
+                            &mut escalations,
+                            &mut restarts,
+                            &mut retired_nodes,
+                            bus_cycle,
+                            id,
+                            ev,
+                        );
+                    }
+                    continue;
+                }
                 let Some(sp) = setpoints[w] else {
                     // No set-point yet (first cycle or CU silent): stay quiet.
                     continue;
@@ -352,7 +558,18 @@ impl BbwCluster {
                     self.bus
                         .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
                 }
-                if let Some(outputs) = station.run_job(&[sp, measured[w]], plan) {
+                let (result, events) = station.run_job(&[sp, measured[w]], plan);
+                for ev in events {
+                    record_escalation(
+                        &mut escalations,
+                        &mut restarts,
+                        &mut retired_nodes,
+                        bus_cycle,
+                        id,
+                        ev,
+                    );
+                }
+                if let Some(outputs) = result {
                     let force = outputs[0];
                     // First-order actuator: the measured force moves toward
                     // the command.
@@ -467,8 +684,28 @@ impl BbwCluster {
             masquerade_rejects: self.bus.masquerade_rejects() - masquerade_rejects_0,
             corruptions_applied: self.bus.corruptions_applied() - corruptions_applied_0,
             masquerades_applied: self.bus.masquerades_applied() - masquerades_applied_0,
+            escalations,
+            restarts,
+            retired_nodes,
         }
     }
+}
+
+fn record_escalation(
+    escalations: &mut Vec<(u32, NodeId, EscalationEvent)>,
+    restarts: &mut u32,
+    retired_nodes: &mut Vec<NodeId>,
+    cycle: u32,
+    node: NodeId,
+    event: EscalationEvent,
+) {
+    if matches!(event, EscalationEvent::RestartScheduled { .. }) {
+        *restarts += 1;
+    }
+    if event == EscalationEvent::Retired && !retired_nodes.contains(&node) {
+        retired_nodes.push(node);
+    }
+    escalations.push((cycle, node, event));
 }
 
 impl Default for BbwCluster {

@@ -15,7 +15,10 @@
 //!   joint six-node system, cross-checking the analytic curves;
 //! * [`cluster`] — an *executable* BBW cluster: real TM32 control programs
 //!   under the TEM kernel on a time-triggered bus with membership, duplex
-//!   selection and degraded-mode force redistribution.
+//!   selection and degraded-mode force redistribution;
+//! * [`recovery`] — diagnosis-and-recovery scenarios on that cluster: a
+//!   masked transient storm, an intermittent wheel restarting and
+//!   reintegrating, and a stuck-at CU replica being retired.
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@ pub mod cluster;
 pub mod cluster_campaign;
 pub mod montecarlo;
 pub mod params;
+pub mod recovery;
 pub mod sensitivity;
 
 pub use analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
@@ -51,3 +55,7 @@ pub use cluster_campaign::{
 };
 pub use montecarlo::{run_monte_carlo, MonteCarloConfig, MonteCarloResult};
 pub use params::BbwParams;
+pub use recovery::{
+    intermittent_wheel_scenario, permanent_cu_scenario, run_recovery_cluster_campaign,
+    transient_storm_scenario, RecoveryClusterCampaignConfig, RecoveryClusterOutcomes,
+};

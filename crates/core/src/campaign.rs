@@ -11,14 +11,18 @@
 
 use std::fmt;
 
-use nlft_kernel::tem::{InjectionPlan, JobOutcome, TemConfig, TemExecutor};
+use nlft_kernel::escalation::{EscalationEvent, EscalationPolicy, NodeHealth};
+use nlft_kernel::tem::{InjectionPlan, JobFault, JobOutcome, TemConfig, TemExecutor};
 use nlft_machine::edm::{DetectionMatrix, Edm};
-use nlft_machine::fault::{run_with_injection, FaultSpace, TransientFault};
+use nlft_machine::fault::{
+    run_with_injection, FaultModel, FaultPersistence, FaultSpace, TransientFault,
+};
 use nlft_machine::machine::{RunExit, NUM_PORTS};
 use nlft_machine::workloads::Workload;
 use nlft_sim::rng::RngStream;
-use nlft_sim::stats::Proportion;
+use nlft_sim::stats::{OnlineStats, Proportion};
 
+use crate::diagnosis::{AlphaCountConfig, NodeSupervisor};
 use crate::policy::{NodeFailureMode, NodePolicy};
 
 /// Classification of a single injection experiment.
@@ -444,6 +448,428 @@ fn record(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Recovery campaigns: multi-job, recurrence-aware trials.
+// ---------------------------------------------------------------------------
+
+/// Classification of a whole multi-job recovery trial, judged against the
+/// ground-truth persistence of the injected fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryVerdict {
+    /// A one-shot transient was handled in place: node healthy at trial
+    /// end with zero restarts spent.
+    MaskedTransient,
+    /// The node escalated (suspicion and/or restarts) and returned to
+    /// `Healthy` — the intended outcome for an intermittent fault.
+    Recovered,
+    /// A permanent fault was correctly retired.
+    Retired,
+    /// A non-permanent fault ended in retirement — the misclassification
+    /// the α-count tuning bounds.
+    FalseRetirement,
+    /// A permanent fault was still in service at trial end. This includes
+    /// latent stuck-ats that never trip an EDM: time redundancy compares
+    /// two identically-wrong copies, so a silent permanent fault is
+    /// invisible to TEM — the known blind spot of the technique.
+    MissedPermanent,
+    /// The trial ended mid-ladder (suspect, silent or restarting).
+    Unresolved,
+}
+
+/// Configuration of a recovery campaign.
+#[derive(Debug, Clone)]
+pub struct RecoveryCampaignConfig {
+    /// Number of multi-job trials.
+    pub trials: u64,
+    /// Master seed; identical seeds reproduce identical campaigns.
+    pub seed: u64,
+    /// Job slots per trial. Must leave room for the full ladder: the
+    /// default escalation policy needs 25 slots from first error to
+    /// budget-exhausted retirement.
+    pub jobs_per_trial: u32,
+    /// Fault space sampled once per trial (use
+    /// [`FaultSpace::with_intermittent`] / [`FaultSpace::with_stuck_at`]
+    /// to give the diagnosis real signal).
+    pub space: FaultSpace,
+    /// Workloads cycled through (one per trial, round-robin).
+    pub workloads: Vec<Workload>,
+    /// α-count tuning.
+    pub alpha: AlphaCountConfig,
+    /// Escalation-ladder thresholds and restart budget.
+    pub escalation: EscalationPolicy,
+    /// Number of worker threads (results identical regardless).
+    pub threads: usize,
+}
+
+impl RecoveryCampaignConfig {
+    /// A standard recovery campaign: 30% intermittent (recurrence 0.85,
+    /// burst 10 jobs), 20% stuck-at, remainder one-shot transients.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        RecoveryCampaignConfig {
+            trials,
+            seed,
+            jobs_per_trial: 48,
+            space: FaultSpace::cpu_only()
+                .with_intermittent(0.3, 0.85, 10)
+                .with_stuck_at(0.2),
+            workloads: nlft_machine::workloads::standard_workloads(),
+            alpha: AlphaCountConfig::default(),
+            escalation: EscalationPolicy::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Verdict tallies of a recovery campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// One-shot transients handled without escalation.
+    pub masked_transient: u64,
+    /// Nodes that escalated and returned to service.
+    pub recovered: u64,
+    /// Permanent faults correctly retired.
+    pub retired: u64,
+    /// Non-permanent faults wrongly retired.
+    pub false_retirement: u64,
+    /// Permanent faults still in service at trial end.
+    pub missed_permanent: u64,
+    /// Trials ending mid-ladder.
+    pub unresolved: u64,
+}
+
+impl RecoveryCounts {
+    /// Total trials tallied.
+    pub fn total(&self) -> u64 {
+        self.masked_transient
+            + self.recovered
+            + self.retired
+            + self.false_retirement
+            + self.missed_permanent
+            + self.unresolved
+    }
+
+    fn record(&mut self, v: RecoveryVerdict) {
+        match v {
+            RecoveryVerdict::MaskedTransient => self.masked_transient += 1,
+            RecoveryVerdict::Recovered => self.recovered += 1,
+            RecoveryVerdict::Retired => self.retired += 1,
+            RecoveryVerdict::FalseRetirement => self.false_retirement += 1,
+            RecoveryVerdict::MissedPermanent => self.missed_permanent += 1,
+            RecoveryVerdict::Unresolved => self.unresolved += 1,
+        }
+    }
+}
+
+/// Full result of a recovery campaign, with the diagnosis metrics the
+/// issue asks for: misclassification rate, detection latency in jobs, and
+/// restart counts.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryCampaignResult {
+    /// Trials run.
+    pub trials: u64,
+    /// Verdict tallies.
+    pub counts: RecoveryCounts,
+    /// False retirements over non-permanent trials (the misclassification
+    /// rate; its Wilson upper bound must stay below
+    /// [`crate::diagnosis::FALSE_RETIREMENT_BOUND`]).
+    pub false_retirement: Proportion,
+    /// Jobs from fault onset to the first fail-silent or retirement, over
+    /// trials with a recurring fault that escalated.
+    pub detection_latency_jobs: OnlineStats,
+    /// Jobs from fault onset to retirement, over correctly retired
+    /// permanent trials (compared against the analytic escalation chain).
+    pub retirement_latency_jobs: OnlineStats,
+    /// Restarts scheduled across all trials.
+    pub restarts_total: u64,
+    /// Per-active-job error rate measured during intermittent bursts —
+    /// the `p_err` a matching analytic [`crate::diagnosis::escalation_chain`]
+    /// should be built with.
+    pub intermittent_error_rate: Proportion,
+    /// Jobs that delivered a wrong result with no detection.
+    pub undetected_wrong_jobs: u64,
+}
+
+impl RecoveryCampaignResult {
+    fn merge(&mut self, other: &RecoveryCampaignResult) {
+        self.trials += other.trials;
+        let o = other.counts;
+        self.counts.masked_transient += o.masked_transient;
+        self.counts.recovered += o.recovered;
+        self.counts.retired += o.retired;
+        self.counts.false_retirement += o.false_retirement;
+        self.counts.missed_permanent += o.missed_permanent;
+        self.counts.unresolved += o.unresolved;
+        self.false_retirement.merge(&other.false_retirement);
+        self.detection_latency_jobs.merge(&other.detection_latency_jobs);
+        self.retirement_latency_jobs.merge(&other.retirement_latency_jobs);
+        self.restarts_total += other.restarts_total;
+        self.intermittent_error_rate.merge(&other.intermittent_error_rate);
+        self.undetected_wrong_jobs += other.undetected_wrong_jobs;
+    }
+}
+
+impl fmt::Display for RecoveryCampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.counts;
+        writeln!(f, "recovery campaign: {} trials", self.trials)?;
+        writeln!(
+            f,
+            "  masked {} / recovered {} / retired {} / false-retired {} / missed {} / unresolved {}",
+            c.masked_transient,
+            c.recovered,
+            c.retired,
+            c.false_retirement,
+            c.missed_permanent,
+            c.unresolved
+        )?;
+        let (lo, hi) = self
+            .false_retirement
+            .wilson_interval(nlft_sim::stats::Confidence::C95);
+        writeln!(
+            f,
+            "  false-retirement rate = {:.4} (95% Wilson [{:.4}, {:.4}])",
+            self.false_retirement.estimate(),
+            lo,
+            hi
+        )?;
+        writeln!(
+            f,
+            "  detection latency = {:.2} jobs (n={})",
+            self.detection_latency_jobs.mean(),
+            self.detection_latency_jobs.count()
+        )?;
+        write!(f, "  restarts = {}", self.restarts_total)
+    }
+}
+
+/// Runs a multi-job recovery campaign: each trial samples one fault model
+/// (transient / intermittent / stuck-at), drives a TEM node through
+/// `jobs_per_trial` job slots under a [`NodeSupervisor`], and judges the
+/// supervisor's verdict against the ground truth. Deterministic in the
+/// seed and invariant under `threads`.
+///
+/// # Panics
+///
+/// Panics if the configuration has no trials, no workloads, or too few
+/// jobs per trial to fit the escalation ladder.
+pub fn run_recovery_campaign(config: &RecoveryCampaignConfig) -> RecoveryCampaignResult {
+    assert!(config.trials > 0, "campaign needs trials");
+    assert!(!config.workloads.is_empty(), "campaign needs workloads");
+    assert!(
+        config.jobs_per_trial >= 8,
+        "recovery trials need room for the ladder"
+    );
+    let threads = config.threads.max(1);
+    if threads == 1 {
+        return run_recovery_shard(config, 0, config.trials);
+    }
+    let chunk = config.trials.div_ceil(threads as u64);
+    let mut shards: Vec<RecoveryCampaignResult> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|i| {
+                let start = i * chunk;
+                let end = ((i + 1) * chunk).min(config.trials);
+                scope.spawn(move || {
+                    if start < end {
+                        run_recovery_shard(config, start, end)
+                    } else {
+                        RecoveryCampaignResult::default()
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("recovery shard panicked"));
+        }
+    });
+    let mut total = RecoveryCampaignResult::default();
+    for s in &shards {
+        total.merge(s);
+    }
+    total
+}
+
+fn run_recovery_shard(
+    config: &RecoveryCampaignConfig,
+    start: u64,
+    end: u64,
+) -> RecoveryCampaignResult {
+    let root = RngStream::new(config.seed);
+    let mut result = RecoveryCampaignResult::default();
+    for trial in start..end {
+        let mut rng = root.fork_indexed("recovery-trial", trial);
+        let workload = &config.workloads[(trial % config.workloads.len() as u64) as usize];
+        run_recovery_trial(config, workload, &mut rng, &mut result);
+    }
+    result
+}
+
+fn run_recovery_trial(
+    config: &RecoveryCampaignConfig,
+    workload: &Workload,
+    rng: &mut RngStream,
+    result: &mut RecoveryCampaignResult,
+) {
+    let inputs: Vec<u32> = workload
+        .input_ports
+        .iter()
+        .map(|_| rng.uniform_range(0, 4096) as u32)
+        .collect();
+    let (golden, clean_cycles) = workload.golden_run(&inputs);
+    let model = config.space.sample_model(rng);
+    let onset = rng.uniform_range(1, (config.jobs_per_trial as u64 / 4).max(2)) as u32;
+
+    let mut supervisor = NodeSupervisor::new(config.alpha, config.escalation);
+    let mut restarts: u64 = 0;
+    let mut first_silent: Option<u32> = None;
+    let mut retired_at: Option<u32> = None;
+
+    for job in 0..config.jobs_per_trial {
+        if !supervisor.jobs_active() {
+            for e in supervisor.tick_silent() {
+                match e {
+                    EscalationEvent::RestartScheduled { .. } => restarts += 1,
+                    EscalationEvent::Retired => {
+                        retired_at.get_or_insert(job);
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        let fault = job_fault(&model, job, onset, clean_cycles, rng);
+        let mut tem_config = TemConfig::with_budget(clean_cycles * 2 + 50);
+        if supervisor.tem_triples() {
+            tem_config.min_results = 3;
+        }
+        let tem = TemExecutor::new(tem_config);
+        let mut machine = instantiate(workload, true);
+        let report = tem.run_job_with_fault(&mut machine, workload, &inputs, fault);
+        let errored = matches!(
+            report.outcome,
+            JobOutcome::DeliveredMasked { .. } | JobOutcome::Omission { .. }
+        );
+        if report.outcome.delivered() && report.outputs.as_ref() != Some(&golden) {
+            result.undetected_wrong_jobs += 1;
+        }
+        if let FaultModel::Intermittent(f) = &model {
+            if job >= onset && job - onset < f.burst_jobs {
+                result.intermittent_error_rate.record(errored);
+            }
+        }
+        for e in supervisor.observe_job(errored) {
+            match e {
+                EscalationEvent::WentSilent => {
+                    first_silent.get_or_insert(job);
+                }
+                EscalationEvent::RestartScheduled { .. } => restarts += 1,
+                EscalationEvent::Retired => {
+                    retired_at.get_or_insert(job);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let healthy_at_end = supervisor.health() == NodeHealth::Healthy;
+    let verdict = match model.persistence() {
+        FaultPersistence::Permanent => {
+            if retired_at.is_some() {
+                RecoveryVerdict::Retired
+            } else {
+                RecoveryVerdict::MissedPermanent
+            }
+        }
+        FaultPersistence::Transient => {
+            if retired_at.is_some() {
+                RecoveryVerdict::FalseRetirement
+            } else if healthy_at_end && restarts == 0 {
+                RecoveryVerdict::MaskedTransient
+            } else if healthy_at_end {
+                RecoveryVerdict::Recovered
+            } else {
+                RecoveryVerdict::Unresolved
+            }
+        }
+        FaultPersistence::Intermittent => {
+            if retired_at.is_some() {
+                RecoveryVerdict::FalseRetirement
+            } else if healthy_at_end {
+                RecoveryVerdict::Recovered
+            } else {
+                RecoveryVerdict::Unresolved
+            }
+        }
+    };
+
+    result.trials += 1;
+    result.counts.record(verdict);
+    result.restarts_total += restarts;
+    if model.persistence() != FaultPersistence::Permanent {
+        result
+            .false_retirement
+            .record(verdict == RecoveryVerdict::FalseRetirement);
+    }
+    if model.persistence() != FaultPersistence::Transient {
+        if let Some(at) = first_silent.or(retired_at) {
+            result
+                .detection_latency_jobs
+                .record((at.saturating_sub(onset)) as f64);
+        }
+    }
+    if verdict == RecoveryVerdict::Retired {
+        if let Some(at) = retired_at {
+            result
+                .retirement_latency_jobs
+                .record((at.saturating_sub(onset)) as f64);
+        }
+    }
+}
+
+/// The fault (if any) manifesting in this job slot, given the trial's
+/// fault model and onset.
+fn job_fault(
+    model: &FaultModel,
+    job: u32,
+    onset: u32,
+    clean_cycles: u64,
+    rng: &mut RngStream,
+) -> Option<JobFault> {
+    if job < onset {
+        return None;
+    }
+    match model {
+        FaultModel::Transient(f) => {
+            if job == onset {
+                Some(JobFault::Transient(transient_plan(*f, clean_cycles, rng)))
+            } else {
+                None
+            }
+        }
+        FaultModel::Intermittent(f) => {
+            if f.manifests(job - onset, rng) {
+                Some(JobFault::Transient(transient_plan(
+                    f.fault,
+                    clean_cycles,
+                    rng,
+                )))
+            } else {
+                None
+            }
+        }
+        FaultModel::StuckAt(s) => Some(JobFault::StuckAt(*s)),
+    }
+}
+
+fn transient_plan(fault: TransientFault, clean_cycles: u64, rng: &mut RngStream) -> InjectionPlan {
+    InjectionPlan {
+        copy: rng.uniform_range(0, 2) as u32,
+        at_cycle: rng.uniform_range(1, clean_cycles.max(2)),
+        fault,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,5 +1039,86 @@ mod tests {
         let mut cfg = cfg;
         cfg.trials = 0;
         run_campaign(&cfg);
+    }
+
+    fn quick_recovery(trials: u64) -> RecoveryCampaignConfig {
+        let mut c = RecoveryCampaignConfig::new(trials, 0xD1A6_0515);
+        c.workloads = vec![
+            nlft_machine::workloads::sum_series(),
+            nlft_machine::workloads::pid_controller(),
+        ];
+        c
+    }
+
+    #[test]
+    fn recovery_campaign_is_deterministic() {
+        let cfg = quick_recovery(60);
+        let a = run_recovery_campaign(&cfg);
+        let b = run_recovery_campaign(&cfg);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.restarts_total, b.restarts_total);
+    }
+
+    #[test]
+    fn recovery_campaign_thread_invariant() {
+        let mut cfg = quick_recovery(50);
+        let seq = run_recovery_campaign(&cfg);
+        cfg.threads = 2;
+        let two = run_recovery_campaign(&cfg);
+        cfg.threads = 5;
+        let five = run_recovery_campaign(&cfg);
+        assert_eq!(seq.counts, two.counts);
+        assert_eq!(seq.counts, five.counts);
+        assert_eq!(seq.restarts_total, two.restarts_total);
+        assert_eq!(seq.restarts_total, five.restarts_total);
+        assert_eq!(
+            seq.detection_latency_jobs.count(),
+            five.detection_latency_jobs.count()
+        );
+    }
+
+    #[test]
+    fn recovery_campaign_produces_all_regimes() {
+        let r = run_recovery_campaign(&quick_recovery(150));
+        assert!(r.counts.masked_transient > 0, "transients must be masked");
+        assert!(r.counts.recovered > 0, "intermittents must recover");
+        assert!(r.counts.retired > 0, "stuck-ats must retire");
+        assert!(r.restarts_total > 0, "recovery must spend restarts");
+        assert_eq!(r.counts.total(), r.trials);
+    }
+
+    #[test]
+    fn recovery_false_retirement_stays_below_bound() {
+        let r = run_recovery_campaign(&quick_recovery(200));
+        let (_, hi) = r
+            .false_retirement
+            .wilson_interval(nlft_sim::stats::Confidence::C95);
+        assert!(
+            hi < crate::diagnosis::FALSE_RETIREMENT_BOUND,
+            "false-retirement Wilson upper bound {hi} exceeds {}",
+            crate::diagnosis::FALSE_RETIREMENT_BOUND
+        );
+    }
+
+    #[test]
+    fn recovery_display_summarises() {
+        let r = run_recovery_campaign(&quick_recovery(30));
+        let text = r.to_string();
+        assert!(text.contains("false-retirement rate"));
+        assert!(text.contains("restarts"));
+    }
+
+    #[test]
+    fn transient_only_space_never_restarts() {
+        let mut cfg = quick_recovery(80);
+        cfg.space = FaultSpace::cpu_only();
+        let r = run_recovery_campaign(&cfg);
+        assert_eq!(r.counts.retired, 0);
+        assert_eq!(r.counts.false_retirement, 0);
+        assert_eq!(r.counts.missed_permanent, 0);
+        assert_eq!(
+            r.counts.masked_transient + r.counts.recovered + r.counts.unresolved,
+            r.trials
+        );
     }
 }

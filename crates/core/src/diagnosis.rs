@@ -1,0 +1,482 @@
+//! Fault diagnosis: distinguishing bad luck from a bad node.
+//!
+//! The kernel's error-detection mechanisms say *an* error happened; they
+//! cannot say whether it was a one-off particle strike, a loose solder
+//! joint that will keep re-striking, or a dead transistor. This module
+//! adds that judgement with an α-count — Bondavalli's heuristic error
+//! counter: add a fixed increment on every errored job, decay
+//! geometrically on every clean one, and read the accumulated score
+//! against two thresholds:
+//!
+//! ```text
+//!   α  <  intermittent_threshold            → Transient   (do nothing)
+//!   α  >= intermittent_threshold            → Intermittent (go Suspect)
+//!   α  >= permanent_threshold               → Permanent   (retire)
+//! ```
+//!
+//! [`NodeSupervisor`] couples the counter to the kernel's
+//! [`EscalationMachine`]: an `Intermittent` verdict forces the ladder to
+//! `Suspect` (TEM always triples), a `Permanent` verdict retires the node
+//! outright, and everything in between is handled by the ladder's own
+//! streak thresholds. [`escalation_chain`] unfolds the ladder into an
+//! exact discrete-time Markov chain so the reliability layer can check the
+//! simulated recovery rates analytically.
+
+use nlft_kernel::escalation::{EscalationEvent, EscalationMachine, EscalationPolicy, NodeHealth};
+use std::collections::HashMap;
+
+/// Upper bound on the false-retirement probability of the default
+/// [`AlphaCountConfig`] for pure-transient error streams at rate at most
+/// [`AlphaCountConfig::TRANSIENT_RATE_BOUND`]. Backed by the 10 000-case
+/// seeded property test in `crates/core/tests/properties.rs`
+/// (`alpha_count_never_calls_transient_streams_permanent`): no such stream
+/// ever reaches the permanent threshold, and the recovery campaign's
+/// measured false-retirement Wilson interval must sit below this bound.
+pub const FALSE_RETIREMENT_BOUND: f64 = 0.05;
+
+/// Tuning of the α-count error counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaCountConfig {
+    /// Added to α on every errored job.
+    pub increment: f64,
+    /// α is multiplied by this on every clean job (geometric forgetting).
+    pub decay: f64,
+    /// Score at which the error stream stops looking like isolated
+    /// transients and the node should be treated as suspect.
+    pub intermittent_threshold: f64,
+    /// Score at which the fault is declared permanent and the node
+    /// retired. Tuned so a transient stream below
+    /// [`AlphaCountConfig::TRANSIENT_RATE_BOUND`] essentially never gets
+    /// here (see [`FALSE_RETIREMENT_BOUND`]).
+    pub permanent_threshold: f64,
+}
+
+impl AlphaCountConfig {
+    /// The per-job transient error rate the default tuning is calibrated
+    /// against: streams at or below this rate are classified `Transient`
+    /// or at worst `Intermittent`, never `Permanent` (property-tested).
+    pub const TRANSIENT_RATE_BOUND: f64 = 0.05;
+}
+
+impl Default for AlphaCountConfig {
+    fn default() -> Self {
+        AlphaCountConfig {
+            increment: 1.0,
+            decay: 0.9,
+            intermittent_threshold: 2.5,
+            permanent_threshold: 10.0,
+        }
+    }
+}
+
+/// The verdict an α-count renders over a node's error stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Diagnosis {
+    /// Isolated one-shot errors: mask locally, no action needed.
+    Transient,
+    /// A recurring fault: worth triplicating and, if it persists,
+    /// restarting the node.
+    Intermittent,
+    /// The fault is not going away: retire the node.
+    Permanent,
+}
+
+impl Diagnosis {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Diagnosis::Transient => "transient",
+            Diagnosis::Intermittent => "intermittent",
+            Diagnosis::Permanent => "permanent",
+        }
+    }
+}
+
+/// The α-count itself: a scalar score over the job-outcome stream.
+#[derive(Debug, Clone)]
+pub struct AlphaCount {
+    config: AlphaCountConfig,
+    alpha: f64,
+}
+
+impl AlphaCount {
+    /// A zeroed counter.
+    pub fn new(config: AlphaCountConfig) -> Self {
+        assert!(config.increment > 0.0, "increment must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.decay),
+            "decay must be in [0, 1)"
+        );
+        assert!(
+            config.intermittent_threshold <= config.permanent_threshold,
+            "thresholds must be ordered"
+        );
+        AlphaCount {
+            config,
+            alpha: 0.0,
+        }
+    }
+
+    /// Feeds one job outcome and returns the updated score.
+    pub fn observe(&mut self, errored: bool) -> f64 {
+        if errored {
+            self.alpha += self.config.increment;
+        } else {
+            self.alpha *= self.config.decay;
+        }
+        self.alpha
+    }
+
+    /// Current score.
+    pub fn value(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Current verdict.
+    pub fn classify(&self) -> Diagnosis {
+        if self.alpha >= self.config.permanent_threshold {
+            Diagnosis::Permanent
+        } else if self.alpha >= self.config.intermittent_threshold {
+            Diagnosis::Intermittent
+        } else {
+            Diagnosis::Transient
+        }
+    }
+}
+
+/// Per-node supervisor: the α-count diagnosing, the escalation ladder
+/// acting. Drive it once per job slot — [`NodeSupervisor::observe_job`]
+/// when the node executed, [`NodeSupervisor::tick_silent`] when it was
+/// silent — and react to the returned [`EscalationEvent`]s.
+///
+/// The α-count deliberately survives restarts: a reboot wipes the node's
+/// state, not the physics of its fault, so a recurring error stream keeps
+/// ratcheting the score across restart cycles until the permanent
+/// threshold (or the restart budget) retires the node.
+#[derive(Debug, Clone)]
+pub struct NodeSupervisor {
+    alpha: AlphaCount,
+    escalation: EscalationMachine,
+}
+
+impl NodeSupervisor {
+    /// A supervisor for a fresh healthy node.
+    pub fn new(alpha: AlphaCountConfig, policy: EscalationPolicy) -> Self {
+        NodeSupervisor {
+            alpha: AlphaCount::new(alpha),
+            escalation: EscalationMachine::new(policy),
+        }
+    }
+
+    /// The node's ladder position.
+    pub fn health(&self) -> NodeHealth {
+        self.escalation.state()
+    }
+
+    /// Current α score.
+    pub fn alpha(&self) -> f64 {
+        self.alpha.value()
+    }
+
+    /// Current α-count verdict.
+    pub fn diagnosis(&self) -> Diagnosis {
+        self.alpha.classify()
+    }
+
+    /// Restarts consumed from the budget.
+    pub fn restarts_used(&self) -> u32 {
+        self.escalation.restarts_used()
+    }
+
+    /// Whether the node runs jobs this slot.
+    pub fn jobs_active(&self) -> bool {
+        self.escalation.jobs_active()
+    }
+
+    /// Whether the node is silent this slot.
+    pub fn is_silent(&self) -> bool {
+        self.escalation.is_silent()
+    }
+
+    /// Whether TEM should triplicate every job on this node.
+    pub fn tem_triples(&self) -> bool {
+        self.escalation.tem_triples()
+    }
+
+    /// Feeds the outcome of one executed job (`errored` = any EDM fired,
+    /// whether or not the result was masked). Returns the ladder
+    /// transitions this caused.
+    pub fn observe_job(&mut self, errored: bool) -> Vec<EscalationEvent> {
+        if !self.jobs_active() {
+            return self.tick_silent();
+        }
+        self.alpha.observe(errored);
+        let mut events = Vec::new();
+        // The score can only cross a threshold upwards on an errored job,
+        // so clean jobs never force ladder action — a recovered node with
+        // a still-decaying score stays recovered.
+        if errored {
+            match self.alpha.classify() {
+                Diagnosis::Permanent => {
+                    // The diagnosis layer overrules the ladder: no point
+                    // spending restarts on a fault that will not go away.
+                    events.extend(self.escalation.retire());
+                    return events;
+                }
+                Diagnosis::Intermittent => {
+                    events.extend(self.escalation.suspect());
+                }
+                Diagnosis::Transient => {}
+            }
+        }
+        events.extend(self.escalation.observe(errored));
+        events
+    }
+
+    /// Advances one silent job slot (restart scheduling / countdown).
+    pub fn tick_silent(&mut self) -> Vec<EscalationEvent> {
+        self.escalation.tick()
+    }
+}
+
+/// The escalation ladder unfolded into an exact discrete-time Markov
+/// chain, one step per job slot. Produced by [`escalation_chain`].
+///
+/// The matrix is plain row-stochastic `Vec<Vec<f64>>` so the reliability
+/// crate (which `nlft-core` must not depend on) can consume it directly.
+#[derive(Debug, Clone)]
+pub struct EscalationChain {
+    /// Row-stochastic transition matrix, one row per reachable ladder
+    /// state, indexed in BFS discovery order.
+    pub matrix: Vec<Vec<f64>>,
+    /// Index of the initial (fresh healthy) state.
+    pub start: usize,
+    /// Indices of the absorbing `Retired` states.
+    pub retired: Vec<usize>,
+    /// Human-readable label per state (`health/errors/cleans/restarts/wait`).
+    pub labels: Vec<String>,
+}
+
+/// Unfolds [`EscalationMachine`] under a constant per-active-job error
+/// probability `p_err` into an exact Markov chain: active states branch
+/// (error with `p_err`, clean with `1 - p_err`), silent states tick
+/// deterministically, `Retired` self-loops. The α-count is *not* part of
+/// the model — for the fault classes this chain is compared against
+/// (permanent streams, which exhaust the restart budget before the
+/// α-count crosses its permanent threshold), the ladder alone determines
+/// the timing.
+///
+/// # Panics
+///
+/// Panics if `p_err` is not a probability.
+pub fn escalation_chain(policy: EscalationPolicy, p_err: f64) -> EscalationChain {
+    assert!((0.0..=1.0).contains(&p_err), "p_err must be a probability");
+    let root = EscalationMachine::new(policy);
+    let mut index: HashMap<EscalationMachine, usize> = HashMap::new();
+    let mut states: Vec<EscalationMachine> = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+    index.insert(root.clone(), 0);
+    states.push(root);
+    queue.push(0);
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        let state = states[i].clone();
+        let mut intern = |m: EscalationMachine,
+                          states: &mut Vec<EscalationMachine>,
+                          queue: &mut Vec<usize>| {
+            *index.entry(m.clone()).or_insert_with(|| {
+                states.push(m);
+                queue.push(states.len() - 1);
+                states.len() - 1
+            })
+        };
+        let mut edges: Vec<(usize, f64)> = Vec::new();
+        if state.state() == NodeHealth::Retired {
+            edges.push((i, 1.0));
+        } else if state.is_silent() {
+            let mut next = state.clone();
+            next.tick();
+            let j = intern(next, &mut states, &mut queue);
+            edges.push((j, 1.0));
+        } else {
+            let mut on_error = state.clone();
+            on_error.observe(true);
+            let mut on_clean = state.clone();
+            on_clean.observe(false);
+            let je = intern(on_error, &mut states, &mut queue);
+            let jc = intern(on_clean, &mut states, &mut queue);
+            if je == jc {
+                edges.push((je, 1.0));
+            } else {
+                if p_err > 0.0 {
+                    edges.push((je, p_err));
+                }
+                if p_err < 1.0 {
+                    edges.push((jc, 1.0 - p_err));
+                }
+            }
+        }
+        rows.push(edges);
+        debug_assert_eq!(rows.len(), head);
+    }
+
+    let n = states.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (i, edges) in rows.iter().enumerate() {
+        for &(j, p) in edges {
+            matrix[i][j] += p;
+        }
+    }
+    let retired: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.state() == NodeHealth::Retired)
+        .map(|(i, _)| i)
+        .collect();
+    let labels = states.iter().map(label).collect();
+    EscalationChain {
+        matrix,
+        start: 0,
+        retired,
+        labels,
+    }
+}
+
+fn label(m: &EscalationMachine) -> String {
+    format!("{}/r{}", m.state().name(), m.restarts_used())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_count_classifies_the_three_regimes() {
+        let mut a = AlphaCount::new(AlphaCountConfig::default());
+        // A single error: transient.
+        a.observe(true);
+        assert_eq!(a.classify(), Diagnosis::Transient);
+        // Calm restores the score towards zero.
+        for _ in 0..30 {
+            a.observe(false);
+        }
+        assert!(a.value() < 0.1);
+        // A burst: intermittent.
+        for _ in 0..3 {
+            a.observe(true);
+        }
+        assert_eq!(a.classify(), Diagnosis::Intermittent);
+        // A relentless stream: permanent.
+        for _ in 0..10 {
+            a.observe(true);
+        }
+        assert_eq!(a.classify(), Diagnosis::Permanent);
+    }
+
+    #[test]
+    fn alpha_decays_geometrically() {
+        let mut a = AlphaCount::new(AlphaCountConfig::default());
+        a.observe(true);
+        let v1 = a.observe(false);
+        assert!((v1 - 0.9).abs() < 1e-12);
+        let v2 = a.observe(false);
+        assert!((v2 - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supervisor_retires_on_permanent_verdict() {
+        let mut s = NodeSupervisor::new(AlphaCountConfig::default(), EscalationPolicy::default());
+        let mut retired_at = None;
+        for job in 0..64 {
+            let events = s.observe_job(true);
+            if events.contains(&EscalationEvent::Retired) {
+                retired_at = Some(job);
+                break;
+            }
+        }
+        let at = retired_at.expect("a solid error stream must retire the node");
+        // The ladder's restart budget (3 restarts, backoff 2/4/8) or the
+        // α-count permanent threshold — whichever fires first — bounds the
+        // time to retirement.
+        assert!(at <= 30, "retirement latency {at} exceeds the ladder bound");
+        assert_eq!(s.health(), NodeHealth::Retired);
+    }
+
+    #[test]
+    fn supervisor_masks_sparse_transients_without_restarts() {
+        let mut s = NodeSupervisor::new(AlphaCountConfig::default(), EscalationPolicy::default());
+        for round in 0..20 {
+            let events = s.observe_job(round % 10 == 0);
+            assert!(events.is_empty(), "sparse errors must not escalate");
+        }
+        assert_eq!(s.health(), NodeHealth::Healthy);
+        assert_eq!(s.restarts_used(), 0);
+        assert_eq!(s.diagnosis(), Diagnosis::Transient);
+    }
+
+    #[test]
+    fn supervisor_alpha_forces_suspicion_before_streaks_do() {
+        // Errors on alternate jobs never build a 2-streak, but the α-count
+        // ratchets (1, 0.9, 1.9, 1.71, 2.71 ≥ 2.5) and forces Suspect.
+        let mut s = NodeSupervisor::new(AlphaCountConfig::default(), EscalationPolicy::default());
+        let mut suspected = false;
+        for job in 0..10 {
+            let events = s.observe_job(job % 2 == 0);
+            if events.contains(&EscalationEvent::Suspected) {
+                suspected = true;
+                break;
+            }
+        }
+        assert!(suspected, "alternating errors must trip the α-count");
+        assert!(s.tem_triples());
+    }
+
+    #[test]
+    fn chain_is_row_stochastic_and_reaches_retirement() {
+        let chain = escalation_chain(EscalationPolicy::default(), 0.3);
+        assert!(!chain.retired.is_empty());
+        for (i, row) in chain.matrix.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-12,
+                "row {i} ({}) sums to {sum}",
+                chain.labels[i]
+            );
+        }
+        assert_eq!(chain.labels[chain.start], "healthy/r0");
+    }
+
+    #[test]
+    fn deterministic_error_chain_retires_on_ladder_schedule() {
+        // With p_err = 1 the chain is a straight line: 4 errored jobs to
+        // silence, then restart windows 2/4/8 with a relapse job after
+        // each, then the budget-exhausted tick retires. 25 slots total.
+        let chain = escalation_chain(EscalationPolicy::default(), 1.0);
+        let mut state = chain.start;
+        let mut steps = 0;
+        while !chain.retired.contains(&state) {
+            let row = &chain.matrix[state];
+            let (next, p) = row
+                .iter()
+                .enumerate()
+                .find(|(_, &p)| p > 0.0)
+                .map(|(j, &p)| (j, p))
+                .expect("row has a successor");
+            assert!((p - 1.0).abs() < 1e-12, "p=1 chain must be deterministic");
+            state = next;
+            steps += 1;
+            assert!(steps < 100, "must reach retirement");
+        }
+        assert_eq!(steps, 25);
+    }
+
+    #[test]
+    fn zero_error_chain_never_leaves_healthy() {
+        let chain = escalation_chain(EscalationPolicy::default(), 0.0);
+        assert!((chain.matrix[chain.start][chain.start] - 1.0).abs() < 1e-12);
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`policy`] — node policies and failure-mode classification (§2.2,
 //!   §3.2.1 of the paper);
 //! * [`campaign`] — deterministic, parallelisable fault-injection
-//!   campaigns over the simulated machine + kernel stack.
+//!   campaigns over the simulated machine + kernel stack;
+//! * [`diagnosis`] — α-count fault discrimination (transient /
+//!   intermittent / permanent) and the per-node supervisor that drives
+//!   the kernel's recovery-escalation ladder.
 //!
 //! # Examples
 //!
@@ -32,7 +35,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diagnosis;
 pub mod policy;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, Verdict};
+pub use campaign::{
+    run_campaign, run_recovery_campaign, CampaignConfig, CampaignResult, RecoveryCampaignConfig,
+    RecoveryCampaignResult, RecoveryVerdict, Verdict,
+};
+pub use diagnosis::{
+    escalation_chain, AlphaCount, AlphaCountConfig, Diagnosis, EscalationChain, NodeSupervisor,
+    FALSE_RETIREMENT_BOUND,
+};
 pub use policy::{NodeConfig, NodeFailureMode, NodePolicy, Redundancy};

@@ -1,0 +1,115 @@
+//! Property tests for the diagnosis layer.
+//!
+//! The load-bearing one is `alpha_count_never_calls_transient_streams_permanent`:
+//! 10 000 seeded pure-transient error streams at rates up to the tuned
+//! bound, none of which may ever be classified `Permanent`. This is the
+//! evidence behind [`nlft_core::diagnosis::FALSE_RETIREMENT_BOUND`].
+
+use nlft_core::diagnosis::{AlphaCount, AlphaCountConfig, Diagnosis};
+use nlft_testkit::prop::{Suite, CaseError};
+use nlft_testkit::prop_assert;
+use nlft_testkit::rng::TkRng;
+
+const SUITE: Suite = Suite::new(0x5EED_A1FA);
+
+/// A pure-transient stream: independent per-job errors at a fixed rate.
+#[derive(Debug)]
+struct TransientStream {
+    rate: f64,
+    jobs: Vec<bool>,
+}
+
+fn gen_stream(max_rate: f64) -> impl FnMut(&mut TkRng) -> TransientStream {
+    move |r: &mut TkRng| {
+        let rate = r.f64_range(0.0, max_rate);
+        let len = r.usize_range(16, 256);
+        let jobs = (0..len).map(|_| r.f64() < rate).collect();
+        TransientStream { rate, jobs }
+    }
+}
+
+#[test]
+fn alpha_count_never_calls_transient_streams_permanent() {
+    // 10k cases: streams at or below the tuned transient rate bound must
+    // never cross the permanent threshold, at any point in the stream.
+    SUITE.cases(10_000).check(
+        "transient_streams_stay_below_permanent",
+        gen_stream(AlphaCountConfig::TRANSIENT_RATE_BOUND),
+        |stream| {
+            let mut a = AlphaCount::new(AlphaCountConfig::default());
+            for (i, &errored) in stream.jobs.iter().enumerate() {
+                a.observe(errored);
+                prop_assert!(
+                    a.classify() != Diagnosis::Permanent,
+                    "rate {:.4} stream reached permanent at job {} (alpha {:.3})",
+                    stream.rate,
+                    i,
+                    a.value()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn alpha_count_always_calls_solid_streams_permanent() {
+    // The converse: an error-every-job stream must cross the permanent
+    // threshold within ceil(threshold / increment) jobs.
+    SUITE.check(
+        "solid_streams_reach_permanent",
+        |r: &mut TkRng| r.range(16, 64),
+        |&len| {
+            let cfg = AlphaCountConfig::default();
+            let bound = (cfg.permanent_threshold / cfg.increment).ceil() as u64;
+            if len < bound {
+                return Err(CaseError::Reject("stream shorter than bound".into()));
+            }
+            let mut a = AlphaCount::new(cfg);
+            let mut crossed_at = None;
+            for job in 0..len {
+                a.observe(true);
+                if a.classify() == Diagnosis::Permanent {
+                    crossed_at = Some(job + 1);
+                    break;
+                }
+            }
+            prop_assert!(
+                crossed_at == Some(bound),
+                "solid stream crossed at {:?}, expected {}",
+                crossed_at,
+                bound
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn alpha_count_is_monotone_in_the_stream_prefix() {
+    // Swapping a clean job for an errored one can only raise every later
+    // alpha value (error dominance) — the discriminator never *benefits*
+    // from extra errors.
+    SUITE.check(
+        "error_dominance",
+        |r: &mut TkRng| {
+            let len = r.usize_range(2, 64);
+            let jobs: Vec<bool> = (0..len).map(|_| r.bool()).collect();
+            let flip = r.usize_range(0, len);
+            (jobs, flip)
+        },
+        |(jobs, flip)| {
+            let mut base = AlphaCount::new(AlphaCountConfig::default());
+            let mut flipped = AlphaCount::new(AlphaCountConfig::default());
+            for (i, &errored) in jobs.iter().enumerate() {
+                base.observe(errored);
+                flipped.observe(errored || i == *flip);
+                prop_assert!(
+                    flipped.value() >= base.value() - 1e-12,
+                    "extra error lowered alpha at job {i}"
+                );
+            }
+            Ok(())
+        },
+    );
+}

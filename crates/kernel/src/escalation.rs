@@ -1,0 +1,488 @@
+//! The recovery-escalation ladder: from suspicion to restart to retirement.
+//!
+//! The paper's kernel *detects* and *masks*; what it leaves to "the system"
+//! is deciding what to do with a node whose errors keep coming back. This
+//! module supplies that policy as a small, deterministic state machine —
+//! the graceful-degradation ladder:
+//!
+//! ```text
+//!                    errors >= suspect_after
+//!   +---------+  ------------------------------>  +---------+
+//!   | Healthy |                                   | Suspect |  TEM always
+//!   +---------+  <------------------------------  +---------+  triples
+//!        ^          clean >= calm_after                |
+//!        |                                             | errors >= silence_after
+//!        | clean >= reintegrate_after                  v
+//!   +---------------+        wait expires        +------------+      +------------+
+//!   | Reintegrating |  <-----------------------  | Restarting | <--- | FailSilent |
+//!   +---------------+                            +------------+      +------------+
+//!        |    error (relapse)                          ^ restart budget left   |
+//!        +---------------------------------------------+                       |
+//!                                                      budget exhausted        v
+//!                                   (or a Permanent diagnosis)           +---------+
+//!                                   ----------------------------------> | Retired |
+//!                                                                       +---------+
+//! ```
+//!
+//! * **Suspect** — the node keeps running but every TEM job is triplicated
+//!   and voted ([`crate::tem::TemConfig::min_results`] = 3), trading CPU
+//!   for evidence;
+//! * **FailSilent** — the node stops transmitting (the paper's §2.2
+//!   strategy 3) and hands itself to the restart machinery;
+//! * **Restarting** — a reboot window whose length follows the same capped
+//!   exponential backoff shape as the network layer's `ResyncPolicy`
+//!   (initial wait, doubling per attempt, hard cap), drawn from a bounded
+//!   restart budget;
+//! * **Reintegrating** — back online but on probation: a relapse goes
+//!   straight back to silence, a clean streak returns the node to service;
+//! * **Retired** — terminal: the budget ran out, or the diagnosis layer
+//!   delivered a `Permanent` verdict ([`EscalationMachine::retire`]).
+//!
+//! The machine is driven in *job time*: [`EscalationMachine::observe`] once
+//! per executed job, [`EscalationMachine::tick`] once per job slot the node
+//! spends silent. All state is integral, so the machine is `Eq + Hash` and
+//! the analytic layer can unfold it into an exact Markov chain.
+
+/// Where a node stands on the recovery-escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeHealth {
+    /// Operating normally (TEM duplex + compare).
+    Healthy,
+    /// Error stream looks suspicious: every job triplicated and voted.
+    Suspect,
+    /// Node silenced itself; a restart is about to be scheduled.
+    FailSilent,
+    /// Rebooting; silent for the scheduled backoff window.
+    Restarting,
+    /// Back online on probation after a restart.
+    Reintegrating,
+    /// Permanently out of service (terminal).
+    Retired,
+}
+
+impl NodeHealth {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Suspect => "suspect",
+            NodeHealth::FailSilent => "fail-silent",
+            NodeHealth::Restarting => "restarting",
+            NodeHealth::Reintegrating => "reintegrating",
+            NodeHealth::Retired => "retired",
+        }
+    }
+}
+
+/// Restart scheduling parameters — deliberately the same shape as the
+/// network layer's `ResyncPolicy` (initial wait, capped exponential
+/// growth, bounded attempts), so the two recovery paths of the stack obey
+/// one idiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RestartPolicy {
+    /// Silent job slots for the first restart.
+    pub initial_wait_jobs: u32,
+    /// Cap on the exponentially growing restart window.
+    pub max_wait_jobs: u32,
+    /// Restart budget: restarts allowed before the node is retired.
+    pub max_restarts: u32,
+}
+
+impl RestartPolicy {
+    /// The wait before the `restart`-th restart completes (1-based):
+    /// capped exponential, exactly like `ResyncPolicy::wait_after`.
+    pub fn wait_after(&self, restart: u32) -> u32 {
+        self.initial_wait_jobs
+            .saturating_mul(1u32 << (restart.saturating_sub(1)).min(16))
+            .min(self.max_wait_jobs)
+            .max(1)
+    }
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            initial_wait_jobs: 2,
+            max_wait_jobs: 16,
+            max_restarts: 3,
+        }
+    }
+}
+
+/// Thresholds of the escalation ladder, in consecutive jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EscalationPolicy {
+    /// Consecutive errored jobs that turn a healthy node suspect.
+    pub suspect_after: u32,
+    /// Consecutive errored jobs that silence a suspect node.
+    pub silence_after: u32,
+    /// Consecutive clean jobs that calm a suspect node back to healthy.
+    pub calm_after: u32,
+    /// Consecutive clean jobs that graduate a reintegrating node.
+    pub reintegrate_after: u32,
+    /// Restart scheduling and budget.
+    pub restart: RestartPolicy,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy {
+            suspect_after: 2,
+            silence_after: 4,
+            calm_after: 4,
+            reintegrate_after: 2,
+            restart: RestartPolicy::default(),
+        }
+    }
+}
+
+/// An externally visible transition of the ladder, for consumers (the BBW
+/// cluster reacts to these; campaigns count them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EscalationEvent {
+    /// Healthy → Suspect: TEM switches to always-triple.
+    Suspected,
+    /// The node silenced itself (entered `FailSilent`).
+    WentSilent,
+    /// A restart was scheduled with the given backoff window.
+    RestartScheduled {
+        /// Silent job slots until the restart completes.
+        wait_jobs: u32,
+    },
+    /// The restart window elapsed; the node is back online on probation.
+    Restarted,
+    /// The node returned to `Healthy` (calmed down or graduated probation).
+    Recovered,
+    /// The node was permanently retired.
+    Retired,
+}
+
+/// The escalation state machine for one node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EscalationMachine {
+    policy: EscalationPolicy,
+    state: NodeHealth,
+    error_streak: u32,
+    clean_streak: u32,
+    restarts_used: u32,
+    wait_remaining: u32,
+}
+
+impl EscalationMachine {
+    /// A fresh, healthy node.
+    pub fn new(policy: EscalationPolicy) -> Self {
+        EscalationMachine {
+            policy,
+            state: NodeHealth::Healthy,
+            error_streak: 0,
+            clean_streak: 0,
+            restarts_used: 0,
+            wait_remaining: 0,
+        }
+    }
+
+    /// Current ladder position.
+    pub fn state(&self) -> NodeHealth {
+        self.state
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &EscalationPolicy {
+        &self.policy
+    }
+
+    /// Restarts consumed from the budget so far.
+    pub fn restarts_used(&self) -> u32 {
+        self.restarts_used
+    }
+
+    /// Whether the node currently runs jobs (and should be `observe`d).
+    pub fn jobs_active(&self) -> bool {
+        matches!(
+            self.state,
+            NodeHealth::Healthy | NodeHealth::Suspect | NodeHealth::Reintegrating
+        )
+    }
+
+    /// Whether the node is silent this job slot (drive with `tick`).
+    pub fn is_silent(&self) -> bool {
+        matches!(
+            self.state,
+            NodeHealth::FailSilent | NodeHealth::Restarting | NodeHealth::Retired
+        )
+    }
+
+    /// Whether TEM should triplicate every job (suspect or on probation).
+    pub fn tem_triples(&self) -> bool {
+        matches!(self.state, NodeHealth::Suspect | NodeHealth::Reintegrating)
+    }
+
+    /// Feeds the outcome of one executed job. Returns the transitions it
+    /// caused, in order. Calling this while the node is silent is treated
+    /// as a [`EscalationMachine::tick`].
+    pub fn observe(&mut self, errored: bool) -> Vec<EscalationEvent> {
+        let mut events = Vec::new();
+        match self.state {
+            NodeHealth::Retired => {}
+            NodeHealth::FailSilent | NodeHealth::Restarting => {
+                events.extend(self.tick());
+            }
+            NodeHealth::Healthy => {
+                if errored {
+                    self.error_streak += 1;
+                    if self.error_streak >= self.policy.suspect_after {
+                        self.state = NodeHealth::Suspect;
+                        self.clean_streak = 0;
+                        events.push(EscalationEvent::Suspected);
+                    }
+                } else {
+                    self.error_streak = 0;
+                }
+            }
+            NodeHealth::Suspect => {
+                if errored {
+                    self.error_streak += 1;
+                    self.clean_streak = 0;
+                    if self.error_streak >= self.policy.silence_after {
+                        self.go_silent(&mut events);
+                    }
+                } else {
+                    self.clean_streak += 1;
+                    if self.clean_streak >= self.policy.calm_after {
+                        self.back_to_healthy(&mut events);
+                    }
+                }
+            }
+            NodeHealth::Reintegrating => {
+                if errored {
+                    // Relapse on probation: no second chances at this rung —
+                    // straight back to silence (or retirement).
+                    self.go_silent(&mut events);
+                } else {
+                    self.clean_streak += 1;
+                    if self.clean_streak >= self.policy.reintegrate_after {
+                        self.back_to_healthy(&mut events);
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Advances one silent job slot: schedules the pending restart, counts
+    /// the backoff window down, and brings the node back online when the
+    /// window expires. Returns the transitions it caused.
+    pub fn tick(&mut self) -> Vec<EscalationEvent> {
+        match self.state {
+            NodeHealth::FailSilent => {
+                if self.restarts_used >= self.policy.restart.max_restarts {
+                    self.state = NodeHealth::Retired;
+                    vec![EscalationEvent::Retired]
+                } else {
+                    self.restarts_used += 1;
+                    self.wait_remaining = self.policy.restart.wait_after(self.restarts_used);
+                    self.state = NodeHealth::Restarting;
+                    vec![EscalationEvent::RestartScheduled {
+                        wait_jobs: self.wait_remaining,
+                    }]
+                }
+            }
+            NodeHealth::Restarting => {
+                self.wait_remaining -= 1;
+                if self.wait_remaining == 0 {
+                    self.state = NodeHealth::Reintegrating;
+                    self.clean_streak = 0;
+                    self.error_streak = 0;
+                    vec![EscalationEvent::Restarted]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Forces Healthy → Suspect on an external verdict (the α-count
+    /// crossing its intermittent threshold). No-op in any other state.
+    pub fn suspect(&mut self) -> Option<EscalationEvent> {
+        if self.state == NodeHealth::Healthy {
+            self.state = NodeHealth::Suspect;
+            self.clean_streak = 0;
+            Some(EscalationEvent::Suspected)
+        } else {
+            None
+        }
+    }
+
+    /// Permanently retires the node (a `Permanent` diagnosis verdict).
+    /// Idempotent; returns the event on the first call only.
+    pub fn retire(&mut self) -> Option<EscalationEvent> {
+        if self.state == NodeHealth::Retired {
+            None
+        } else {
+            self.state = NodeHealth::Retired;
+            Some(EscalationEvent::Retired)
+        }
+    }
+
+    fn go_silent(&mut self, events: &mut Vec<EscalationEvent>) {
+        self.state = NodeHealth::FailSilent;
+        self.error_streak = 0;
+        self.clean_streak = 0;
+        events.push(EscalationEvent::WentSilent);
+    }
+
+    fn back_to_healthy(&mut self, events: &mut Vec<EscalationEvent>) {
+        self.state = NodeHealth::Healthy;
+        self.error_streak = 0;
+        self.clean_streak = 0;
+        events.push(EscalationEvent::Recovered);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> EscalationMachine {
+        EscalationMachine::new(EscalationPolicy::default())
+    }
+
+    #[test]
+    fn ladder_walks_full_cycle() {
+        let mut m = machine();
+        assert_eq!(m.state(), NodeHealth::Healthy);
+        assert!(!m.tem_triples());
+
+        // Two consecutive errors → Suspect.
+        assert!(m.observe(true).is_empty());
+        assert_eq!(m.observe(true), vec![EscalationEvent::Suspected]);
+        assert_eq!(m.state(), NodeHealth::Suspect);
+        assert!(m.tem_triples());
+
+        // Two more (streak hits silence_after = 4) → FailSilent.
+        assert!(m.observe(true).is_empty());
+        assert_eq!(m.observe(true), vec![EscalationEvent::WentSilent]);
+        assert!(m.is_silent());
+
+        // First silent slot schedules the restart with the initial wait.
+        assert_eq!(
+            m.tick(),
+            vec![EscalationEvent::RestartScheduled { wait_jobs: 2 }]
+        );
+        assert_eq!(m.state(), NodeHealth::Restarting);
+        assert!(m.tick().is_empty());
+        assert_eq!(m.tick(), vec![EscalationEvent::Restarted]);
+        assert_eq!(m.state(), NodeHealth::Reintegrating);
+        assert!(m.tem_triples(), "probation keeps the triple vote");
+
+        // Two clean jobs graduate the probation.
+        assert!(m.observe(false).is_empty());
+        assert_eq!(m.observe(false), vec![EscalationEvent::Recovered]);
+        assert_eq!(m.state(), NodeHealth::Healthy);
+        assert_eq!(m.restarts_used(), 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RestartPolicy {
+            initial_wait_jobs: 2,
+            max_wait_jobs: 16,
+            max_restarts: 10,
+        };
+        let waits: Vec<u32> = (1..=6).map(|i| policy.wait_after(i)).collect();
+        assert_eq!(waits, vec![2, 4, 8, 16, 16, 16]);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_retires() {
+        let mut policy = EscalationPolicy::default();
+        policy.restart.max_restarts = 2;
+        let mut m = EscalationMachine::new(policy);
+        for round in 0..3 {
+            // Drive to silence.
+            while m.state() != NodeHealth::FailSilent && m.state() != NodeHealth::Retired {
+                m.observe(true);
+            }
+            if m.state() == NodeHealth::Retired {
+                break;
+            }
+            let events = m.tick();
+            if round < 2 {
+                assert!(matches!(
+                    events[0],
+                    EscalationEvent::RestartScheduled { .. }
+                ));
+                // Burn the window and the probation relapse comes later.
+                while m.state() == NodeHealth::Restarting {
+                    m.tick();
+                }
+                assert_eq!(m.state(), NodeHealth::Reintegrating);
+            } else {
+                assert_eq!(events, vec![EscalationEvent::Retired]);
+            }
+        }
+        assert_eq!(m.state(), NodeHealth::Retired);
+        assert_eq!(m.restarts_used(), 2, "budget fully consumed");
+    }
+
+    #[test]
+    fn suspect_calms_back_to_healthy() {
+        let mut m = machine();
+        m.observe(true);
+        m.observe(true);
+        assert_eq!(m.state(), NodeHealth::Suspect);
+        for _ in 0..3 {
+            assert!(m.observe(false).is_empty());
+        }
+        assert_eq!(m.observe(false), vec![EscalationEvent::Recovered]);
+        assert_eq!(m.state(), NodeHealth::Healthy);
+        assert_eq!(m.restarts_used(), 0, "no restart was needed");
+    }
+
+    #[test]
+    fn reintegration_relapse_goes_straight_back_to_silence() {
+        let mut m = machine();
+        for _ in 0..4 {
+            m.observe(true);
+        }
+        m.tick(); // schedule
+        while m.state() == NodeHealth::Restarting {
+            m.tick();
+        }
+        assert_eq!(m.state(), NodeHealth::Reintegrating);
+        assert_eq!(m.observe(true), vec![EscalationEvent::WentSilent]);
+        assert_eq!(m.state(), NodeHealth::FailSilent);
+        // The second restart waits twice as long.
+        assert_eq!(
+            m.tick(),
+            vec![EscalationEvent::RestartScheduled { wait_jobs: 4 }]
+        );
+    }
+
+    #[test]
+    fn forced_suspicion_and_retirement() {
+        let mut m = machine();
+        assert_eq!(m.suspect(), Some(EscalationEvent::Suspected));
+        assert_eq!(m.suspect(), None, "only from Healthy");
+        assert_eq!(m.retire(), Some(EscalationEvent::Retired));
+        assert_eq!(m.retire(), None, "idempotent");
+        assert!(m.observe(true).is_empty());
+        assert!(m.tick().is_empty());
+        assert_eq!(m.state(), NodeHealth::Retired);
+    }
+
+    #[test]
+    fn observe_while_silent_delegates_to_tick() {
+        let mut m = machine();
+        for _ in 0..4 {
+            m.observe(true);
+        }
+        assert_eq!(m.state(), NodeHealth::FailSilent);
+        let events = m.observe(false);
+        assert!(matches!(
+            events[0],
+            EscalationEvent::RestartScheduled { .. }
+        ));
+    }
+}

@@ -616,6 +616,7 @@ mod tests {
                 copy_budget: 3, // absurdly small: every copy overruns
                 deadline_cycles: 100,
                 max_results: 3,
+                min_results: 2,
                 max_executions: 4,
                 compare_cycles: 1,
                 vote_cycles: 1,

@@ -16,6 +16,8 @@
 //! * [`integrity`] — data-integrity and end-to-end checks (§2.6).
 //! * [`executive`] — the node-level activation loop implementing the three
 //!   strategies of §2.2 (critical / non-critical / kernel errors).
+//! * [`escalation`] — the recovery-escalation ladder: suspect → fail-silent
+//!   → restart with capped exponential backoff → reintegrate or retire.
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod escalation;
 pub mod executive;
 pub mod preemptive;
 pub mod integrity;
@@ -51,7 +54,10 @@ pub mod task;
 pub mod tem;
 
 pub use analysis::{analyse, analyse_with_faults, TemCosts};
+pub use escalation::{
+    EscalationEvent, EscalationMachine, EscalationPolicy, NodeHealth, RestartPolicy,
+};
 pub use executive::{BoundTask, ExecutiveConfig, NodeExecutive, NodeState};
 pub use preemptive::{PreemptiveExecutive, PreemptiveReport, ResidentTask};
 pub use task::{Criticality, Priority, TaskId, TaskSet, TaskSpec, TaskSpecBuilder};
-pub use tem::{InjectionPlan, JobOutcome, JobReport, TemConfig, TemExecutor};
+pub use tem::{InjectionPlan, JobFault, JobOutcome, JobReport, TemConfig, TemExecutor};

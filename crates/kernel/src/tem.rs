@@ -24,7 +24,7 @@
 use std::fmt;
 
 use nlft_machine::edm::Edm;
-use nlft_machine::fault::TransientFault;
+use nlft_machine::fault::{StuckAtFault, TransientFault};
 use nlft_machine::machine::{Machine, RunExit, NUM_PORTS};
 use nlft_machine::workloads::{Workload, DATA_BASE, STACK_TOP};
 use nlft_machine::mem::WORD_BYTES;
@@ -41,6 +41,11 @@ pub struct TemConfig {
     pub deadline_cycles: u64,
     /// Maximum number of *results* that may be voted on (the paper's 3).
     pub max_results: u32,
+    /// Minimum number of results gathered before comparison/vote. The
+    /// paper's TEM uses 2 (compare, escalate to 3 on mismatch); a node
+    /// under *suspicion* by the diagnosis layer sets 3 so every job is
+    /// triplicated and voted defensively ("TEM always triples").
+    pub min_results: u32,
     /// Hard cap on executions including EDM-killed copies.
     pub max_executions: u32,
     /// Kernel overhead: result comparison.
@@ -60,6 +65,7 @@ impl TemConfig {
             // Two scheduled copies + one recovery copy + kernel overheads.
             deadline_cycles: copy_budget * 3 + 200,
             max_results: 3,
+            min_results: 2,
             max_executions: 4,
             compare_cycles: 20,
             vote_cycles: 40,
@@ -161,6 +167,20 @@ pub struct InjectionPlan {
     pub fault: TransientFault,
 }
 
+/// A fault active during one TEM job — either a one-shot transient planted
+/// into a chosen copy, or a permanent stuck-at bit asserted before every
+/// instruction of *every* copy. The stuck-at case is the theoretical limit
+/// of time redundancy: all copies run on the same damaged hardware, so the
+/// error either trips an EDM in each copy (→ persistent omissions, the
+/// signal the diagnosis layer feeds on) or corrupts every copy identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobFault {
+    /// One transient bit flip into one copy.
+    Transient(InjectionPlan),
+    /// A permanent stuck-at bit affecting all copies.
+    StuckAt(StuckAtFault),
+}
+
 /// One execution's captured result: outputs, a state digest, and the
 /// control-flow path signature. Including the signature closes the §2.7
 /// gap: a control-flow error that skips or repeats code yet happens to
@@ -202,6 +222,20 @@ impl TemExecutor {
         inputs: &[u32],
         inject: Option<InjectionPlan>,
     ) -> JobReport {
+        self.run_job_with_fault(machine, workload, inputs, inject.map(JobFault::Transient))
+    }
+
+    /// Runs one TEM-protected job with an optional [`JobFault`] — the
+    /// persistence-aware generalisation of [`TemExecutor::run_job`]:
+    /// transients strike one copy, stuck-at faults are asserted before
+    /// every instruction of every copy.
+    pub fn run_job_with_fault(
+        &self,
+        machine: &mut Machine,
+        workload: &Workload,
+        inputs: &[u32],
+        fault: Option<JobFault>,
+    ) -> JobReport {
         let cfg = &self.config;
         let mut cycles_used: u64 = 0;
         let mut copies: Vec<CopyTrace> = Vec::new();
@@ -226,7 +260,7 @@ impl TemExecutor {
             detections,
         };
 
-        let mut results_wanted: u32 = 2;
+        let mut results_wanted: u32 = cfg.min_results.clamp(2, cfg.max_results);
         loop {
             // Deadline check before starting any copy (§2.5): a fresh copy
             // needs its full budget plus the pending comparison.
@@ -254,9 +288,8 @@ impl TemExecutor {
                 for (&port, &v) in workload.input_ports.iter().zip(inputs) {
                     machine.set_input(port, v);
                 }
-                let planned = inject.filter(|p| p.copy == index);
-                let exit = match planned {
-                    Some(plan) => {
+                let exit = match fault {
+                    Some(JobFault::Transient(plan)) if plan.copy == index => {
                         let (out, _) = nlft_machine::fault::run_with_injection(
                             machine,
                             cfg.copy_budget,
@@ -265,7 +298,10 @@ impl TemExecutor {
                         );
                         out
                     }
-                    None => machine.run(cfg.copy_budget),
+                    Some(JobFault::StuckAt(stuck)) => {
+                        nlft_machine::fault::run_with_stuck_at(machine, cfg.copy_budget, stuck)
+                    }
+                    _ => machine.run(cfg.copy_budget),
                 };
                 cycles_used += exit.cycles_used;
                 match exit.exit {
@@ -768,6 +804,82 @@ mod tests {
             JobOutcome::DeliveredClean,
             "identical paths must compare equal"
         );
+    }
+
+    #[test]
+    fn min_results_three_always_triples() {
+        // A suspect node runs three copies and votes even when the first
+        // two match — the defensive mode the escalation ladder switches on.
+        let w = workloads::pid_controller();
+        let (_, cycles) = w.golden_run(&[1000, 900]);
+        let mut cfg = TemConfig::with_budget(cycles * 2);
+        cfg.min_results = 3;
+        let exec = TemExecutor::new(cfg);
+        let mut m = w.instantiate();
+        let report = exec.run_job(&mut m, &w, &[1000, 900], None);
+        assert_eq!(report.outcome, JobOutcome::DeliveredClean);
+        assert_eq!(report.executions(), 3, "triplicated even fault-free");
+        // And a single silent corruption is outvoted without a TemComparison
+        // escalation round.
+        let mut m = w.instantiate();
+        let plan = InjectionPlan {
+            copy: 1,
+            at_cycle: 8,
+            fault: TransientFault {
+                target: FaultTarget::Register(Reg::R1),
+                mask: 1 << 2,
+            },
+        };
+        let report = exec.run_job(&mut m, &w, &[1000, 900], Some(plan));
+        assert!(report.outcome.delivered());
+    }
+
+    #[test]
+    fn stuck_at_job_fault_defeats_time_redundancy() {
+        use nlft_machine::fault::StuckAtFault;
+        // Increment register stuck at zero: every copy loops forever, every
+        // copy is killed by the execution-time monitor, so the job omits —
+        // and does so *every* activation, the persistent signature that
+        // distinguishes permanent damage from transient bad luck.
+        let w = workloads::sum_series();
+        let (_, cycles) = w.golden_run(&[100]);
+        let exec = TemExecutor::new(TemConfig::with_budget(cycles * 2));
+        let stuck = StuckAtFault {
+            target: FaultTarget::Register(Reg::R2),
+            bit: 1,
+            stuck_high: false,
+        };
+        for _ in 0..3 {
+            let mut m = w.instantiate();
+            let report =
+                exec.run_job_with_fault(&mut m, &w, &[100], Some(JobFault::StuckAt(stuck)));
+            match report.outcome {
+                JobOutcome::Omission { detected_by } => {
+                    assert_eq!(detected_by, Edm::ExecutionTimeMonitor);
+                }
+                other => panic!("stuck increment must omit, got {other:?}"),
+            }
+            assert!(!report.detections.is_empty());
+        }
+    }
+
+    #[test]
+    fn benign_stuck_at_job_fault_delivers_clean() {
+        use nlft_machine::fault::StuckAtFault;
+        // A stuck bit in an unused register never activates; both copies
+        // match and the job is indistinguishable from a healthy one.
+        let w = workloads::sum_series();
+        let (_, cycles) = w.golden_run(&[100]);
+        let exec = TemExecutor::new(TemConfig::with_budget(cycles * 2));
+        let stuck = StuckAtFault {
+            target: FaultTarget::Register(Reg::R6),
+            bit: 1 << 9,
+            stuck_high: true,
+        };
+        let mut m = w.instantiate();
+        let report = exec.run_job_with_fault(&mut m, &w, &[100], Some(JobFault::StuckAt(stuck)));
+        assert_eq!(report.outcome, JobOutcome::DeliveredClean);
+        assert_eq!(report.outputs.unwrap()[0], Some(5050));
     }
 
     #[test]

@@ -147,6 +147,88 @@ impl StuckAtFault {
     }
 }
 
+/// The persistence class of a fault model — the ground truth a diagnosis
+/// layer tries to recover from the error stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultPersistence {
+    /// A one-shot event; never recurs.
+    Transient,
+    /// A recurring burst of transients; dies out eventually.
+    Intermittent,
+    /// Permanent hardware damage; survives restarts.
+    Permanent,
+}
+
+impl FaultPersistence {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPersistence::Transient => "transient",
+            FaultPersistence::Intermittent => "intermittent",
+            FaultPersistence::Permanent => "permanent",
+        }
+    }
+}
+
+/// An intermittent fault: the same transient re-manifests over a burst of
+/// jobs with a fixed per-job recurrence probability, then dies out —
+/// marginal hardware, a loose connection, or an environmental disturbance
+/// that eventually passes. Between manifestations the node looks healthy,
+/// which is exactly what makes intermittents hard to tell from bad luck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntermittentFault {
+    /// The transient that recurs.
+    pub fault: TransientFault,
+    /// Probability the fault manifests in a given job of the burst.
+    pub recurrence: f64,
+    /// Burst length in jobs since onset; after this many jobs the fault
+    /// never manifests again.
+    pub burst_jobs: u32,
+}
+
+impl IntermittentFault {
+    /// Whether the fault manifests in the job `jobs_since_onset` jobs after
+    /// onset (0-based). The onset job always manifests; later jobs inside
+    /// the burst manifest with probability [`IntermittentFault::recurrence`].
+    pub fn manifests(&self, jobs_since_onset: u32, rng: &mut RngStream) -> bool {
+        if jobs_since_onset >= self.burst_jobs {
+            return false;
+        }
+        jobs_since_onset == 0 || rng.bernoulli(self.recurrence)
+    }
+}
+
+/// A sampled fault of any persistence class (see [`FaultSpace::sample_model`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// A one-shot bit flip.
+    Transient(TransientFault),
+    /// A recurring burst of the same bit flip.
+    Intermittent(IntermittentFault),
+    /// A permanently stuck bit.
+    StuckAt(StuckAtFault),
+}
+
+impl FaultModel {
+    /// The ground-truth persistence class of this model.
+    pub fn persistence(&self) -> FaultPersistence {
+        match self {
+            FaultModel::Transient(_) => FaultPersistence::Transient,
+            FaultModel::Intermittent(_) => FaultPersistence::Intermittent,
+            FaultModel::StuckAt(_) => FaultPersistence::Permanent,
+        }
+    }
+
+    /// The architectural target the model strikes.
+    pub fn target(&self) -> FaultTarget {
+        match self {
+            FaultModel::Transient(f) => f.target,
+            FaultModel::Intermittent(f) => f.fault.target,
+            FaultModel::StuckAt(f) => f.target,
+        }
+    }
+}
+
 /// The sampling space for random fault generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpace {
@@ -162,10 +244,27 @@ pub struct FaultSpace {
     pub memory_bytes: u32,
     /// Number of bits to flip (1 = classic single-event upset).
     pub bits: u32,
+    /// Probability that a [`FaultSpace::sample_model`] draw is an
+    /// intermittent (recurring) fault rather than a one-shot transient.
+    pub intermittent_fraction: f64,
+    /// Per-job recurrence probability given to sampled intermittent faults.
+    pub recurrence: f64,
+    /// Burst length (jobs) given to sampled intermittent faults.
+    pub burst_jobs: u32,
+    /// Probability that a [`FaultSpace::sample_model`] draw is a permanent
+    /// stuck-at bit. Zero in every stock constructor: permanent faults are
+    /// opt-in per campaign via [`FaultSpace::with_stuck_at`].
+    pub stuck_at_fraction: f64,
 }
 
 impl FaultSpace {
-    /// The classic single-event-upset space over a whole machine.
+    /// The classic single-event-upset space over a whole machine: registers,
+    /// PC, SP, status and `memory_bytes` of main memory, single-bit flips.
+    ///
+    /// The space is purely *transient* — [`FaultSpace::sample`] draws
+    /// one-shot flips and [`FaultSpace::sample_model`] never yields an
+    /// intermittent or stuck-at fault unless the fractions are raised via
+    /// [`FaultSpace::with_intermittent`] / [`FaultSpace::with_stuck_at`].
     pub fn seu(memory_bytes: u32) -> Self {
         FaultSpace {
             registers: true,
@@ -174,11 +273,18 @@ impl FaultSpace {
             status: true,
             memory_bytes,
             bits: 1,
+            intermittent_fraction: 0.0,
+            recurrence: 0.0,
+            burst_jobs: 0,
+            stuck_at_fraction: 0.0,
         }
     }
 
-    /// CPU-internal faults only (registers, PC, SP, status) — the component
-    /// of the space that ECC cannot help with, and the one TEM exists for.
+    /// CPU-internal single-bit transients only (registers, PC, SP, status;
+    /// no memory) — the component of the space that ECC cannot help with,
+    /// and the one TEM exists for. Like [`FaultSpace::seu`] this space is
+    /// transient-only until intermittent or stuck-at fractions are opted
+    /// into via the builder methods.
     pub fn cpu_only() -> Self {
         FaultSpace {
             registers: true,
@@ -187,7 +293,47 @@ impl FaultSpace {
             status: true,
             memory_bytes: 0,
             bits: 1,
+            intermittent_fraction: 0.0,
+            recurrence: 0.0,
+            burst_jobs: 0,
+            stuck_at_fraction: 0.0,
         }
+    }
+
+    /// Opts permanent stuck-at faults into the space: `fraction` of
+    /// [`FaultSpace::sample_model`] draws become [`StuckAtFault`]s instead
+    /// of transients. Campaigns that only call [`FaultSpace::sample`] are
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn with_stuck_at(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "stuck-at fraction must be a probability"
+        );
+        self.stuck_at_fraction = fraction;
+        self
+    }
+
+    /// Opts intermittent (recurring-burst) faults into the space: `fraction`
+    /// of [`FaultSpace::sample_model`] draws become [`IntermittentFault`]s
+    /// with the given per-job `recurrence` probability and `burst_jobs`
+    /// burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` and `recurrence` are probabilities.
+    pub fn with_intermittent(mut self, fraction: f64, recurrence: f64, burst_jobs: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction) && (0.0..=1.0).contains(&recurrence),
+            "intermittent fraction and recurrence must be probabilities"
+        );
+        self.intermittent_fraction = fraction;
+        self.recurrence = recurrence;
+        self.burst_jobs = burst_jobs;
+        self
     }
 
     /// Draws a random fault from the space.
@@ -202,6 +348,17 @@ impl FaultSpace {
     /// Panics if the space is empty or `bits == 0`.
     pub fn sample(&self, rng: &mut RngStream) -> TransientFault {
         assert!(self.bits > 0, "must flip at least one bit");
+        let target = self.sample_target(rng);
+        let mut mask = 0u32;
+        while mask.count_ones() < self.bits.min(32) {
+            mask |= 1 << rng.uniform_range(0, 32);
+        }
+        TransientFault { target, mask }
+    }
+
+    /// Draws an area-weighted target from the space (the shared first stage
+    /// of every sampler, so the transient and stuck-at distributions agree).
+    fn sample_target(&self, rng: &mut RngStream) -> FaultTarget {
         let mut weights: Vec<(f64, u8)> = Vec::new(); // (weight, kind)
         if self.registers {
             weights.push((NUM_REGS as f64, 0));
@@ -221,7 +378,7 @@ impl FaultSpace {
         assert!(!weights.is_empty(), "fault space is empty");
         let ws: Vec<f64> = weights.iter().map(|&(w, _)| w).collect();
         let kind = weights[rng.weighted_index(&ws)].1;
-        let target = match kind {
+        match kind {
             0 => FaultTarget::Register(
                 Reg::new(rng.uniform_range(0, NUM_REGS as u64) as u8).expect("in range"),
             ),
@@ -232,12 +389,86 @@ impl FaultSpace {
                 let words = u64::from(self.memory_bytes / WORD_BYTES);
                 FaultTarget::MemoryWord(rng.uniform_range(0, words) as u32 * WORD_BYTES)
             }
-        };
-        let mut mask = 0u32;
-        while mask.count_ones() < self.bits.min(32) {
-            mask |= 1 << rng.uniform_range(0, 32);
         }
-        TransientFault { target, mask }
+    }
+
+    /// Draws a fault of any persistence class, honouring the configured
+    /// stuck-at and intermittent fractions (both zero by default, making
+    /// this equivalent to a [`FaultSpace::sample`] wrapped in
+    /// [`FaultModel::Transient`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty, `bits == 0`, or the fractions exceed
+    /// one combined.
+    pub fn sample_model(&self, rng: &mut RngStream) -> FaultModel {
+        assert!(self.bits > 0, "must flip at least one bit");
+        let transient_w = 1.0 - self.intermittent_fraction - self.stuck_at_fraction;
+        assert!(
+            transient_w >= -1e-12,
+            "intermittent + stuck-at fractions exceed 1"
+        );
+        let kind = rng.weighted_index(&[
+            transient_w.max(0.0),
+            self.intermittent_fraction,
+            self.stuck_at_fraction,
+        ]);
+        match kind {
+            0 => FaultModel::Transient(self.sample(rng)),
+            1 => FaultModel::Intermittent(IntermittentFault {
+                fault: self.sample(rng),
+                recurrence: self.recurrence,
+                burst_jobs: self.burst_jobs,
+            }),
+            _ => {
+                let target = self.sample_target(rng);
+                let bit = 1u32 << rng.uniform_range(0, 32);
+                let stuck_high = rng.bernoulli(0.5);
+                FaultModel::StuckAt(StuckAtFault {
+                    target,
+                    bit,
+                    stuck_high,
+                })
+            }
+        }
+    }
+}
+
+/// Runs a machine to completion within `cycle_budget` with a permanent
+/// stuck-at fault asserted before every instruction — the hardware analogue
+/// of [`run_with_injection`] for [`StuckAtFault`]s. Unlike a transient, the
+/// fault is always "activated": it re-manifests on every read/execute for
+/// as long as the run lasts.
+pub fn run_with_stuck_at(
+    m: &mut Machine,
+    cycle_budget: u64,
+    fault: StuckAtFault,
+) -> RunOutcome {
+    let start = m.cpu.cycles;
+    loop {
+        let used = m.cpu.cycles - start;
+        if used >= cycle_budget {
+            return RunOutcome {
+                exit: RunExit::BudgetExhausted,
+                cycles_used: used,
+            };
+        }
+        fault.assert_on(m);
+        match m.step() {
+            Ok(crate::machine::Step::Running) => {}
+            Ok(crate::machine::Step::Halted) => {
+                return RunOutcome {
+                    exit: RunExit::Halted,
+                    cycles_used: m.cpu.cycles - start,
+                };
+            }
+            Err(e) => {
+                return RunOutcome {
+                    exit: RunExit::Exception(e),
+                    cycles_used: m.cpu.cycles - start,
+                };
+            }
+        }
     }
 }
 
@@ -425,8 +656,8 @@ mod tests {
             pc: false,
             sp: false,
             status: false,
-            memory_bytes: 4096,
             bits: 2,
+            ..FaultSpace::seu(4096)
         };
         for _ in 0..500 {
             let f = space.sample(&mut rng);
@@ -453,6 +684,120 @@ mod tests {
             (0..50).map(|_| space.sample(&mut rng)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stock_spaces_are_transient_only() {
+        let mut rng = RngStream::new(99);
+        for space in [FaultSpace::seu(4096), FaultSpace::cpu_only()] {
+            for _ in 0..200 {
+                assert!(matches!(
+                    space.sample_model(&mut rng),
+                    FaultModel::Transient(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn with_stuck_at_draws_permanent_faults() {
+        let mut rng = RngStream::new(100);
+        let space = FaultSpace::cpu_only().with_stuck_at(0.5);
+        let mut stuck = 0;
+        for _ in 0..400 {
+            match space.sample_model(&mut rng) {
+                FaultModel::StuckAt(f) => {
+                    stuck += 1;
+                    assert_eq!(f.bit.count_ones(), 1, "stuck-at is a single bit");
+                    assert!(!matches!(f.target, FaultTarget::MemoryWord(_)));
+                }
+                FaultModel::Transient(_) => {}
+                other => panic!("no intermittents configured, got {other:?}"),
+            }
+        }
+        assert!(
+            (120..=280).contains(&stuck),
+            "half the draws should be stuck-at, got {stuck}/400"
+        );
+    }
+
+    #[test]
+    fn with_intermittent_draws_recurring_faults() {
+        let mut rng = RngStream::new(101);
+        let space = FaultSpace::cpu_only().with_intermittent(1.0, 0.7, 5);
+        match space.sample_model(&mut rng) {
+            FaultModel::Intermittent(f) => {
+                assert_eq!(f.recurrence, 0.7);
+                assert_eq!(f.burst_jobs, 5);
+                assert!(f.manifests(0, &mut rng), "onset always manifests");
+                assert!(!f.manifests(5, &mut rng), "burst over, never recurs");
+                assert_eq!(
+                    FaultModel::Intermittent(f).persistence(),
+                    FaultPersistence::Intermittent
+                );
+            }
+            other => panic!("expected intermittent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intermittent_recurrence_rate_matches_probability() {
+        let mut rng = RngStream::new(102);
+        let f = IntermittentFault {
+            fault: TransientFault {
+                target: FaultTarget::Pc,
+                mask: 1,
+            },
+            recurrence: 0.25,
+            burst_jobs: u32::MAX,
+        };
+        let hits = (0..2000)
+            .filter(|_| f.manifests(1, &mut rng))
+            .count();
+        assert!((400..=600).contains(&hits), "~25% expected, got {hits}/2000");
+    }
+
+    #[test]
+    fn run_with_stuck_at_detects_via_etm() {
+        // Increment register stuck at 0 → the loop never terminates → the
+        // execution-time monitor (budget) is the detecting mechanism, every
+        // single run — this is what gives diagnosis a persistent signal.
+        let stuck = StuckAtFault {
+            target: FaultTarget::Register(Reg::R2),
+            bit: 1,
+            stuck_high: false,
+        };
+        for _ in 0..3 {
+            let mut m = counting_machine();
+            let out = run_with_stuck_at(&mut m, 5_000, stuck);
+            assert_eq!(out.exit, RunExit::BudgetExhausted);
+        }
+    }
+
+    #[test]
+    fn run_with_stuck_at_on_benign_bit_still_halts() {
+        // R3 is unused by the counting loop: the stuck bit never matters.
+        let stuck = StuckAtFault {
+            target: FaultTarget::Register(Reg::R3),
+            bit: 1 << 7,
+            stuck_high: true,
+        };
+        let mut m = counting_machine();
+        let out = run_with_stuck_at(&mut m, 100_000, stuck);
+        assert_eq!(out.exit, RunExit::Halted);
+        assert_eq!(m.output(0), Some(100));
+    }
+
+    #[test]
+    fn sample_model_is_reproducible() {
+        let space = FaultSpace::seu(4096)
+            .with_stuck_at(0.2)
+            .with_intermittent(0.3, 0.5, 8);
+        let draw = |seed: u64| -> Vec<FaultModel> {
+            let mut rng = RngStream::new(seed).fork("models");
+            (0..100).map(|_| space.sample_model(&mut rng)).collect()
+        };
+        assert_eq!(draw(11), draw(11));
     }
 
     #[test]

@@ -166,3 +166,88 @@ fn asm_disasm_consistent() {
         },
     );
 }
+
+/// A stuck bit re-manifests every time it is asserted: however the program
+/// rewrites the target between instructions, re-asserting the fault forces
+/// the bit back, on every single read/execute, until the fault is cleared —
+/// after which the target holds whatever is written to it.
+#[test]
+fn stuck_at_bit_remanifests_until_cleared() {
+    use nlft_machine::fault::{FaultTarget, StuckAtFault};
+
+    SUITE.check(
+        "stuck_at_bit_remanifests_until_cleared",
+        |r: &mut TkRng| {
+            (
+                r.range(0, 8) as u8,        // register
+                r.range(0, 32) as u32,      // bit index
+                r.next_u64() & 1 == 1,      // stuck high?
+                r.range(10, 200),           // steps to run
+            )
+        },
+        |&(reg, bit_index, stuck_high, steps)| {
+            let reg = Reg::new(reg).unwrap();
+            let stuck = StuckAtFault {
+                target: FaultTarget::Register(reg),
+                bit: 1 << bit_index,
+                stuck_high,
+            };
+            let w = workloads::pid_controller();
+            let mut m = w.instantiate();
+            m.set_input(0, 1500);
+            m.set_input(1, 700);
+            for _ in 0..steps {
+                stuck.assert_on(&mut m);
+                // Immediately after assertion the bit must read forced.
+                let v = m.cpu.reg(reg);
+                if stuck_high {
+                    prop_assert!(v & stuck.bit != 0, "stuck-high bit read as 0");
+                } else {
+                    prop_assert!(v & stuck.bit == 0, "stuck-low bit read as 1");
+                }
+                if m.step().is_err() {
+                    break; // an EDM fired; the fault model still held so far
+                }
+            }
+            // Cleared: stop asserting and the target is writable again.
+            let wanted = if stuck_high { 0u32 } else { stuck.bit };
+            m.cpu.set_reg(reg, wanted);
+            prop_assert_eq!(m.cpu.reg(reg), wanted, "cleared bit must stick");
+            Ok(())
+        },
+    );
+}
+
+/// EDM classification of a stuck-at fault is consistent: running the same
+/// workload against the same stuck bit always ends the same way (same exit,
+/// same cycle count, same outputs) — a permanent fault produces a *stable*
+/// error signature, which is what lets the diagnosis layer separate it from
+/// transient bad luck.
+#[test]
+fn stuck_at_detection_classifies_consistently() {
+    use nlft_machine::fault::{run_with_stuck_at, FaultSpace, FaultModel};
+
+    SUITE.check(
+        "stuck_at_detection_classifies_consistently",
+        |r: &mut TkRng| r.next_u64(),
+        |&seed| {
+            let mut rng = RngStream::new(seed);
+            let space = FaultSpace::cpu_only().with_stuck_at(1.0);
+            let FaultModel::StuckAt(stuck) = space.sample_model(&mut rng) else {
+                unreachable!("fraction 1.0 always draws stuck-at");
+            };
+            let w = workloads::sum_series();
+            let run = || {
+                let mut m = w.instantiate();
+                m.set_input(0, 120);
+                let out = run_with_stuck_at(&mut m, 30_000, stuck);
+                (out, *m.outputs())
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(a.0, b.0, "exit and cycles must repeat exactly");
+            prop_assert_eq!(a.1, b.1, "outputs must repeat exactly");
+            Ok(())
+        },
+    );
+}

@@ -174,7 +174,6 @@ pub struct Bus {
     static_pending: BTreeMap<SlotId, Vec<u8>>,
     dynamic_pending: Vec<(u8, Vec<u8>)>, // (priority, frame)
     wire_faults: Vec<WireFault>,
-    corrupt_next: Option<(usize, u8)>, // legacy one-shot shim state
     guardian_blocks: u64,
     crc_rejects: u64,
     masquerade_rejects: u64,
@@ -193,7 +192,6 @@ impl Bus {
             static_pending: BTreeMap::new(),
             dynamic_pending: Vec::new(),
             wire_faults: Vec::new(),
-            corrupt_next: None,
             guardian_blocks: 0,
             crc_rejects: 0,
             masquerade_rejects: 0,
@@ -313,11 +311,6 @@ impl Bus {
         }
         let frame = Frame::new(node, slot, self.cycle, payload);
         let bytes = frame.encode();
-        if let Some((byte, mask)) = self.corrupt_next.take() {
-            // Legacy one-shot shim: convert into a staged wire fault
-            // against the slot that transmitted next.
-            self.wire_faults.push(WireFault::CorruptStatic { slot, byte, mask });
-        }
         self.static_pending.insert(slot, bytes);
         Ok(())
     }
@@ -344,17 +337,6 @@ impl Bus {
         let frame = Frame::new(node, SlotId(u8::MAX), self.cycle, payload);
         self.dynamic_pending.push((priority, frame.encode()));
         Ok(())
-    }
-
-    /// Corrupts the next static frame on the wire (fault injection): XORs
-    /// `mask` into byte `index` (mod length).
-    #[deprecated(
-        since = "0.1.0",
-        note = "one-shot footgun: stage a persistent `WireFault::CorruptStatic` \
-                via `stage_wire_fault` (or drive a `NetFaultInjector`) instead"
-    )]
-    pub fn corrupt_next_frame(&mut self, index: usize, mask: u8) {
-        self.corrupt_next = Some((index, mask));
     }
 
     /// Stages a [`WireFault`] against the current cycle. Faults accumulate
@@ -557,20 +539,6 @@ mod tests {
         assert!(d.static_frames.contains_key(&SlotId(1)), "other frames unaffected");
         assert_eq!(bus.crc_rejects(), 1);
         assert_eq!(bus.corruptions_applied(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn corrupt_next_frame_shim_still_corrupts() {
-        let mut bus = bus3();
-        bus.start_cycle();
-        bus.corrupt_next_frame(5, 0x80);
-        bus.transmit_static(NodeId(0), vec![1, 2, 3]).unwrap();
-        bus.transmit_static(NodeId(1), vec![4]).unwrap();
-        let d = bus.finish_cycle();
-        assert_eq!(d.rejected, 1);
-        assert!(d.static_frames.get(&SlotId(0)).is_none(), "first transmitter hit");
-        assert!(d.static_frames.contains_key(&SlotId(1)));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   faults ~10⁻⁴/h over one-year horizons);
 //! * [`ctmc`] — continuous-time Markov chains: transient solutions (matrix
 //!   exponential, cross-checked by uniformization), MTTF and steady state;
+//! * [`dtmc`] — absorbing discrete-time chains: expected steps to
+//!   absorption and finite-horizon absorption probabilities, used to
+//!   validate the kernel's recovery-escalation ladder against campaigns;
 //! * [`model`] — the common `R(t)` interface, exponential components and
 //!   CTMC adapters, plus numeric MTTF integration;
 //! * [`rbd`] — series / parallel / k-of-n reliability block diagrams;
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ctmc;
+pub mod dtmc;
 pub mod faulttree;
 pub mod lang;
 pub mod linalg;
@@ -42,6 +46,7 @@ pub mod model;
 pub mod rbd;
 
 pub use ctmc::{Ctmc, CtmcBuilder, CtmcError, StateId};
+pub use dtmc::{AbsorbingDtmc, DtmcError};
 pub use faulttree::{EventId, FaultTree, FaultTreeBuilder, HierarchicalTree};
 pub use lang::{parse, LangError, ModelSet};
 pub use linalg::{LinalgError, Matrix};

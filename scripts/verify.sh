@@ -5,7 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --workspace --release --offline
+# Warnings are errors: the workspace must build clean.
+RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 
 # Smoke-run every example. Each must exit zero on a small workload: the
