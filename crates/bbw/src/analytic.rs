@@ -20,7 +20,9 @@ use std::sync::Arc;
 
 use nlft_reliability::ctmc::{CtmcBuilder, CtmcError};
 use nlft_reliability::faulttree::{FaultTreeBuilder, HierarchicalTree};
-use nlft_reliability::model::{mttf_numeric, CtmcReliability, ReliabilityModel};
+use nlft_reliability::model::{
+    mttf_numeric, CoveredModel, CtmcReliability, Exponential, ReliabilityModel,
+};
 
 use crate::params::BbwParams;
 
@@ -340,6 +342,161 @@ impl ReliabilityModel for BbwSystem {
 /// Hours in one year, as used by the paper's Fig. 12.
 pub const HOURS_PER_YEAR: f64 = 8_760.0;
 
+/// Value-domain parameters extending the Fig. 5 fault tree: failure
+/// rates of the pedal-sensor channels and wheel actuators, and the
+/// *measured* detection coverage of the value-domain layers (voter +
+/// plausibility, divergence monitor) — the `c_v` that
+/// [`crate::value_campaign::ValueDomainCampaignResult::detection_coverage`]
+/// estimates by experiment instead of assuming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueDomainParams {
+    /// Failure rate of one pedal-sensor channel (per hour).
+    pub lambda_sensor: f64,
+    /// Failure rate of one wheel brake actuator (per hour).
+    pub lambda_actuator: f64,
+    /// Probability a sensor value fault is masked by the vote or
+    /// detected by plausibility/demotion.
+    pub sensor_coverage: f64,
+    /// Probability an actuator value fault is caught by the divergence
+    /// monitor and failed to safe release.
+    pub actuator_coverage: f64,
+}
+
+impl ValueDomainParams {
+    /// Nominal assignment: sensors an order of magnitude more reliable
+    /// than processors, actuators electromechanical and worse, both
+    /// detection layers near-perfect (the campaign measures ≈ 1.0).
+    pub fn nominal() -> Self {
+        ValueDomainParams {
+            lambda_sensor: 2.0e-6,
+            lambda_actuator: 5.0e-6,
+            sensor_coverage: 0.99,
+            actuator_coverage: 0.99,
+        }
+    }
+
+    /// The same parameters with both coverages replaced.
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        self.sensor_coverage = coverage;
+        self.actuator_coverage = coverage;
+        self
+    }
+}
+
+/// The BBW system with the value domain in the fault tree: on top of the
+/// Fig. 5 `F_sys = F_CU ∨ F_WN` structure,
+///
+/// * the triplicated pedal fails when **2 of 3** channels have failed
+///   (redundancy exhausted — demotion makes this visible but cannot
+///   replace lost channels), *or* when any single channel failure slips
+///   past the voter/plausibility layer ([`CoveredModel`] leaves with
+///   `1 − c_s`);
+/// * the actuator set fails when **2 of 4** wheels have had their
+///   (detected, failed-safe) actuator failures — matching the cluster's
+///   `< 3` serving-wheels service rule — *or* when any single actuator
+///   fault goes undetected by the divergence monitor (`1 − c_a`), a
+///   runaway applying undemanded force.
+///
+/// Node-level policy (FS vs NLFT) only affects the CU/WN subtrees, so
+/// comparing the two policies under decreasing value-domain coverage
+/// shows the NLFT gain being eroded by a detection floor both share.
+#[derive(Debug, Clone)]
+pub struct ValueDomainSystem {
+    /// Node-level policy used for CU and wheel nodes.
+    pub policy: Policy,
+    /// Value-domain parameter assignment.
+    pub value: ValueDomainParams,
+    tree: HierarchicalTree,
+}
+
+impl ValueDomainSystem {
+    /// Builds the extended system model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coverage parameter is outside `[0, 1]` or a rate is
+    /// negative.
+    pub fn new(
+        params: &BbwParams,
+        policy: Policy,
+        functionality: Functionality,
+        value: &ValueDomainParams,
+    ) -> Self {
+        let cu = Arc::new(central_unit(params, policy));
+        let wn = Arc::new(wheel_subsystem(params, policy, functionality));
+        let sensor = Exponential::new(value.lambda_sensor);
+        let actuator = Exponential::new(value.lambda_actuator);
+        let sensor_miss = CoveredModel::new(sensor, value.sensor_coverage);
+        let actuator_miss = CoveredModel::new(actuator, value.actuator_coverage);
+
+        let mut ft = FaultTreeBuilder::new();
+        let cu_ev = ft.basic_event("central unit subsystem fails");
+        let wn_ev = ft.basic_event("wheel node subsystem fails");
+        let mut models: Vec<Arc<dyn ReliabilityModel + Send + Sync>> =
+            vec![cu.clone() as _, wn.clone() as _];
+
+        let sensor_chs: Vec<_> = (0..3)
+            .map(|i| {
+                models.push(Arc::new(sensor));
+                ft.basic_event(format!("pedal channel {i} fails"))
+            })
+            .collect();
+        let sensor_redundancy = ft.k_of_n(2, sensor_chs);
+        let sensor_misses: Vec<_> = (0..3)
+            .map(|i| {
+                models.push(Arc::new(sensor_miss));
+                ft.basic_event(format!("pedal channel {i} fault undetected"))
+            })
+            .collect();
+        let mut sensor_children = vec![sensor_redundancy];
+        sensor_children.extend(sensor_misses);
+        let sensors = ft.or(sensor_children);
+
+        let act_detected: Vec<_> = (0..4)
+            .map(|w| {
+                models.push(Arc::new(actuator));
+                ft.basic_event(format!("wheel {w} actuator fails safe"))
+            })
+            .collect();
+        let act_redundancy = ft.k_of_n(2, act_detected);
+        let act_misses: Vec<_> = (0..4)
+            .map(|w| {
+                models.push(Arc::new(actuator_miss));
+                ft.basic_event(format!("wheel {w} actuator fault undetected"))
+            })
+            .collect();
+        let mut act_children = vec![act_redundancy];
+        act_children.extend(act_misses);
+        let actuators = ft.or(act_children);
+
+        let top = ft.or(vec![cu_ev, wn_ev, sensors, actuators]);
+        let tree = HierarchicalTree::new(ft.build(top), models);
+        ValueDomainSystem {
+            policy,
+            value: *value,
+            tree,
+        }
+    }
+
+    /// Birnbaum importance of every basic event at mission time `t`:
+    /// shows whether the node level or the value domain is the
+    /// reliability bottleneck under a given coverage.
+    pub fn importance(&self, t_hours: f64) -> Vec<(String, f64)> {
+        self.tree.birnbaum_at(t_hours)
+    }
+
+    /// System mean time to failure in hours (numeric integration).
+    pub fn mttf_hours(&self) -> f64 {
+        mttf_numeric(self, 1e-7)
+    }
+}
+
+impl ReliabilityModel for ValueDomainSystem {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        self.tree.reliability(t_hours)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,5 +750,105 @@ mod tests {
         // System MTTF below both subsystem MTTFs.
         let sys_mttf = s.mttf_hours();
         assert!(sys_mttf < wn && sys_mttf < cu);
+    }
+
+    fn value_sys(policy: Policy, coverage: f64) -> ValueDomainSystem {
+        ValueDomainSystem::new(
+            &BbwParams::paper(),
+            policy,
+            Functionality::Degraded,
+            &ValueDomainParams::nominal().with_coverage(coverage),
+        )
+    }
+
+    #[test]
+    fn value_domain_events_only_lower_reliability() {
+        let plain = sys(Policy::Nlft, Functionality::Degraded);
+        let extended = value_sys(Policy::Nlft, 0.99);
+        let t = HOURS_PER_YEAR;
+        assert!(extended.reliability(t) < plain.reliability(t));
+        // With vanishing value-domain rates the extension reduces to the
+        // plain Fig. 5 tree.
+        let negligible = ValueDomainSystem::new(
+            &BbwParams::paper(),
+            Policy::Nlft,
+            Functionality::Degraded,
+            &ValueDomainParams {
+                lambda_sensor: 1e-15,
+                lambda_actuator: 1e-15,
+                ..ValueDomainParams::nominal()
+            },
+        );
+        assert!((negligible.reliability(t) - plain.reliability(t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_domain_reliability_is_monotone_in_coverage() {
+        let t = HOURS_PER_YEAR;
+        let mut last = -1.0;
+        for c in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let r = value_sys(Policy::Nlft, c).reliability(t);
+            assert!(r > last, "coverage {c}: {r} must beat {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn imperfect_value_coverage_erodes_the_nlft_gain() {
+        let t = HOURS_PER_YEAR;
+        // The value-domain subtree is policy-independent, so the
+        // *reliability ratio* R_nlft/R_fs factors out exactly — the
+        // erosion shows in the failure-probability improvement
+        // U_fs/U_nlft, which a shared undetected-failure floor drags
+        // toward 1.
+        let gain = |c: f64| {
+            value_sys(Policy::FailSilent, c).unreliability(t)
+                / value_sys(Policy::Nlft, c).unreliability(t)
+        };
+        let g_high = gain(0.999);
+        let g_mid = gain(0.9);
+        let g_low = gain(0.5);
+        assert!(g_high > 1.0 && g_mid > 1.0 && g_low > 1.0, "NLFT always wins");
+        assert!(
+            g_high > g_mid && g_mid > g_low,
+            "gain must erode: {g_high} > {g_mid} > {g_low}"
+        );
+        // And the sanity anchor: with near-perfect value coverage the
+        // improvement factor approaches the plain-tree one.
+        let plain = BbwSystem::new(
+            &BbwParams::paper(),
+            Policy::FailSilent,
+            Functionality::Degraded,
+        )
+        .unreliability(t)
+            / sys(Policy::Nlft, Functionality::Degraded).unreliability(t);
+        assert!((gain(1.0) - plain).abs() / plain < 0.05);
+    }
+
+    #[test]
+    fn coverage_misses_outweigh_redundancy_exhaustion_at_low_coverage() {
+        let t = HOURS_PER_YEAR;
+        let u = |c: f64| value_sys(Policy::Nlft, c).unreliability(t);
+        let plain = sys(Policy::Nlft, Functionality::Degraded).unreliability(t);
+        // With perfect coverage the extension only adds the 2-of-3 /
+        // 2-of-4 redundancy-exhaustion events; at c = 0.5 the undetected
+        // single-fault events must dwarf that contribution.
+        let redundancy_cost = u(1.0) - plain;
+        let coverage_cost = u(0.5) - u(1.0);
+        assert!(redundancy_cost > 0.0);
+        assert!(
+            coverage_cost > 5.0 * redundancy_cost,
+            "silent failures should dominate: {coverage_cost} vs {redundancy_cost}"
+        );
+    }
+
+    #[test]
+    fn value_domain_importance_is_reported_for_every_event() {
+        let s = value_sys(Policy::Nlft, 0.9);
+        let imp = s.importance(HOURS_PER_YEAR);
+        // 2 node-level + 3 channels + 3 misses + 4 actuators + 4 misses.
+        assert_eq!(imp.len(), 16);
+        assert!(imp.iter().all(|(_, b)| (0.0..=1.0).contains(b)));
+        assert!(imp.iter().any(|(n, _)| n.contains("undetected")));
     }
 }

@@ -11,11 +11,29 @@
 //! node's task copy); its consequences then propagate through the real
 //! stack: TEM masks it, or the node omits its slot, membership notices,
 //! and the central unit redistributes brake force to the remaining wheels.
+//!
+//! Since PR 4 the loop also carries the *value domain* end to end:
+//!
+//! * the pedal is read through a triplicated [`crate::sensor`] array
+//!   (median vote + plausibility + weakly-hard demotion) instead of
+//!   being a perfect oracle — the silent `min(4095)` clamp now happens
+//!   at the sensor boundary and is flagged;
+//! * CU→wheel set-points travel as sealed fresh commands
+//!   (`[seq, f0..f3, crc]`); each wheel runs a
+//!   [`nlft_kernel::integrity::CommandAcceptor`] that rejects corrupted,
+//!   stale, duplicated or replayed commands and converts them into
+//!   hold-last-safe-value omissions;
+//! * each wheel drives a [`crate::actuator`] with its own fault model,
+//!   watched by a demand-vs-measured divergence monitor that fails a bad
+//!   actuator to its safe release state — the wheel then goes
+//!   fail-silent, so the failure reports into membership and the CU
+//!   redistributes force exactly as for a crashed node.
 
 use std::collections::BTreeMap;
 
 use nlft_core::diagnosis::{AlphaCountConfig, NodeSupervisor};
 use nlft_kernel::escalation::{EscalationEvent, EscalationPolicy, NodeHealth};
+use nlft_kernel::integrity::{CommandAcceptor, CommandReject, FreshSealedMessage};
 use nlft_kernel::tem::{InjectionPlan, JobFault, JobOutcome, TemConfig, TemExecutor};
 use nlft_machine::fault::{IntermittentFault, StuckAtFault, TransientFault};
 use nlft_machine::machine::Machine;
@@ -26,6 +44,18 @@ use nlft_net::inject::{InjectionCounts, NetFaultInjector, NetFaultPlan};
 use nlft_net::membership::{Membership, MembershipEvent};
 use nlft_net::replication::{select_duplex_among, DuplexPair, DuplexValue, StateResync};
 use nlft_sim::rng::RngStream;
+
+use crate::actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelActuator};
+use crate::sensor::{PedalSensorArray, PedalStats, PedalVoterConfig, SensorFault};
+
+/// Cycles a wheel keeps braking on its last accepted set-point when the
+/// command stream dries up (rejected or missing commands), before it
+/// releases and goes silent.
+pub const HOLD_CYCLES: u32 = 3;
+
+/// Maximum accepted command age in cycles (commands are consumed in the
+/// cycle they arrive, so a healthy age is 0).
+pub const COMMAND_MAX_AGE: u32 = 2;
 
 /// Bus node ids: two CU replicas then four wheel nodes.
 pub const CU_A: NodeId = NodeId(0);
@@ -69,6 +99,52 @@ pub struct CycleRecord {
     pub events: Vec<MembershipEvent>,
 }
 
+/// Per-run value-domain observability: what the sensor voter, the
+/// command acceptors and the actuator monitors saw. All counters are
+/// per-[`BbwCluster::run`] deltas.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValueDomainReport {
+    /// Cycles in which at least one pedal channel read out of range and
+    /// was clamped (and flagged) at the sensor boundary.
+    pub pedal_clamped_cycles: u32,
+    /// Per-channel plausibility flags raised across the run.
+    pub sensor_implausible_flags: u32,
+    /// Sensor channels demoted by the weakly-hard window this run.
+    pub sensor_demotions: u32,
+    /// Cycles in which the voted pedal deviated from truth beyond the
+    /// deviation bound with *no* flag, demotion or clamp raised — silent
+    /// sensor failures.
+    pub undetected_sensor_cycles: u32,
+    /// Commands rejected at a wheel for CRC mismatch or malformed shape.
+    pub seal_rejects: u32,
+    /// Commands rejected at a wheel as stale, duplicated or too old.
+    pub stale_rejects: u32,
+    /// All command rejections (seal + freshness).
+    pub command_rejects: u32,
+    /// Cycles a wheel braked on its held last-safe set-point because the
+    /// command stream was rejected or missing.
+    pub held_setpoint_cycles: u32,
+    /// Injected command corruptions that the acceptor nevertheless
+    /// accepted — silent command failures.
+    pub undetected_command_accepts: u32,
+    /// Actuator monitors tripped this run: `(cycle, wheel node)`. The
+    /// actuator is failed to safe release and the wheel goes fail-silent.
+    pub actuator_trips: Vec<(u32, NodeId)>,
+    /// Cycles an actuator with an active fault overran the monitor
+    /// tolerance beyond the detection window without tripping — silent
+    /// actuator failures.
+    pub undetected_actuator_cycles: u32,
+}
+
+impl ValueDomainReport {
+    /// Total silent value failures: faults neither masked nor detected.
+    pub fn undetected_value_failures(&self) -> u32 {
+        self.undetected_sensor_cycles
+            + self.undetected_command_accepts
+            + self.undetected_actuator_cycles
+    }
+}
+
 /// Summary of a cluster run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
@@ -105,6 +181,8 @@ pub struct ClusterReport {
     pub restarts: u32,
     /// Nodes retired by their supervisor during this run.
     pub retired_nodes: Vec<NodeId>,
+    /// Value-domain observability for this run.
+    pub value: ValueDomainReport,
 }
 
 impl ClusterReport {
@@ -268,11 +346,47 @@ pub struct BbwCluster {
     prev_delivery: Option<CycleDelivery>,
     /// First cycle of each node's current exclusion episode.
     exclusion_started: BTreeMap<NodeId, u32>,
+    /// Triplicated pedal sensor array feeding both CU replicas.
+    pedal_sensors: PedalSensorArray,
+    /// Per-wheel brake actuators (persist across `run` calls — the brake
+    /// hardware does not reset between phases of an experiment).
+    actuators: [WheelActuator; 4],
+    /// Per-wheel demand-vs-measured divergence monitors.
+    monitors: [ActuatorMonitor; 4],
+    /// Wheels whose actuator has been failed to safe release: the node
+    /// stays fail-silent so membership reports the loss.
+    actuator_failed: [bool; 4],
+    /// Consecutive tolerance-overrun cycles per wheel (for silent-failure
+    /// accounting — a healthy transient converges within the window).
+    overrun_streak: [u32; 4],
+    /// Per-wheel command acceptors (seal + freshness check).
+    acceptors: [CommandAcceptor; 4],
+    /// Last command words each wheel accepted, kept for replay injection.
+    last_command_words: [Option<Vec<u32>>; 4],
+    /// Next cycle's set-points, as accepted/held by each wheel.
+    setpoints: [Option<u32>; 4],
+    /// Last accepted set-point per wheel and remaining hold budget.
+    last_good: [Option<u32>; 4],
+    hold_left: [u32; 4],
+    /// Scheduled wheel-local command corruptions:
+    /// `(cycle, wheel, word, mask)`.
+    command_corruptions: Vec<(u32, usize, usize, u32)>,
+    /// Scheduled wheel-local command replays: `(cycle, wheel)`.
+    command_replays: Vec<(u32, usize)>,
 }
 
 impl BbwCluster {
-    /// Builds the six-node cluster with the standard workloads.
+    /// Builds the six-node cluster with the standard workloads and a
+    /// fixed sensor-noise seed. Campaigns that vary sensor noise per
+    /// trial should use [`BbwCluster::with_rng`].
     pub fn new() -> Self {
+        BbwCluster::with_rng(RngStream::new(0xBB5E_50).fork("pedal-sensors"))
+    }
+
+    /// Builds the cluster with a dedicated stream for the pedal-sensor
+    /// noise draws (healthy channels never draw, so a fixed seed is fine
+    /// unless noise-burst faults are attached).
+    pub fn with_rng(sensor_rng: RngStream) -> Self {
         let config = BusConfig::round_robin(6, 4);
         let bus = Bus::new(config.clone());
         // Exclusion after 2 silent cycles, reintegration after 2 good ones —
@@ -309,7 +423,60 @@ impl BbwCluster {
             cu_silent_last: [CU_A, CU_B].into_iter().map(|id| (id, false)).collect(),
             prev_delivery: None,
             exclusion_started: BTreeMap::new(),
+            pedal_sensors: PedalSensorArray::new(PedalVoterConfig::default(), sensor_rng),
+            actuators: std::array::from_fn(|_| WheelActuator::new()),
+            monitors: std::array::from_fn(|_| {
+                ActuatorMonitor::new(ActuatorMonitorConfig::default())
+            }),
+            actuator_failed: [false; 4],
+            overrun_streak: [0; 4],
+            acceptors: std::array::from_fn(|_| CommandAcceptor::new(COMMAND_MAX_AGE)),
+            last_command_words: std::array::from_fn(|_| None),
+            setpoints: [None; 4],
+            last_good: [None; 4],
+            hold_left: [0; 4],
+            command_corruptions: Vec::new(),
+            command_replays: Vec::new(),
         }
+    }
+
+    /// Attaches a value-domain fault to one pedal sensor channel from
+    /// `onset` cycle on. The voter masks it; persistent implausibility
+    /// demotes the channel.
+    pub fn attach_sensor_fault(&mut self, channel: usize, fault: SensorFault, onset: u32) {
+        self.pedal_sensors.attach_fault(channel, fault, onset);
+    }
+
+    /// Attaches a value-domain fault to one wheel's brake actuator from
+    /// `onset` cycle on. The divergence monitor fails a misbehaving
+    /// actuator to its safe release state.
+    pub fn attach_actuator_fault(&mut self, wheel: usize, fault: ActuatorFault, onset: u32) {
+        self.actuators[wheel].attach_fault(fault, onset);
+    }
+
+    /// Corrupts the command words *as seen by one wheel* in the given
+    /// cycle — a wheel-local buffer/RAM fault past the bus CRC, which is
+    /// exactly what the application-level seal exists to catch. `word`
+    /// indexes the sealed message (`0` = sequence, last = CRC).
+    pub fn corrupt_command_at_wheel(&mut self, cycle: u32, wheel: usize, word: usize, mask: u32) {
+        self.command_corruptions.push((cycle, wheel, word, mask));
+    }
+
+    /// Replays the last command one wheel accepted in place of the
+    /// current one in the given cycle — a stale-buffer fault. The
+    /// freshness check rejects it as stale.
+    pub fn replay_command_at_wheel(&mut self, cycle: u32, wheel: usize) {
+        self.command_replays.push((cycle, wheel));
+    }
+
+    /// Cumulative pedal-sensor statistics (across all `run` calls).
+    pub fn sensor_stats(&self) -> &PedalStats {
+        self.pedal_sensors.stats()
+    }
+
+    /// Whether a wheel's actuator has been failed to safe release.
+    pub fn actuator_failed(&self, wheel: usize) -> bool {
+        self.actuator_failed[wheel]
     }
 
     /// Schedules a machine-level fault injection.
@@ -419,11 +586,17 @@ impl BbwCluster {
     }
 
     /// Runs the cluster for `cycles` communication cycles with the given
-    /// pedal profile (pedal position per cycle, 0..4095). May be called
-    /// repeatedly: bus, membership and injector state persist, so a storm
-    /// phase can be followed by a quiet phase on the same cluster.
+    /// pedal profile (the *true* pedal position per cycle; the cluster
+    /// reads it through the triplicated sensor array, which clamps and
+    /// flags out-of-range values at the boundary). May be called
+    /// repeatedly: bus, membership, injector, sensor, acceptor and
+    /// actuator state persist, so a storm phase can be followed by a
+    /// quiet phase on the same cluster.
     pub fn run(&mut self, cycles: u32, pedal: impl Fn(u32) -> u32) -> ClusterReport {
         let mut records = Vec::with_capacity(cycles as usize);
+        let mut value = ValueDomainReport::default();
+        let undetected_sensor_base = self.pedal_sensors.stats().undetected_error_cycles;
+        let mon_cfg = ActuatorMonitorConfig::default();
         let mut degraded_cycles = 0;
         let mut omissions = 0;
         let mut service_lost = false;
@@ -438,12 +611,7 @@ impl BbwCluster {
         let masquerade_rejects_0 = self.bus.masquerade_rejects();
         let corruptions_applied_0 = self.bus.corruptions_applied();
         let masquerades_applied_0 = self.bus.masquerades_applied();
-        // Wheel set-points computed from the previous cycle's CU frames.
-        let mut setpoints: [Option<u32>; 4] = [None; 4];
-        let mut measured: [u32; 4] = [0; 4];
-
         for cycle in 0..cycles {
-            let pedal_now = pedal(cycle).min(4095);
             self.bus.start_cycle();
 
             // Network storm first: decide this cycle's wire faults and
@@ -453,6 +621,20 @@ impl BbwCluster {
                 None => Vec::new(),
             };
             let bus_cycle = self.bus.cycle();
+
+            // Read the pedal through the triplicated sensor array: the
+            // voter masks channel faults, clamps out-of-range readings at
+            // the boundary and demotes persistently implausible channels.
+            let pedal_sample = self.pedal_sensors.sample(bus_cycle, pedal(cycle));
+            let pedal_now = pedal_sample.voted;
+            if pedal_sample.clamped {
+                value.pedal_clamped_cycles += 1;
+            }
+            value.sensor_implausible_flags +=
+                pedal_sample.implausible.iter().filter(|&&f| f).count() as u32;
+            if pedal_sample.demoted_now.is_some() {
+                value.sensor_demotions += 1;
+            }
 
             // Central units: compute the 4-way force distribution under TEM.
             for (&id, station) in self.cu.iter_mut() {
@@ -514,8 +696,13 @@ impl BbwCluster {
                                 payload[w] = outputs[w] * scale_num / scale_den;
                             }
                         }
-                        our_state = payload.clone();
-                        let _ = self.bus.transmit_static(id, payload);
+                        // Seal the set-points with a sequence number and
+                        // CRC: the wheel-side acceptor can then reject
+                        // corrupted, stale or replayed commands even when
+                        // the corruption happens past the bus CRC.
+                        let words = FreshSealedMessage::seal(bus_cycle, payload).to_words();
+                        our_state = words.clone();
+                        let _ = self.bus.transmit_static(id, words);
                     }
                 }
                 if !silent_now {
@@ -528,6 +715,13 @@ impl BbwCluster {
 
             // Wheel nodes: run PID on last cycle's set-point.
             for (w, &id) in WHEELS.iter().enumerate() {
+                if self.actuator_failed[w] {
+                    // Failed-safe actuator: the brake releases and the
+                    // node stays fail-silent, so membership keeps it
+                    // excluded and the CU redistributes its share.
+                    self.actuators[w].apply(bus_cycle, 0);
+                    continue;
+                }
                 let station = self.wheels.get_mut(&id).expect("wheel exists");
                 if net_silenced.contains(&id) {
                     // Crashed / clock-lost: the node does not execute.
@@ -548,8 +742,10 @@ impl BbwCluster {
                     }
                     continue;
                 }
-                let Some(sp) = setpoints[w] else {
-                    // No set-point yet (first cycle or CU silent): stay quiet.
+                let Some(sp) = self.setpoints[w] else {
+                    // No set-point yet (first cycle, CU silent beyond the
+                    // hold window, or persistent command rejection): stay
+                    // quiet.
                     continue;
                 };
                 let plan = plan_for(&self.injections, bus_cycle, id);
@@ -558,7 +754,7 @@ impl BbwCluster {
                     self.bus
                         .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
                 }
-                let (result, events) = station.run_job(&[sp, measured[w]], plan);
+                let (result, events) = station.run_job(&[sp, self.actuators[w].measured()], plan);
                 for ev in events {
                     record_escalation(
                         &mut escalations,
@@ -571,9 +767,31 @@ impl BbwCluster {
                 }
                 if let Some(outputs) = result {
                     let force = outputs[0];
-                    // First-order actuator: the measured force moves toward
-                    // the command.
-                    measured[w] = (measured[w] * 3 + force) / 4;
+                    // Drive the actuator (healthy: a first-order lag) and
+                    // feed the wheel-local divergence monitor.
+                    let measured = self.actuators[w].apply(bus_cycle, force);
+                    let verdict = self.monitors[w].observe(force, measured);
+                    let error = measured.abs_diff(force);
+                    let fault_active = self.actuators[w]
+                        .fault()
+                        .is_some_and(|(_, onset)| bus_cycle >= onset);
+                    if fault_active && !verdict.tripped && error > mon_cfg.tolerance {
+                        self.overrun_streak[w] += 1;
+                        if self.overrun_streak[w] > mon_cfg.window_cycles {
+                            value.undetected_actuator_cycles += 1;
+                        }
+                    } else {
+                        self.overrun_streak[w] = 0;
+                    }
+                    if verdict.tripped {
+                        // The monitor caught a misbehaving actuator: fail
+                        // it to safe release and go fail-silent at once —
+                        // membership and the CU handle the rest.
+                        self.actuators[w].fail_safe();
+                        self.actuator_failed[w] = true;
+                        value.actuator_trips.push((bus_cycle, id));
+                        continue;
+                    }
                     let _ = self.bus.transmit_static(id, vec![force]);
                 }
             }
@@ -619,15 +837,67 @@ impl BbwCluster {
                 |n| self.membership.is_member(n),
             );
             let cu_single = matches!(cu_value, DuplexValue::Single { .. });
-            match cu_value.payload() {
-                Some(forces) if forces.len() == 4 => {
-                    for w in 0..4 {
-                        setpoints[w] = Some(forces[w]);
+            let cu_words: Option<Vec<u32>> = cu_value.payload().map(|p| p.to_vec());
+            for w in 0..4 {
+                // Wheel-local command path: a replay fault substitutes an
+                // old buffered command, a corruption fault flips bits in
+                // the wheel's copy — both *past* the bus CRC, which is
+                // why the application-level seal must catch them.
+                let replayed = self.command_replays.contains(&(bus_cycle, w));
+                let mut presented = if replayed {
+                    self.last_command_words[w].clone()
+                } else {
+                    cu_words.clone()
+                };
+                let mut injected_corruption = false;
+                if let Some(words) = presented.as_mut() {
+                    for &(c, cw, word, mask) in &self.command_corruptions {
+                        if c == bus_cycle && cw == w && word < words.len() && mask != 0 {
+                            words[word] ^= mask;
+                            injected_corruption = true;
+                        }
                     }
                 }
-                _ => {
-                    for s in &mut setpoints {
-                        *s = None;
+                let accepted = presented
+                    .as_deref()
+                    .map(|words| self.acceptors[w].accept(words, bus_cycle));
+                match accepted {
+                    Some(Ok(forces)) if forces.len() == 4 => {
+                        if injected_corruption || replayed {
+                            // The acceptor let an injected command fault
+                            // through: a silent value failure.
+                            value.undetected_command_accepts += 1;
+                        }
+                        self.setpoints[w] = Some(forces[w]);
+                        self.last_good[w] = Some(forces[w]);
+                        self.hold_left[w] = HOLD_CYCLES;
+                        self.last_command_words[w] = presented;
+                    }
+                    other => {
+                        match other {
+                            Some(Err(CommandReject::Stale { .. }))
+                            | Some(Err(CommandReject::TooOld { .. })) => {
+                                value.stale_rejects += 1;
+                                value.command_rejects += 1;
+                            }
+                            Some(Err(_)) | Some(Ok(_)) => {
+                                // CRC mismatch, malformed frame, or a
+                                // well-sealed payload of the wrong shape.
+                                value.seal_rejects += 1;
+                                value.command_rejects += 1;
+                            }
+                            None => {}
+                        }
+                        // Hold-last-safe: keep braking on the last
+                        // accepted set-point for a bounded window, then
+                        // release and go quiet.
+                        if self.hold_left[w] > 0 && self.last_good[w].is_some() {
+                            self.hold_left[w] -= 1;
+                            self.setpoints[w] = self.last_good[w];
+                            value.held_setpoint_cycles += 1;
+                        } else {
+                            self.setpoints[w] = None;
+                        }
                     }
                 }
             }
@@ -687,6 +957,11 @@ impl BbwCluster {
             escalations,
             restarts,
             retired_nodes,
+            value: ValueDomainReport {
+                undetected_sensor_cycles: self.pedal_sensors.stats().undetected_error_cycles
+                    - undetected_sensor_base,
+                ..value
+            },
         }
     }
 }
@@ -939,6 +1214,123 @@ mod tests {
         let calm = cluster.run(5, |_| 1200);
         assert_eq!(calm.crc_rejects, 0);
         assert_eq!(calm.corruptions_applied, 0);
+    }
+
+    #[test]
+    fn stuck_pedal_channel_is_masked_at_the_vehicle_boundary() {
+        let mut clean = BbwCluster::new();
+        let clean_report = clean.run(12, constant_pedal);
+        let mut cluster = BbwCluster::new();
+        cluster.attach_sensor_fault(1, SensorFault::StuckAt(4095), 3);
+        let report = cluster.run(12, constant_pedal);
+        // The median vote hides the stuck channel entirely: identical
+        // forces, no degraded mode, and the failure is *detected* (the
+        // channel ends up demoted), never silent.
+        for (a, b) in clean_report.records.iter().zip(report.records.iter()) {
+            assert_eq!(a.wheel_force, b.wheel_force, "vote must mask the channel");
+        }
+        assert_eq!(report.value.sensor_demotions, 1);
+        assert_eq!(report.value.undetected_sensor_cycles, 0);
+        assert!(!report.service_lost);
+    }
+
+    #[test]
+    fn out_of_range_pedal_is_clamped_and_flagged() {
+        let mut cluster = BbwCluster::new();
+        let report = cluster.run(8, |_| 100_000);
+        assert!(report.value.pedal_clamped_cycles >= 8);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.pedal <= crate::sensor::PEDAL_MAX));
+        assert!(!report.service_lost);
+    }
+
+    #[test]
+    fn corrupted_command_at_wheel_is_rejected_and_held() {
+        let mut cluster = BbwCluster::new();
+        // Flip a payload bit in wheel 1's copy of the cycle-5 command —
+        // past the bus CRC, so only the application seal can catch it.
+        cluster.corrupt_command_at_wheel(5, 1, 2, 0x10);
+        let report = cluster.run(12, constant_pedal);
+        assert_eq!(report.value.seal_rejects, 1, "the seal must catch the flip");
+        assert_eq!(report.value.undetected_command_accepts, 0);
+        // Hold-last-safe: the wheel keeps braking on its previous
+        // set-point, so no omission and no membership event at all.
+        assert_eq!(report.value.held_setpoint_cycles, 1);
+        assert_eq!(report.omissions, 0);
+        assert!(report.records.iter().all(|r| r.members == 6));
+        assert!(!report.service_lost);
+    }
+
+    #[test]
+    fn replayed_command_is_rejected_as_stale() {
+        let mut cluster = BbwCluster::new();
+        cluster.replay_command_at_wheel(6, 2);
+        let report = cluster.run(12, constant_pedal);
+        assert_eq!(report.value.stale_rejects, 1, "replay must be caught");
+        assert_eq!(report.value.undetected_command_accepts, 0);
+        assert_eq!(report.value.held_setpoint_cycles, 1);
+        assert!(!report.service_lost);
+    }
+
+    #[test]
+    fn wheels_ride_through_a_short_cu_outage_on_held_setpoints() {
+        let mut cluster = BbwCluster::new();
+        // Warm up so the wheels have an accepted set-point to hold.
+        let warmup = cluster.run(4, constant_pedal);
+        assert!(!warmup.service_lost);
+        cluster.silence_node(CU_A, 1);
+        cluster.silence_node(CU_B, 1);
+        let report = cluster.run(12, constant_pedal);
+        // Both replicas silent for one cycle: without holding, all four
+        // wheels would drop out; with HOLD_CYCLES = 3 they brake through
+        // on their last accepted set-point.
+        assert_eq!(report.value.held_setpoint_cycles, 4);
+        assert!(!report.service_lost, "hold window must bridge the outage");
+        // The only missed slots are the two silent CU frames — every
+        // wheel kept transmitting on its held set-point.
+        assert_eq!(report.omissions, 2);
+        assert!(report.records.iter().all(|r| r.members == 6));
+    }
+
+    #[test]
+    fn runaway_actuator_is_failed_safe_and_reported() {
+        let mut cluster = BbwCluster::new();
+        cluster.attach_actuator_fault(2, ActuatorFault::Runaway { step: 500 }, 4);
+        let report = cluster.run(16, constant_pedal);
+        // The monitor trips, the actuator releases, the wheel goes
+        // fail-silent and membership excludes it — degraded, not lost.
+        assert_eq!(report.value.actuator_trips.len(), 1);
+        assert_eq!(report.value.actuator_trips[0].1, WHEELS[2]);
+        assert_eq!(report.value.undetected_actuator_cycles, 0);
+        assert!(cluster.actuator_failed(2));
+        let at_trip = cluster.actuators[2].measured();
+        // The release decays geometrically toward zero from the trip on.
+        let settle = cluster.run(20, constant_pedal);
+        assert!(
+            cluster.actuators[2].measured() < at_trip / 4,
+            "brake must keep releasing toward zero"
+        );
+        assert!(!settle.service_lost);
+        assert!(report.degraded_cycles > 0, "CU redistributes the share");
+        assert!(!report.service_lost);
+        assert!(report
+            .records
+            .iter()
+            .flat_map(|r| r.events.iter())
+            .any(|e| matches!(e, MembershipEvent::Excluded(n) if *n == WHEELS[2])));
+    }
+
+    #[test]
+    fn small_actuator_offset_is_masked_without_a_trip() {
+        let mut cluster = BbwCluster::new();
+        cluster.attach_actuator_fault(0, ActuatorFault::Offset(40), 2);
+        let report = cluster.run(20, constant_pedal);
+        assert!(report.value.actuator_trips.is_empty(), "bounded bias masked");
+        assert_eq!(report.value.undetected_actuator_cycles, 0);
+        assert!(!report.service_lost);
+        assert_eq!(report.degraded_cycles, 0);
     }
 
     #[test]

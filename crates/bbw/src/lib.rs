@@ -18,7 +18,16 @@
 //!   selection and degraded-mode force redistribution;
 //! * [`recovery`] — diagnosis-and-recovery scenarios on that cluster: a
 //!   masked transient storm, an intermittent wheel restarting and
-//!   reintegrating, and a stuck-at CU replica being retired.
+//!   reintegrating, and a stuck-at CU replica being retired;
+//! * [`sensor`] — triplicated pedal sensors with a deterministic
+//!   value-domain fault model, median voting, plausibility checks and
+//!   weakly-hard channel demotion;
+//! * [`actuator`] — wheel brake actuators with stuck/runaway/offset
+//!   faults and a wheel-local demand-vs-measured divergence monitor
+//!   that fails a bad actuator to its safe release state;
+//! * [`value_campaign`] — the value-domain storm campaign scoring
+//!   braking-safety metrics under simultaneous sensor, actuator,
+//!   command, network and node faults.
 //!
 //! # Examples
 //!
@@ -39,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actuator;
 pub mod analytic;
 pub mod cluster;
 pub mod cluster_campaign;
@@ -46,9 +56,14 @@ pub mod montecarlo;
 pub mod params;
 pub mod recovery;
 pub mod sensitivity;
+pub mod sensor;
+pub mod value_campaign;
 
-pub use analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
-pub use cluster::{BbwCluster, ClusterInjection, ClusterReport};
+pub use actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelActuator};
+pub use analytic::{
+    BbwSystem, Functionality, Policy, ValueDomainParams, ValueDomainSystem, HOURS_PER_YEAR,
+};
+pub use cluster::{BbwCluster, ClusterInjection, ClusterReport, ValueDomainReport};
 pub use cluster_campaign::{
     run_cluster_campaign, run_net_storm_campaign, ClusterCampaignConfig, ClusterCampaignResult,
     NetStormCampaignConfig, NetStormCampaignResult, NetStormOutcomes,
@@ -58,4 +73,9 @@ pub use params::BbwParams;
 pub use recovery::{
     intermittent_wheel_scenario, permanent_cu_scenario, run_recovery_cluster_campaign,
     transient_storm_scenario, RecoveryClusterCampaignConfig, RecoveryClusterOutcomes,
+};
+pub use sensor::{PedalSensorArray, PedalVoterConfig, SensorFault, PEDAL_MAX};
+pub use value_campaign::{
+    run_value_domain_campaign, ValueCampaignMode, ValueDomainCampaignConfig,
+    ValueDomainCampaignResult, ValueDomainOutcomes,
 };

@@ -2,7 +2,7 @@
 //!
 //! The paper's parameters — coverage `C_D` and the detected-transient split
 //! `P_T`/`P_OM`/`P_FS` — came from fault-injection experiments on the
-//! authors' kernel ([7], [8]). This module reproduces that methodology on
+//! authors' kernel (refs. 7, 8). This module reproduces that methodology on
 //! the simulated stack: inject transients into a node running real
 //! workloads under a policy (fail-silent or NLFT/TEM), classify every
 //! outcome against a golden run, and estimate the parameters with Wilson
@@ -80,7 +80,7 @@ pub struct CampaignConfig {
     /// Workloads cycled through (one per trial, round-robin).
     pub workloads: Vec<Workload>,
     /// Fraction of CPU time in kernel code: faults landing there become
-    /// kernel errors (the paper assumes ~5%, citing [10]).
+    /// kernel errors (the paper assumes ~5%, citing ref. 10).
     pub kernel_fraction: f64,
     /// Fraction of jobs whose deadline leaves no recovery slack (e.g. a
     /// second fault already consumed it, §2.5): a detected error in such a

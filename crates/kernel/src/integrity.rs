@@ -16,7 +16,39 @@ use std::fmt;
 use nlft_machine::machine::Machine;
 use nlft_machine::mem::WORD_BYTES;
 
+/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes.
+///
+/// This is the classic CRC-32 ("CRC-32/ISO-HDLC"): its check value over
+/// the ASCII digits `"123456789"` is `0xCBF43926`, which is pinned by a
+/// known-answer test so the polynomial, reflection and init/final-xor
+/// conventions can never silently regress.
+///
+/// # Examples
+///
+/// ```
+/// use nlft_kernel::integrity::crc32_bytes;
+///
+/// assert_eq!(crc32_bytes(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32_bytes(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
 /// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected) over words.
+///
+/// Each word contributes its four bytes in little-endian order, so
+/// `crc32(&[w])` equals [`crc32_bytes`]`(&w.to_le_bytes())`.
 ///
 /// # Examples
 ///
@@ -210,7 +242,7 @@ impl CrcRegion {
 }
 
 /// An end-to-end protected message: payload plus CRC, checked at the
-/// consumer regardless of how many hops it crossed (§2.6, [Kopetz]).
+/// consumer regardless of how many hops it crossed (§2.6, Kopetz).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SealedMessage {
     payload: Vec<u32>,
@@ -256,6 +288,248 @@ impl SealedMessage {
     }
 }
 
+/// An end-to-end protected *command*: payload, a sequence number naming
+/// the cycle in which the producer sealed it, and a CRC over both.
+///
+/// Where [`SealedMessage`] only proves the payload was not corrupted in
+/// transit, a `FreshSealedMessage` additionally lets the consumer prove
+/// the command is *fresh*: a duplicated, replayed or stale command
+/// carries a sequence number at or below one already consumed (or far
+/// behind the consumer's clock) and is rejected even though its CRC is
+/// intact — the application-level half of the end-to-end argument
+/// (§2.6, Kopetz).
+///
+/// # Examples
+///
+/// ```
+/// use nlft_kernel::integrity::FreshSealedMessage;
+///
+/// let msg = FreshSealedMessage::seal(7, vec![100, 200]);
+/// let words = msg.to_words();
+/// let back = FreshSealedMessage::from_words(&words).unwrap();
+/// let (seq, payload) = back.open().unwrap();
+/// assert_eq!((seq, payload), (7, vec![100, 200]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreshSealedMessage {
+    seq: u32,
+    payload: Vec<u32>,
+    crc: u32,
+}
+
+impl FreshSealedMessage {
+    /// Seals a payload under a sequence number.
+    pub fn seal(seq: u32, payload: Vec<u32>) -> Self {
+        let mut all = Vec::with_capacity(payload.len() + 1);
+        all.push(seq);
+        all.extend_from_slice(&payload);
+        let crc = crc32(&all);
+        FreshSealedMessage { seq, payload, crc }
+    }
+
+    /// The (unverified) sequence number.
+    pub fn seq_unchecked(&self) -> u32 {
+        self.seq
+    }
+
+    /// Read-only view of the (unverified) payload.
+    pub fn payload_unchecked(&self) -> &[u32] {
+        &self.payload
+    }
+
+    /// Serialises to `[seq, payload…, crc]` for transport in a frame.
+    pub fn to_words(&self) -> Vec<u32> {
+        let mut words = Vec::with_capacity(self.payload.len() + 2);
+        words.push(self.seq);
+        words.extend_from_slice(&self.payload);
+        words.push(self.crc);
+        words
+    }
+
+    /// Reassembles a message from its wire words. Returns `None` when the
+    /// word count cannot hold even an empty sealed command — a malformed
+    /// buffer, not merely a corrupted one.
+    pub fn from_words(words: &[u32]) -> Option<Self> {
+        if words.len() < 2 {
+            return None;
+        }
+        Some(FreshSealedMessage {
+            seq: words[0],
+            payload: words[1..words.len() - 1].to_vec(),
+            crc: words[words.len() - 1],
+        })
+    }
+
+    /// Opens the message, verifying end-to-end integrity of sequence
+    /// number and payload together. Freshness is the consumer's job — see
+    /// [`CommandAcceptor`].
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrityError::CrcMismatch`] if seq, payload or CRC were
+    /// corrupted anywhere between sealing and opening.
+    pub fn open(self) -> Result<(u32, Vec<u32>), IntegrityError> {
+        let mut all = Vec::with_capacity(self.payload.len() + 1);
+        all.push(self.seq);
+        all.extend_from_slice(&self.payload);
+        let actual = crc32(&all);
+        if actual != self.crc {
+            return Err(IntegrityError::CrcMismatch {
+                expected: self.crc,
+                actual,
+            });
+        }
+        Ok((self.seq, self.payload))
+    }
+
+    /// Flips bits in one wire word (seq = 0, payload words, CRC last) —
+    /// test/fault-injection helper.
+    pub fn corrupt_word(&mut self, index: usize, mask: u32) {
+        let last = self.payload.len() + 1;
+        match index {
+            0 => self.seq ^= mask,
+            i if i == last => self.crc ^= mask,
+            i => self.payload[i - 1] ^= mask,
+        }
+    }
+}
+
+/// Why a consumer rejected a sealed command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandReject {
+    /// The wire buffer cannot hold a sealed command at all.
+    Malformed,
+    /// The end-to-end CRC failed: corrupted in some buffer past the bus.
+    Corrupt(IntegrityError),
+    /// Sequence number at or below one already consumed: a duplicated or
+    /// replayed command.
+    Stale {
+        /// Sequence number carried by the rejected command.
+        seq: u32,
+        /// Highest sequence number already accepted.
+        last: u32,
+    },
+    /// Sequence number too far behind the consumer's own clock: an aged
+    /// command surviving in a buffer (e.g. across a consumer restart,
+    /// when no `last` exists to compare against).
+    TooOld {
+        /// Cycles between sealing and the acceptance attempt.
+        age: u32,
+        /// Maximum age the acceptor tolerates.
+        max_age: u32,
+    },
+}
+
+impl fmt::Display for CommandReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandReject::Malformed => write!(f, "malformed command buffer"),
+            CommandReject::Corrupt(e) => write!(f, "corrupt command: {e}"),
+            CommandReject::Stale { seq, last } => {
+                write!(f, "stale command: seq {seq} already superseded by {last}")
+            }
+            CommandReject::TooOld { age, max_age } => {
+                write!(f, "aged command: {age} cycles old, limit {max_age}")
+            }
+        }
+    }
+}
+
+/// Consumer-side freshness filter for [`FreshSealedMessage`] streams.
+///
+/// Tracks the highest sequence number accepted so far and rejects
+/// anything corrupted, duplicated, replayed, or older than `max_age`
+/// cycles relative to the consumer's clock. A rejected command must be
+/// converted by the caller into a well-behaved omission (e.g. hold the
+/// last safe value), never consumed.
+///
+/// # Examples
+///
+/// ```
+/// use nlft_kernel::integrity::{CommandAcceptor, CommandReject, FreshSealedMessage};
+///
+/// let mut port = CommandAcceptor::new(2);
+/// let cmd = FreshSealedMessage::seal(5, vec![900]);
+/// assert_eq!(port.accept(&cmd.to_words(), 6).unwrap(), vec![900]);
+/// // The same command delivered again is a replay.
+/// assert!(matches!(
+///     port.accept(&cmd.to_words(), 7),
+///     Err(CommandReject::Stale { .. })
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandAcceptor {
+    last_seq: Option<u32>,
+    max_age: u32,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl CommandAcceptor {
+    /// Creates an acceptor tolerating commands up to `max_age` cycles
+    /// older than the consumer's clock at acceptance time.
+    pub fn new(max_age: u32) -> Self {
+        CommandAcceptor {
+            last_seq: None,
+            max_age,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Commands accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Commands rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest sequence number accepted, if any.
+    pub fn last_seq(&self) -> Option<u32> {
+        self.last_seq
+    }
+
+    /// Validates one wire buffer at consumer time `now` (same clock the
+    /// producer seals with — in a time-triggered system, the global cycle
+    /// count). Returns the payload on success.
+    ///
+    /// # Errors
+    ///
+    /// [`CommandReject`] when the buffer is malformed, fails the
+    /// end-to-end CRC, repeats or precedes an accepted sequence number,
+    /// or is older than the acceptor's age bound.
+    pub fn accept(&mut self, words: &[u32], now: u32) -> Result<Vec<u32>, CommandReject> {
+        let result = self.accept_inner(words, now);
+        match result {
+            Ok(_) => self.accepted += 1,
+            Err(_) => self.rejected += 1,
+        }
+        result
+    }
+
+    fn accept_inner(&mut self, words: &[u32], now: u32) -> Result<Vec<u32>, CommandReject> {
+        let msg = FreshSealedMessage::from_words(words).ok_or(CommandReject::Malformed)?;
+        let (seq, payload) = msg.open().map_err(CommandReject::Corrupt)?;
+        if let Some(last) = self.last_seq {
+            if seq <= last {
+                return Err(CommandReject::Stale { seq, last });
+            }
+        }
+        let age = now.saturating_sub(seq);
+        if age > self.max_age {
+            return Err(CommandReject::TooOld {
+                age,
+                max_age: self.max_age,
+            });
+        }
+        self.last_seq = Some(seq);
+        Ok(payload)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +548,117 @@ mod tests {
         for bit in 0..32 {
             assert_ne!(crc32(&[0]), crc32(&[1 << bit]));
         }
+    }
+
+    /// IEEE 802.3 known-answer test: the check value of CRC-32/ISO-HDLC
+    /// over `"123456789"` is 0xCBF43926. If this fails, the polynomial,
+    /// reflection or init/final-xor convention silently changed — which
+    /// invalidates every sealed structure in the workspace.
+    #[test]
+    fn crc32_ieee_known_answer() {
+        assert_eq!(crc32_bytes(b"123456789"), 0xCBF43926);
+        // And a second vector: 32 zero bytes.
+        assert_eq!(crc32_bytes(&[0u8; 32]), 0x190A55AD);
+    }
+
+    /// The word-oriented API is byte-for-byte the same CRC: each word
+    /// contributes its little-endian bytes, so the 8-byte prefix of the
+    /// IEEE vector is reachable through two words.
+    #[test]
+    fn crc32_words_match_bytes() {
+        let w1 = u32::from_le_bytes(*b"1234");
+        let w2 = u32::from_le_bytes(*b"5678");
+        assert_eq!(crc32(&[w1, w2]), crc32_bytes(b"12345678"));
+        assert_eq!(crc32(&[0xDEAD_BEEF]), crc32_bytes(&0xDEAD_BEEFu32.to_le_bytes()));
+        assert_eq!(crc32(&[]), crc32_bytes(&[]));
+    }
+
+    #[test]
+    fn fresh_sealed_round_trip_and_wire_format() {
+        let msg = FreshSealedMessage::seal(42, vec![10, 20, 30]);
+        let words = msg.to_words();
+        assert_eq!(words.len(), 5, "[seq, 3 payload words, crc]");
+        assert_eq!(words[0], 42);
+        let back = FreshSealedMessage::from_words(&words).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.open().unwrap(), (42, vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn fresh_sealed_detects_corruption_of_any_word() {
+        let words = FreshSealedMessage::seal(9, vec![7, 8]).to_words();
+        for i in 0..words.len() {
+            let mut msg = FreshSealedMessage::from_words(&words).unwrap();
+            msg.corrupt_word(i, 1 << (i % 32));
+            assert!(msg.open().is_err(), "corruption of word {i} must be caught");
+        }
+    }
+
+    #[test]
+    fn acceptor_accepts_fresh_rejects_replay_and_stale() {
+        let mut port = CommandAcceptor::new(2);
+        let c5 = FreshSealedMessage::seal(5, vec![100]).to_words();
+        let c6 = FreshSealedMessage::seal(6, vec![110]).to_words();
+        assert_eq!(port.accept(&c5, 5).unwrap(), vec![100]);
+        assert_eq!(port.accept(&c6, 7).unwrap(), vec![110]);
+        // Replay of c5 (duplicate from a faulty driver): stale.
+        assert!(matches!(
+            port.accept(&c5, 8),
+            Err(CommandReject::Stale { seq: 5, last: 6 })
+        ));
+        // Replay of the *latest* command is equally stale.
+        assert!(matches!(
+            port.accept(&c6, 8),
+            Err(CommandReject::Stale { seq: 6, last: 6 })
+        ));
+        assert_eq!(port.accepted(), 2);
+        assert_eq!(port.rejected(), 2);
+    }
+
+    #[test]
+    fn acceptor_age_check_catches_replay_after_restart() {
+        // A consumer restart wipes `last_seq`; a buffer surviving from
+        // cycle 3 must still be rejected at cycle 10 by age alone.
+        let mut port = CommandAcceptor::new(2);
+        let old = FreshSealedMessage::seal(3, vec![900]).to_words();
+        assert!(matches!(
+            port.accept(&old, 10),
+            Err(CommandReject::TooOld { age: 7, max_age: 2 })
+        ));
+        // A fresh command is fine.
+        let fresh = FreshSealedMessage::seal(10, vec![901]).to_words();
+        assert!(port.accept(&fresh, 10).is_ok());
+    }
+
+    #[test]
+    fn acceptor_rejects_corrupt_and_malformed() {
+        let mut port = CommandAcceptor::new(2);
+        let mut msg = FreshSealedMessage::seal(4, vec![1, 2, 3]);
+        msg.corrupt_word(2, 0x40);
+        assert!(matches!(
+            port.accept(&msg.to_words(), 4),
+            Err(CommandReject::Corrupt(_))
+        ));
+        assert!(matches!(
+            port.accept(&[1], 4),
+            Err(CommandReject::Malformed)
+        ));
+        assert_eq!(port.rejected(), 2);
+        // Rejections never advance the freshness state.
+        assert_eq!(port.last_seq(), None);
+    }
+
+    #[test]
+    fn seq_corruption_cannot_smuggle_a_stale_command_past_the_crc() {
+        // Forging a higher sequence number onto an old payload breaks the
+        // seal: seq participates in the CRC.
+        let mut msg = FreshSealedMessage::seal(3, vec![55]);
+        msg.corrupt_word(0, 3 ^ 20);
+        let mut port = CommandAcceptor::new(2);
+        assert!(matches!(
+            port.accept(&msg.to_words(), 20),
+            Err(CommandReject::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! paper's repair rates from it.
 //!
 //! §3.3 of the paper grounds its Markov repair rates in measured TTP/C
-//! timings ([16]): a TDMA round of ~20 ms, a node needing ~1.6 s (80
+//! timings (ref. 16): a TDMA round of ~20 ms, a node needing ~1.6 s (80
 //! rounds) to restart its OS and be reintegrated, plus ~1.4 s of hardware
 //! reset and diagnostics — 3 s total for a fail-silent restart, hence
 //! `μ_R = 1.2e3`/h and `μ_OM = 2.25e3`/h. This module reproduces that
@@ -44,7 +44,7 @@ impl BusTiming {
 
 /// Membership thresholds matching the paper's measured latencies: at a
 /// ~20 ms round, 80 rounds to readmission reproduces the 1.6 s
-/// reintegration time of [16].
+/// reintegration time of ref. 16.
 pub fn paper_membership(config: &BusConfig) -> Membership {
     Membership::new(config, 2, 80)
 }

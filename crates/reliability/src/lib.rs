@@ -50,5 +50,5 @@ pub use dtmc::{AbsorbingDtmc, DtmcError};
 pub use faulttree::{EventId, FaultTree, FaultTreeBuilder, HierarchicalTree};
 pub use lang::{parse, LangError, ModelSet};
 pub use linalg::{LinalgError, Matrix};
-pub use model::{mttf_numeric, CtmcReliability, Exponential, ReliabilityModel};
+pub use model::{mttf_numeric, CoveredModel, CtmcReliability, Exponential, ReliabilityModel};
 pub use rbd::Block;

@@ -67,6 +67,48 @@ impl ReliabilityModel for Exponential {
     }
 }
 
+/// A component seen through an imperfect detection layer: only the
+/// *undetected* fraction `1 − c` of its failures reaches the output as a
+/// silent (value-domain) failure, so
+/// `U_covered(t) = (1 − c) · U_inner(t)`.
+///
+/// This is the standard coverage factor of Bouricius/Arnold applied at
+/// the fault-tree leaf: a detected failure is handled elsewhere in the
+/// tree (redundancy exhaustion, fail-safe release), while the coverage
+/// miss is a basic event of its own. With `c = 1` the event vanishes;
+/// with `c = 0` the wrapper is the inner model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveredModel<M> {
+    inner: M,
+    coverage: f64,
+}
+
+impl<M: ReliabilityModel> CoveredModel<M> {
+    /// Wraps `inner` with detection coverage `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `coverage` is in `[0, 1]`.
+    pub fn new(inner: M, coverage: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0, 1]"
+        );
+        CoveredModel { inner, coverage }
+    }
+
+    /// The detection coverage `c`.
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+}
+
+impl<M: ReliabilityModel> ReliabilityModel for CoveredModel<M> {
+    fn reliability(&self, t_hours: f64) -> f64 {
+        1.0 - (1.0 - self.coverage) * self.inner.unreliability(t_hours)
+    }
+}
+
 /// An absorbing CTMC viewed through its up-states: `R(t)` is the
 /// probability of never having entered the absorbing (failure) states —
 /// valid when the failure states trap (no repair out of them), which holds
@@ -256,6 +298,44 @@ mod tests {
         b.transition(up, down, 1.0).unwrap();
         b.transition(down, up, 1.0).unwrap(); // repair out of "failure"
         CtmcReliability::new(b.build(), vec![1.0, 0.0], vec![down]);
+    }
+
+    #[test]
+    fn covered_model_scales_the_unreliability() {
+        let inner = Exponential::new(1e-4);
+        let covered = CoveredModel::new(inner, 0.95);
+        let t = 5_000.0;
+        let expected = 0.05 * inner.unreliability(t);
+        assert!((covered.unreliability(t) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covered_model_limits() {
+        let inner = Exponential::new(1e-3);
+        let perfect = CoveredModel::new(inner, 1.0);
+        let blind = CoveredModel::new(inner, 0.0);
+        for t in [0.0, 100.0, 10_000.0] {
+            assert_eq!(perfect.reliability(t), 1.0, "c = 1 never fails silently");
+            assert!((blind.reliability(t) - inner.reliability(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covered_model_is_monotone_in_coverage() {
+        let inner = Exponential::new(1e-3);
+        let t = 2_000.0;
+        let mut last = -1.0;
+        for c in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let r = CoveredModel::new(inner, c).reliability(t);
+            assert!(r > last, "higher coverage must mean higher reliability");
+            last = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be in [0, 1]")]
+    fn covered_model_rejects_bad_coverage() {
+        let _ = CoveredModel::new(Exponential::new(1e-3), 1.5);
     }
 
     #[test]

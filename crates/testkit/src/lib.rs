@@ -9,7 +9,7 @@
 //! * [`prop`] — a seeded property-testing harness. Each suite owns a fixed
 //!   master seed; every property and case derives its stream from it, so a
 //!   failure report always carries the exact seed that reproduces it.
-//! * [`bench`] — a wall-clock benchmark runner (warmup, calibrated batch
+//! * [`mod@bench`] — a wall-clock benchmark runner (warmup, calibrated batch
 //!   sizes, median/p95 over timed samples) with machine-readable JSON
 //!   reports, driven by the `harness = false` bench binaries in
 //!   `crates/bench/benches/`.

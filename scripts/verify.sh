@@ -9,6 +9,11 @@ cd "$(dirname "$0")/.."
 RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 
+# Documentation is part of tier 1: every public item is documented
+# (missing_docs) and rustdoc itself must be warning-clean (broken intra-doc
+# links, bad code fences).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Smoke-run every example. Each must exit zero on a small workload: the
 # campaign-style examples read a trial count from their first argument,
 # the rest ignore it.
