@@ -101,9 +101,7 @@ impl WheelActuator {
         self.measured = match active {
             None => lag(self.measured, demand),
             Some((ActuatorFault::Stuck, _)) => self.measured,
-            Some((ActuatorFault::Runaway { step }, _)) => {
-                (self.measured + step).min(FORCE_MAX)
-            }
+            Some((ActuatorFault::Runaway { step }, _)) => (self.measured + step).min(FORCE_MAX),
             Some((ActuatorFault::Offset(o), _)) => {
                 let biased = i64::from(lag(self.measured, demand)) + o;
                 biased.clamp(0, i64::from(FORCE_MAX)) as u32
@@ -194,7 +192,10 @@ impl ActuatorMonitor {
     /// `m > k`).
     pub fn new(config: ActuatorMonitorConfig) -> Self {
         assert!(config.window_misses > 0, "window_misses must be positive");
-        assert!(config.window_cycles <= 64, "window_cycles must be at most 64");
+        assert!(
+            config.window_cycles <= 64,
+            "window_cycles must be at most 64"
+        );
         assert!(
             config.window_misses <= config.window_cycles,
             "window_misses must be at most window_cycles"

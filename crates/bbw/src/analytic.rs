@@ -89,7 +89,12 @@ pub fn central_unit(params: &BbwParams, policy: Policy) -> CtmcReliability {
             // Covered transients split: P_T masked (no transition),
             // P_FS restart, P_OM omission window.
             transition_if_positive(&mut b, s0, s2, 2.0 * p.lambda_t * p.coverage * p.p_fs);
-            transition_if_positive(&mut b, s0, s3.expect("nlft"), 2.0 * p.lambda_t * p.coverage * p.p_om);
+            transition_if_positive(
+                &mut b,
+                s0,
+                s3.expect("nlft"),
+                2.0 * p.lambda_t * p.coverage * p.p_om,
+            );
         }
     }
 
@@ -166,7 +171,12 @@ pub fn wheel_subsystem(
                 }
                 Policy::Nlft => {
                     transition_if_positive(&mut b, s0, s2, 4.0 * p.lambda_t * p.coverage * p.p_fs);
-                    transition_if_positive(&mut b, s0, s3.expect("nlft"), 4.0 * p.lambda_t * p.coverage * p.p_om);
+                    transition_if_positive(
+                        &mut b,
+                        s0,
+                        s3.expect("nlft"),
+                        4.0 * p.lambda_t * p.coverage * p.p_om,
+                    );
                 }
             }
 
@@ -241,7 +251,12 @@ pub fn simplex_station(
         }
         Policy::Nlft => {
             transition_if_positive(&mut b, s0, s2, p.lambda_t * p.coverage * p.p_fs);
-            transition_if_positive(&mut b, s0, s3.expect("nlft"), p.lambda_t * p.coverage * p.p_om);
+            transition_if_positive(
+                &mut b,
+                s0,
+                s3.expect("nlft"),
+                p.lambda_t * p.coverage * p.p_om,
+            );
         }
     }
     transition_if_positive(&mut b, s2, s0, p.mu_r);
@@ -281,10 +296,7 @@ impl BbwSystem {
         let cu_ev = ft.basic_event("central unit subsystem fails");
         let wn_ev = ft.basic_event("wheel node subsystem fails");
         let top = ft.or(vec![cu_ev, wn_ev]);
-        let tree = HierarchicalTree::new(
-            ft.build(top),
-            vec![cu.clone() as _, wn.clone() as _],
-        );
+        let tree = HierarchicalTree::new(ft.build(top), vec![cu.clone() as _, wn.clone() as _]);
         BbwSystem {
             policy,
             functionality,
@@ -808,7 +820,10 @@ mod tests {
         let g_high = gain(0.999);
         let g_mid = gain(0.9);
         let g_low = gain(0.5);
-        assert!(g_high > 1.0 && g_mid > 1.0 && g_low > 1.0, "NLFT always wins");
+        assert!(
+            g_high > 1.0 && g_mid > 1.0 && g_low > 1.0,
+            "NLFT always wins"
+        );
         assert!(
             g_high > g_mid && g_mid > g_low,
             "gain must erode: {g_high} > {g_mid} > {g_low}"

@@ -43,6 +43,10 @@ use nlft_net::frame::NodeId;
 use nlft_net::inject::{InjectionCounts, NetFaultInjector, NetFaultPlan};
 use nlft_net::membership::{Membership, MembershipEvent};
 use nlft_net::replication::{select_duplex_among, DuplexPair, DuplexValue, StateResync};
+use nlft_net::startup::{
+    StartupConfig, StartupEvent, StartupMetrics, StartupProtocol, StartupState, TransmitIntent,
+    COLD_START_MARKER,
+};
 use nlft_sim::rng::RngStream;
 
 use crate::actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelActuator};
@@ -181,6 +185,10 @@ pub struct ClusterReport {
     pub restarts: u32,
     /// Nodes retired by their supervisor during this run.
     pub retired_nodes: Vec<NodeId>,
+    /// Startup-protocol milestones (power-ups, cold-start contention,
+    /// big-bangs, activations, clique reverts) in cycle order. Empty
+    /// unless [`BbwCluster::enable_startup`] was called.
+    pub startup_events: Vec<(u32, StartupEvent)>,
     /// Value-domain observability for this run.
     pub value: ValueDomainReport,
 }
@@ -255,7 +263,27 @@ impl StationRuntime {
         };
         let events = sup.tick_silent();
         if events.contains(&EscalationEvent::Restarted) {
-            self.machine = self.workload.instantiate();
+            self.reboot();
+        }
+        events
+    }
+
+    /// Reboots the node's processor: fresh machine state, same hardware
+    /// (a stuck-at survives because it lives in the silicon).
+    fn reboot(&mut self) {
+        self.machine = self.workload.instantiate();
+    }
+
+    /// The startup protocol admitted this node into the majority clique:
+    /// release a supervisor parked on the integration gate. A resulting
+    /// `Restarted` reboots the machine exactly like an ungated restart.
+    fn complete_integration(&mut self) -> Vec<EscalationEvent> {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return Vec::new();
+        };
+        let events = sup.integration_complete();
+        if events.contains(&EscalationEvent::Restarted) {
+            self.reboot();
         }
         events
     }
@@ -337,6 +365,10 @@ pub struct BbwCluster {
     wire_corruptions: Vec<(u32, NodeId)>,
     /// Network-level fault injector, when a storm is attached.
     net_injector: Option<NetFaultInjector>,
+    /// TTP/C-style startup/reintegration protocol, when enabled. `None`
+    /// keeps the pre-startup behaviour: returning nodes simply resume
+    /// transmitting in their slot.
+    startup: Option<StartupProtocol>,
     /// Per-CU state-resync endpoints, driven when a replica returns from an
     /// outage.
     cu_resync: BTreeMap<NodeId, StateResync>,
@@ -416,6 +448,7 @@ impl BbwCluster {
             injections: Vec::new(),
             wire_corruptions: Vec::new(),
             net_injector: None,
+            startup: None,
             cu_resync: [CU_A, CU_B]
                 .into_iter()
                 .map(|id| (id, StateResync::new(id, cu_pair)))
@@ -504,6 +537,30 @@ impl BbwCluster {
     /// Detaches the network fault injector entirely.
     pub fn clear_net_faults(&mut self) {
         self.net_injector = None;
+    }
+
+    /// Enables the TTP/C-style startup/reintegration protocol over the
+    /// six bus slots. The cluster is assumed already synchronised (every
+    /// node starts `Active`, clique avoidance disarmed until the first
+    /// heard majority); nodes knocked out by a blackout then re-enter
+    /// service through Listen → cold-start contention → integration
+    /// instead of simply transmitting again, and supervisors with
+    /// [`EscalationPolicy::gate_reintegration`] set park on the
+    /// integration gate until the protocol activates their node.
+    pub fn enable_startup(&mut self) {
+        self.startup = Some(StartupProtocol::all_active(StartupConfig::for_bus(
+            self.bus.config(),
+        )));
+    }
+
+    /// A node's current startup state (`None` while startup is disabled).
+    pub fn startup_state(&self, node: NodeId) -> Option<StartupState> {
+        self.startup.as_ref().map(|s| s.state(node))
+    }
+
+    /// Startup metrics accumulated so far (`None` while disabled).
+    pub fn startup_metrics(&self) -> Option<&StartupMetrics> {
+        self.startup.as_ref().map(|s| s.metrics())
     }
 
     /// Injection decisions taken by the attached storm so far.
@@ -606,6 +663,7 @@ impl BbwCluster {
         let mut escalations: Vec<(u32, NodeId, EscalationEvent)> = Vec::new();
         let mut restarts = 0;
         let mut retired_nodes: Vec<NodeId> = Vec::new();
+        let mut startup_events: Vec<(u32, StartupEvent)> = Vec::new();
         let crc_rejects_0 = self.bus.crc_rejects();
         let guardian_blocks_0 = self.bus.guardian_blocks();
         let masquerade_rejects_0 = self.bus.masquerade_rejects();
@@ -621,6 +679,31 @@ impl BbwCluster {
                 None => Vec::new(),
             };
             let bus_cycle = self.bus.cycle();
+
+            // Blackout resets decided this cycle: the victims lose their
+            // volatile state (processor, acceptor window, held set-point)
+            // and, when the startup protocol is on, re-enter service
+            // through Listen / cold-start contention.
+            let resets: Vec<(NodeId, u32)> = self
+                .net_injector
+                .as_ref()
+                .map(|inj| inj.resets_this_cycle().to_vec())
+                .unwrap_or_default();
+            for &(node, down) in &resets {
+                if let Some(st) = self.startup.as_mut() {
+                    st.reset_node(node, down, bus_cycle);
+                }
+                if let Some(station) = self.station_mut(node) {
+                    station.reboot();
+                }
+                if let Some(w) = WHEELS.iter().position(|&id| id == node) {
+                    self.acceptors[w] = CommandAcceptor::new(COMMAND_MAX_AGE);
+                    self.last_command_words[w] = None;
+                    self.setpoints[w] = None;
+                    self.last_good[w] = None;
+                    self.hold_left[w] = 0;
+                }
+            }
 
             // Read the pedal through the triplicated sensor array: the
             // voter masks channel faults, clamps out-of-range readings at
@@ -641,13 +724,23 @@ impl BbwCluster {
                 let plan = plan_for(&self.injections, bus_cycle, id);
                 if self.wire_corruptions.contains(&(bus_cycle, id)) {
                     let slot = self.bus.config().slot_of(id).expect("CU owns a slot");
-                    self.bus
-                        .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
+                    self.bus.stage_wire_fault(WireFault::CorruptStatic {
+                        slot,
+                        byte: 7,
+                        mask: 0x40,
+                    });
                 }
                 let net_down = net_silenced.contains(&id);
+                let intent = self
+                    .startup
+                    .as_ref()
+                    .map(|s| s.intent(id))
+                    .unwrap_or(TransmitIntent::Normal);
                 let was_silent = self.cu_silent_last[&id];
-                let silent_now =
-                    net_down || station.silent_for > 0 || station.supervised_silent();
+                let silent_now = net_down
+                    || intent != TransmitIntent::Normal
+                    || station.silent_for > 0
+                    || station.supervised_silent();
                 let resync = self.cu_resync.get_mut(&id).expect("CU endpoint");
                 if was_silent && !silent_now {
                     // The replica returns: it resumes transmitting at once
@@ -657,9 +750,10 @@ impl BbwCluster {
                 }
                 self.cu_silent_last.insert(id, silent_now);
                 let mut our_state: Vec<u32> = Vec::new();
-                if net_down {
-                    // Held down by the network outage: the node does not
-                    // execute, but its supervisor's restart clock still runs.
+                if net_down || intent == TransmitIntent::Silent {
+                    // Held down by the network outage, or still listening
+                    // for a time base: the node does not execute, but its
+                    // supervisor's restart clock still runs.
                     for ev in station.tick_supervisor() {
                         record_escalation(
                             &mut escalations,
@@ -670,6 +764,12 @@ impl BbwCluster {
                             ev,
                         );
                     }
+                } else if intent == TransmitIntent::ColdStartFrame {
+                    // Cold-start contention: the only frame this node may
+                    // send is the marker offering its own time base.
+                    let _ = self
+                        .bus
+                        .transmit_static(id, vec![COLD_START_MARKER, bus_cycle]);
                 } else {
                     let (result, events) = station.run_job(&[pedal_now], plan);
                     for ev in events {
@@ -727,6 +827,25 @@ impl BbwCluster {
                     // Crashed / clock-lost: the node does not execute.
                     continue;
                 }
+                match self
+                    .startup
+                    .as_ref()
+                    .map(|s| s.intent(id))
+                    .unwrap_or(TransmitIntent::Normal)
+                {
+                    TransmitIntent::Silent => {
+                        // Listening for a time base, or reverted by clique
+                        // avoidance: fail-silent by construction.
+                        continue;
+                    }
+                    TransmitIntent::ColdStartFrame => {
+                        let _ = self
+                            .bus
+                            .transmit_static(id, vec![COLD_START_MARKER, bus_cycle]);
+                        continue;
+                    }
+                    TransmitIntent::Normal => {}
+                }
                 if station.supervised_silent() {
                     // The escalation ladder holds this wheel down (silent,
                     // restarting or retired): advance its restart clock.
@@ -751,8 +870,11 @@ impl BbwCluster {
                 let plan = plan_for(&self.injections, bus_cycle, id);
                 if self.wire_corruptions.contains(&(bus_cycle, id)) {
                     let slot = self.bus.config().slot_of(id).expect("wheel owns a slot");
-                    self.bus
-                        .stage_wire_fault(WireFault::CorruptStatic { slot, byte: 7, mask: 0x40 });
+                    self.bus.stage_wire_fault(WireFault::CorruptStatic {
+                        slot,
+                        byte: 7,
+                        mask: 0x40,
+                    });
                 }
                 let (result, events) = station.run_job(&[sp, self.actuators[w].measured()], plan);
                 for ev in events {
@@ -796,6 +918,41 @@ impl BbwCluster {
                 }
             }
 
+            // Supervisors whose restart window elapsed under a gated
+            // policy park on the integration gate. Route them into the
+            // startup protocol (re-entering through Listen), or — with no
+            // protocol to gate on — admit them at once.
+            let parked: Vec<NodeId> = [CU_A, CU_B]
+                .iter()
+                .chain(WHEELS.iter())
+                .copied()
+                .filter(|id| {
+                    self.cu
+                        .get(id)
+                        .or_else(|| self.wheels.get(id))
+                        .and_then(|s| s.supervisor.as_ref())
+                        .is_some_and(|sup| sup.awaiting_integration())
+                })
+                .collect();
+            for id in parked {
+                if let Some(st) = self.startup.as_mut() {
+                    if st.is_active(id) {
+                        st.reset_node(id, 0, bus_cycle);
+                    }
+                } else if let Some(station) = self.station_mut(id) {
+                    for ev in station.complete_integration() {
+                        record_escalation(
+                            &mut escalations,
+                            &mut restarts,
+                            &mut retired_nodes,
+                            bus_cycle,
+                            id,
+                            ev,
+                        );
+                    }
+                }
+            }
+
             let delivery = self.bus.finish_cycle();
 
             // Count omissions: nodes that were members going *into* this
@@ -810,6 +967,31 @@ impl BbwCluster {
                 {
                     omissions += 1;
                 }
+            }
+
+            // Startup transitions: fed the same delivery, after
+            // membership. An `Activated` node has been counted into the
+            // majority clique — release its parked supervisor, if any.
+            let cycle_startup_events = match self.startup.as_mut() {
+                Some(st) => st.observe(bus_cycle, &delivery),
+                None => Vec::new(),
+            };
+            for ev in cycle_startup_events {
+                if let StartupEvent::Activated(n) = ev {
+                    if let Some(station) = self.station_mut(n) {
+                        for sev in station.complete_integration() {
+                            record_escalation(
+                                &mut escalations,
+                                &mut restarts,
+                                &mut retired_nodes,
+                                bus_cycle,
+                                n,
+                                sev,
+                            );
+                        }
+                    }
+                }
+                startup_events.push((bus_cycle, ev));
             }
 
             let events = self.membership.observe(&delivery);
@@ -830,12 +1012,9 @@ impl BbwCluster {
             // selection is membership-aware: a replica still outside the
             // view (excluded, or restarted and not yet readmitted) cannot
             // poison the pair with stale state.
-            let cu_value = select_duplex_among(
-                self.bus.config(),
-                &delivery,
-                self.cu_pair,
-                |n| self.membership.is_member(n),
-            );
+            let cu_value = select_duplex_among(self.bus.config(), &delivery, self.cu_pair, |n| {
+                self.membership.is_member(n)
+            });
             let cu_single = matches!(cu_value, DuplexValue::Single { .. });
             let cu_words: Option<Vec<u32>> = cu_value.payload().map(|p| p.to_vec());
             for w in 0..4 {
@@ -910,8 +1089,7 @@ impl BbwCluster {
             if degraded {
                 degraded_cycles += 1;
             }
-            let cu_alive =
-                self.membership.is_member(CU_A) || self.membership.is_member(CU_B);
+            let cu_alive = self.membership.is_member(CU_A) || self.membership.is_member(CU_B);
             if !cu_alive || serving_wheels < 3 {
                 service_lost = true;
             }
@@ -957,6 +1135,7 @@ impl BbwCluster {
             escalations,
             restarts,
             retired_nodes,
+            startup_events,
             value: ValueDomainReport {
                 undetected_sensor_cycles: self.pedal_sensors.stats().undetected_error_cycles
                     - undetected_sensor_base,
@@ -989,11 +1168,7 @@ impl Default for BbwCluster {
     }
 }
 
-fn plan_for(
-    injections: &[ClusterInjection],
-    cycle: u32,
-    node: NodeId,
-) -> Option<InjectionPlan> {
+fn plan_for(injections: &[ClusterInjection], cycle: u32, node: NodeId) -> Option<InjectionPlan> {
     injections
         .iter()
         .find(|i| i.cycle == cycle && i.node == node)
@@ -1033,9 +1208,7 @@ mod tests {
         let report = cluster.run(12, |c| if c < 6 { 0 } else { 2000 });
         let early = &report.records[4];
         let late = report.records.last().unwrap();
-        let sum = |r: &CycleRecord| -> u32 {
-            r.wheel_force.iter().map(|f| f.unwrap_or(0)).sum()
-        };
+        let sum = |r: &CycleRecord| -> u32 { r.wheel_force.iter().map(|f| f.unwrap_or(0)).sum() };
         assert!(sum(late) > sum(early), "harder pedal → more total force");
     }
 
@@ -1167,7 +1340,10 @@ mod tests {
         let storm = cluster.run(20, |_| 1200);
         assert!(!storm.service_lost, "3-of-4 wheels must keep braking");
         assert!(!storm.split_membership);
-        assert!(storm.degraded_cycles >= 15, "wheel excluded almost throughout");
+        assert!(
+            storm.degraded_cycles >= 15,
+            "wheel excluded almost throughout"
+        );
         assert_eq!(storm.records.last().unwrap().members, 5);
         assert_eq!(storm.min_members, 5);
 
@@ -1327,7 +1503,10 @@ mod tests {
         let mut cluster = BbwCluster::new();
         cluster.attach_actuator_fault(0, ActuatorFault::Offset(40), 2);
         let report = cluster.run(20, constant_pedal);
-        assert!(report.value.actuator_trips.is_empty(), "bounded bias masked");
+        assert!(
+            report.value.actuator_trips.is_empty(),
+            "bounded bias masked"
+        );
         assert_eq!(report.value.undetected_actuator_cycles, 0);
         assert!(!report.service_lost);
         assert_eq!(report.degraded_cycles, 0);

@@ -393,11 +393,23 @@ mod tests {
         // which moves corruption byte draws and outcome verdicts.)
         let o = &one.outcomes;
         assert_eq!(
-            (o.trials, o.split_membership, o.service_lost, o.degraded_episode, o.omission_only, o.unaffected),
+            (
+                o.trials,
+                o.split_membership,
+                o.service_lost,
+                o.degraded_episode,
+                o.omission_only,
+                o.unaffected
+            ),
             (10, 1, 5, 4, 0, 0),
             "golden outcome distribution moved: {o:?}"
         );
-        assert_eq!(one.injected.total(), 239, "golden injection count moved: {:?}", one.injected);
+        assert_eq!(
+            one.injected.total(),
+            239,
+            "golden injection count moved: {:?}",
+            one.injected
+        );
         assert_eq!((one.crc_rejects, one.guardian_blocks), (92, 37));
     }
 

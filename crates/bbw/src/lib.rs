@@ -50,6 +50,7 @@
 
 pub mod actuator;
 pub mod analytic;
+pub mod blackout;
 pub mod cluster;
 pub mod cluster_campaign;
 pub mod montecarlo;
@@ -63,6 +64,7 @@ pub use actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelA
 pub use analytic::{
     BbwSystem, Functionality, Policy, ValueDomainParams, ValueDomainSystem, HOURS_PER_YEAR,
 };
+pub use blackout::{run_blackout_campaign, BlackoutCampaignConfig, BlackoutCampaignResult};
 pub use cluster::{BbwCluster, ClusterInjection, ClusterReport, ValueDomainReport};
 pub use cluster_campaign::{
     run_cluster_campaign, run_net_storm_campaign, ClusterCampaignConfig, ClusterCampaignResult,

@@ -44,7 +44,12 @@ pub struct MonteCarloConfig {
 
 impl MonteCarloConfig {
     /// A one-year mission with a 12-point grid.
-    pub fn one_year(policy: Policy, functionality: Functionality, replications: u64, seed: u64) -> Self {
+    pub fn one_year(
+        policy: Policy,
+        functionality: Functionality,
+        replications: u64,
+        seed: u64,
+    ) -> Self {
         MonteCarloConfig {
             params: BbwParams::paper(),
             policy,
@@ -87,18 +92,14 @@ impl MonteCarloResult {
 /// # Panics
 ///
 /// Panics on invalid configuration.
-pub fn estimate_mttf(
-    config: &MonteCarloConfig,
-    max_years: f64,
-) -> (f64, f64, u64) {
+pub fn estimate_mttf(config: &MonteCarloConfig, max_years: f64) -> (f64, f64, u64) {
     let mut cfg = config.clone();
     cfg.horizon_hours = max_years * 8_760.0;
     cfg.grid_hours = vec![cfg.horizon_hours];
     let result = run_monte_carlo(&cfg);
     let censored = result.curve.replications() - result.failures;
     let mean = result.failure_times.mean();
-    let se = result.failure_times.std_dev()
-        / (result.failure_times.count().max(1) as f64).sqrt();
+    let se = result.failure_times.std_dev() / (result.failure_times.count().max(1) as f64).sqrt();
     (mean, se, censored)
 }
 
@@ -191,7 +192,9 @@ fn simulate_once(config: &MonteCarloConfig, rng: &mut RngStream) -> Option<f64> 
         let dt = rng.exponential_hours(p.total_fault_rate());
         if let Some(at) = SimTime::ZERO.checked_add(dt) {
             if at <= horizon {
-                queue.schedule(at, Event::Fault(node)).expect("within horizon");
+                queue
+                    .schedule(at, Event::Fault(node))
+                    .expect("within horizon");
             }
         }
     }
@@ -204,8 +207,7 @@ fn simulate_once(config: &MonteCarloConfig, rng: &mut RngStream) -> Option<f64> 
                 if !rng.bernoulli(p.coverage) {
                     return Some(now.as_hours_f64());
                 }
-                let permanent =
-                    rng.bernoulli(p.lambda_p / (p.lambda_p + p.lambda_t));
+                let permanent = rng.bernoulli(p.lambda_p / (p.lambda_p + p.lambda_t));
                 if permanent {
                     states[node] = NodeState::DownPermanent;
                 } else {
@@ -215,8 +217,7 @@ fn simulate_once(config: &MonteCarloConfig, rng: &mut RngStream) -> Option<f64> 
                             schedule_repair(&mut queue, rng, now, horizon, node, p.mu_r);
                         }
                         Policy::Nlft => {
-                            let split =
-                                rng.weighted_index(&[p.p_t, p.p_om, p.p_fs]);
+                            let split = rng.weighted_index(&[p.p_t, p.p_om, p.p_fs]);
                             match split {
                                 0 => {
                                     // Masked: node never leaves service.
@@ -225,15 +226,11 @@ fn simulate_once(config: &MonteCarloConfig, rng: &mut RngStream) -> Option<f64> 
                                 }
                                 1 => {
                                     states[node] = NodeState::DownOmission;
-                                    schedule_repair(
-                                        &mut queue, rng, now, horizon, node, p.mu_om,
-                                    );
+                                    schedule_repair(&mut queue, rng, now, horizon, node, p.mu_om);
                                 }
                                 _ => {
                                     states[node] = NodeState::DownTransient;
-                                    schedule_repair(
-                                        &mut queue, rng, now, horizon, node, p.mu_r,
-                                    );
+                                    schedule_repair(&mut queue, rng, now, horizon, node, p.mu_r);
                                 }
                             }
                         }
@@ -265,7 +262,9 @@ fn schedule_repair(
     let dt: SimDuration = rng.exponential_hours(mu);
     if let Some(at) = now.checked_add(dt) {
         if at <= horizon {
-            queue.schedule(at, Event::Repair(node)).expect("within horizon");
+            queue
+                .schedule(at, Event::Repair(node))
+                .expect("within horizon");
         }
     }
 }
@@ -281,7 +280,9 @@ fn schedule_next_fault(
     let dt = rng.exponential_hours(p.total_fault_rate());
     if let Some(at) = now.checked_add(dt) {
         if at <= horizon {
-            queue.schedule(at, Event::Fault(node)).expect("within horizon");
+            queue
+                .schedule(at, Event::Fault(node))
+                .expect("within horizon");
         }
     }
 }
@@ -447,13 +448,13 @@ mod tests {
     fn mttf_estimate_matches_analytic() {
         // The paper's MTTF numbers, by simulation: run replications to
         // failure and compare with the analytic integral.
-        for (policy, expect_years) in [
-            (Policy::FailSilent, 1.195),
-            (Policy::Nlft, 1.927),
-        ] {
+        for (policy, expect_years) in [(Policy::FailSilent, 1.195), (Policy::Nlft, 1.927)] {
             let cfg = MonteCarloConfig::one_year(policy, Functionality::Degraded, 2_000, 0x77);
             let (mean_h, se_h, censored) = estimate_mttf(&cfg, 40.0);
-            assert!(censored <= 5, "{censored} of 2000 replications censored at 40 years");
+            assert!(
+                censored <= 5,
+                "{censored} of 2000 replications censored at 40 years"
+            );
             let mean_years = mean_h / 8_760.0;
             let tol = 4.0 * se_h / 8_760.0 + 0.05;
             assert!(

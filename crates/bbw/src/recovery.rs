@@ -172,7 +172,10 @@ pub fn run_recovery_cluster_campaign(
     config: &RecoveryClusterCampaignConfig,
 ) -> RecoveryClusterOutcomes {
     assert!(config.trials > 0, "need trials");
-    assert!(config.cycles >= 30, "the escalation ladder needs >= 30 cycles");
+    assert!(
+        config.cycles >= 30,
+        "the escalation ladder needs >= 30 cycles"
+    );
     let threads = config.threads.max(1);
     if threads == 1 {
         return run_recovery_shard(config, 0, config.trials);
@@ -410,7 +413,10 @@ mod tests {
         assert!(r.recovered > 0, "{r:?}");
         assert!(r.retired > 0, "{r:?}");
         assert_eq!(r.false_retirement, 0, "{r:?}");
-        assert_eq!(r.service_lost, 0, "single-node faults never lose braking: {r:?}");
+        assert_eq!(
+            r.service_lost, 0,
+            "single-node faults never lose braking: {r:?}"
+        );
         let total = r.masked_transient
             + r.recovered
             + r.retired

@@ -46,21 +46,20 @@ pub fn sensitivity(
     let mut rows = Vec::new();
 
     // Multiplicative rates → elasticity.
-    let mut rate = |name: &'static str,
-                    get: fn(&BbwParams) -> f64,
-                    set: fn(&mut BbwParams, f64)| {
-        let theta = get(params);
-        let mut up = *params;
-        set(&mut up, theta * (1.0 + h));
-        let mut down = *params;
-        set(&mut down, theta * (1.0 - h));
-        let dr = (r(&up) - r(&down)) / (2.0 * h); // dR / (dθ/θ)
-        rows.push(SensitivityRow {
-            parameter: name,
-            base: theta,
-            effect: dr / base_r, // elasticity
-        });
-    };
+    let mut rate =
+        |name: &'static str, get: fn(&BbwParams) -> f64, set: fn(&mut BbwParams, f64)| {
+            let theta = get(params);
+            let mut up = *params;
+            set(&mut up, theta * (1.0 + h));
+            let mut down = *params;
+            set(&mut down, theta * (1.0 - h));
+            let dr = (r(&up) - r(&down)) / (2.0 * h); // dR / (dθ/θ)
+            rows.push(SensitivityRow {
+                parameter: name,
+                base: theta,
+                effect: dr / base_r, // elasticity
+            });
+        };
     rate("lambda_p", |p| p.lambda_p, |p, v| p.lambda_p = v);
     rate("lambda_t", |p| p.lambda_t, |p, v| p.lambda_t = v);
     rate("mu_r", |p| p.mu_r, |p, v| p.mu_r = v);
@@ -128,7 +127,11 @@ pub fn render(rows: &[SensitivityRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:<16}{:>14}{:>14}", "parameter", "base", "effect");
     for row in sorted {
-        let _ = writeln!(out, "{:<16}{:>14.4e}{:>14.4e}", row.parameter, row.base, row.effect);
+        let _ = writeln!(
+            out,
+            "{:<16}{:>14.4e}{:>14.4e}",
+            row.parameter, row.base, row.effect
+        );
     }
     out
 }
@@ -156,13 +159,22 @@ mod tests {
     #[test]
     fn signs_match_physics() {
         let rows = rows_at(8_760.0);
-        assert!(effect(&rows, "lambda_p") < 0.0, "more permanents, less reliability");
+        assert!(
+            effect(&rows, "lambda_p") < 0.0,
+            "more permanents, less reliability"
+        );
         assert!(effect(&rows, "lambda_t") < 0.0);
         assert!(effect(&rows, "mu_r") > 0.0, "faster repair helps");
         assert!(effect(&rows, "mu_om") > 0.0);
         assert!(effect(&rows, "coverage") > 0.0);
-        assert!(effect(&rows, "p_t (vs p_om)") > 0.0, "masking beats omitting");
-        assert!(effect(&rows, "p_t (vs p_fs)") > 0.0, "masking beats restarting");
+        assert!(
+            effect(&rows, "p_t (vs p_om)") > 0.0,
+            "masking beats omitting"
+        );
+        assert!(
+            effect(&rows, "p_t (vs p_fs)") > 0.0,
+            "masking beats restarting"
+        );
     }
 
     #[test]

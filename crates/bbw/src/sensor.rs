@@ -105,9 +105,7 @@ impl PedalChannel {
         match fault {
             SensorFault::StuckAt(v) => i64::from(v),
             SensorFault::Offset(o) => t + o,
-            SensorFault::Drift { per_cycle } => {
-                t + per_cycle * i64::from(cycle - onset + 1)
-            }
+            SensorFault::Drift { per_cycle } => t + per_cycle * i64::from(cycle - onset + 1),
             SensorFault::NoiseBurst { amplitude, cycles } => {
                 if cycle - onset < cycles {
                     let span = 2 * u64::from(amplitude) + 1;
@@ -235,14 +233,16 @@ impl PedalSensorArray {
     /// [`PedalVoterConfig`]).
     pub fn new(config: PedalVoterConfig, rng: RngStream) -> Self {
         assert!(config.window_misses > 0, "window_misses must be positive");
-        assert!(config.window_cycles <= 64, "window_cycles must be at most 64");
+        assert!(
+            config.window_cycles <= 64,
+            "window_cycles must be at most 64"
+        );
         assert!(
             config.window_misses <= config.window_cycles,
             "window_misses must be at most window_cycles"
         );
-        let channels = std::array::from_fn(|i| {
-            PedalChannel::new(rng.fork_indexed("pedal-channel", i as u64))
-        });
+        let channels =
+            std::array::from_fn(|i| PedalChannel::new(rng.fork_indexed("pedal-channel", i as u64)));
         PedalSensorArray {
             channels,
             config,
@@ -377,7 +377,10 @@ mod tests {
     use super::*;
 
     fn array() -> PedalSensorArray {
-        PedalSensorArray::new(PedalVoterConfig::default(), RngStream::new(0x5E50).fork("t"))
+        PedalSensorArray::new(
+            PedalVoterConfig::default(),
+            RngStream::new(0x5E50).fork("t"),
+        )
     }
 
     #[test]

@@ -256,9 +256,7 @@ const ALL_NODES: [nlft_net::frame::NodeId; 6] =
 ///
 /// Panics if `trials` is zero, `cycles < 8`, or `net_intensity` is
 /// outside `[0, 1]`.
-pub fn run_value_domain_campaign(
-    config: &ValueDomainCampaignConfig,
-) -> ValueDomainCampaignResult {
+pub fn run_value_domain_campaign(config: &ValueDomainCampaignConfig) -> ValueDomainCampaignResult {
     assert!(config.trials > 0, "need trials");
     assert!(config.cycles >= 8, "need enough cycles for onset windows");
     assert!(
@@ -436,12 +434,19 @@ mod tests {
             "golden outcome distribution moved: {o:?}"
         );
         assert_eq!(
-            (one.worst_total_force_deficit, one.worst_left_right_imbalance),
+            (
+                one.worst_total_force_deficit,
+                one.worst_left_right_imbalance
+            ),
             (1134, 1637),
             "golden braking-safety metrics moved: {one:?}"
         );
         assert_eq!(
-            (one.stale_rejects, one.seal_rejects, one.held_setpoint_cycles),
+            (
+                one.stale_rejects,
+                one.seal_rejects,
+                one.held_setpoint_cycles
+            ),
             (4, 8, 39),
             "golden command-path counters moved: {one:?}"
         );

@@ -49,8 +49,16 @@ fn reliability_valid_and_monotone() {
         |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.range(0, 2) as u8),
         |(params, policy, func)| {
             prop_assume!(params.validate().is_ok());
-            let policy = if *policy == 0 { Policy::FailSilent } else { Policy::Nlft };
-            let func = if *func == 0 { Functionality::Full } else { Functionality::Degraded };
+            let policy = if *policy == 0 {
+                Policy::FailSilent
+            } else {
+                Policy::Nlft
+            };
+            let func = if *func == 0 {
+                Functionality::Full
+            } else {
+                Functionality::Degraded
+            };
             let sys = BbwSystem::new(params, policy, func);
             let mut last = 1.0f64;
             for i in 0..12 {
@@ -70,7 +78,13 @@ fn reliability_valid_and_monotone() {
 fn nlft_never_worse_than_fs() {
     SUITE.check(
         "nlft_never_worse_than_fs",
-        |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.f64_range(10.0, 9000.0)),
+        |r: &mut TkRng| {
+            (
+                arb_params(r),
+                r.range(0, 2) as u8,
+                r.f64_range(10.0, 9000.0),
+            )
+        },
         |(params, func, t)| {
             prop_assume!(params.validate().is_ok());
             // The paper's premise (§3.2): an omission window is at most as
@@ -80,7 +94,11 @@ fn nlft_never_worse_than_fs() {
             // genuinely inverts — that regime is outside the claim.
             prop_assume!(params.mu_om >= params.mu_r);
             let t = *t;
-            let func = if *func == 0 { Functionality::Full } else { Functionality::Degraded };
+            let func = if *func == 0 {
+                Functionality::Full
+            } else {
+                Functionality::Degraded
+            };
             let fs = BbwSystem::new(params, Policy::FailSilent, func);
             let nlft = BbwSystem::new(params, Policy::Nlft, func);
             prop_assert!(
@@ -99,11 +117,21 @@ fn nlft_never_worse_than_fs() {
 fn degraded_never_worse_than_full() {
     SUITE.check(
         "degraded_never_worse_than_full",
-        |r: &mut TkRng| (arb_params(r), r.range(0, 2) as u8, r.f64_range(10.0, 9000.0)),
+        |r: &mut TkRng| {
+            (
+                arb_params(r),
+                r.range(0, 2) as u8,
+                r.f64_range(10.0, 9000.0),
+            )
+        },
         |(params, policy, t)| {
             prop_assume!(params.validate().is_ok());
             let t = *t;
-            let policy = if *policy == 0 { Policy::FailSilent } else { Policy::Nlft };
+            let policy = if *policy == 0 {
+                Policy::FailSilent
+            } else {
+                Policy::Nlft
+            };
             let full = BbwSystem::new(params, policy, Functionality::Full);
             let degraded = BbwSystem::new(params, policy, Functionality::Degraded);
             prop_assert!(degraded.reliability(t) >= full.reliability(t) - 1e-9);
@@ -117,7 +145,13 @@ fn degraded_never_worse_than_full() {
 fn coverage_monotonicity() {
     SUITE.check(
         "coverage_monotonicity",
-        |r: &mut TkRng| (arb_params(r), r.f64_range(10.0, 9000.0), r.f64_range(0.001, 0.2)),
+        |r: &mut TkRng| {
+            (
+                arb_params(r),
+                r.f64_range(10.0, 9000.0),
+                r.f64_range(0.001, 0.2),
+            )
+        },
         |(params, t, delta)| {
             prop_assume!(params.validate().is_ok());
             let t = *t;
@@ -187,7 +221,11 @@ fn out_of_range_pedal_is_clamped_and_flagged_never_panics() {
                 })
                 .collect();
             let fault = if r.bool() {
-                Some((r.usize_range(0, 3), arb_sensor_fault(r), r.range(0, 12) as u32))
+                Some((
+                    r.usize_range(0, 3),
+                    arb_sensor_fault(r),
+                    r.range(0, 12) as u32,
+                ))
             } else {
                 None
             };
@@ -225,7 +263,15 @@ fn any_single_sensor_fault_is_masked_or_detected() {
             let cap = r.range(1000, u64::from(PEDAL_MAX) + 1) as u32;
             let channel = r.usize_range(0, 3);
             let onset = r.range(0, 20) as u32;
-            (start, slope, cap, channel, arb_sensor_fault(r), onset, r.next_u64())
+            (
+                start,
+                slope,
+                cap,
+                channel,
+                arb_sensor_fault(r),
+                onset,
+                r.next_u64(),
+            )
         },
         |&(start, slope, cap, channel, fault, onset, seed)| {
             let mut array =
@@ -320,7 +366,10 @@ fn cluster_survives_out_of_range_pedal_profiles() {
         |&(base, slope)| {
             let mut cluster = BbwCluster::new();
             let report = cluster.run(16, move |c| base.saturating_add(slope * c));
-            prop_assert!(report.value.pedal_clamped_cycles > 0, "clamp must be visible");
+            prop_assert!(
+                report.value.pedal_clamped_cycles > 0,
+                "clamp must be visible"
+            );
             for record in &report.records {
                 for force in record.wheel_force.iter().flatten() {
                     prop_assert!(*force <= PEDAL_MAX, "force {force} out of range");
@@ -343,7 +392,12 @@ fn single_fault_campaigns_have_no_silent_failures_for_any_seed() {
             let mut cfg = ValueDomainCampaignConfig::single_fault(6, seed);
             cfg.cycles = 20;
             let result = run_value_domain_campaign(&cfg);
-            prop_assert_eq!(result.outcomes.undetected, 0, "silent trial under seed {}", seed);
+            prop_assert_eq!(
+                result.outcomes.undetected,
+                0,
+                "silent trial under seed {}",
+                seed
+            );
             prop_assert_eq!(result.outcomes.service_lost, 0);
             prop_assert_eq!(result.undetected_value_failures, 0);
             Ok(())
@@ -359,7 +413,8 @@ fn montecarlo_thread_invariance() {
         "montecarlo_thread_invariance",
         |r: &mut TkRng| r.next_u64(),
         |&seed| {
-            let mut cfg = MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 150, seed);
+            let mut cfg =
+                MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 150, seed);
             cfg.grid_hours = vec![4_000.0, 8_760.0];
             let seq = run_monte_carlo(&cfg);
             cfg.threads = 3;

@@ -8,7 +8,10 @@ use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_table() {
-    print!("{}", report::heading("Monte-Carlo cross-check — regenerated"));
+    print!(
+        "{}",
+        report::heading("Monte-Carlo cross-check — regenerated")
+    );
     println!(
         "{:<16}{:>10}{:>12}{:>12}{:>24}",
         "config", "t (h)", "analytic", "MC", "95% CI"
@@ -28,12 +31,8 @@ fn main() {
     }
 
     b.bench("100_replications_one_year", || {
-        let cfg = MonteCarloConfig::one_year(
-            Policy::Nlft,
-            Functionality::Degraded,
-            100,
-            black_box(11),
-        );
+        let cfg =
+            MonteCarloConfig::one_year(Policy::Nlft, Functionality::Degraded, 100, black_box(11));
         black_box(run_monte_carlo(&cfg))
     });
     b.finish();

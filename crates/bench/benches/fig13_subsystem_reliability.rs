@@ -38,7 +38,9 @@ fn main() {
     }
     {
         let wn = wheel_subsystem(&params, Policy::Nlft, Functionality::Degraded);
-        b.bench("subsystem_mttf_exact", || black_box(wn.mttf().expect("finite")));
+        b.bench("subsystem_mttf_exact", || {
+            black_box(wn.mttf().expect("finite"))
+        });
     }
     b.bench("full_figure_generation", || black_box(fig13::generate()));
     b.finish();

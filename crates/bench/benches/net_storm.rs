@@ -32,7 +32,10 @@ fn report(result: &NetStormCampaignResult) -> Json {
         ("split_membership", frac(o.split_membership)),
         ("injected_faults", Json::UInt(result.injected.total())),
         ("crc_reject_rate", Json::Num(result.crc_reject_rate())),
-        ("guardian_block_rate", Json::Num(result.guardian_block_rate())),
+        (
+            "guardian_block_rate",
+            Json::Num(result.guardian_block_rate()),
+        ),
         (
             "masquerade_reject_rate",
             Json::Num(result.masquerade_reject_rate()),

@@ -39,7 +39,11 @@ fn bench_linalg() {
         {
             let rhs = Matrix::identity(n);
             b.bench(&format!("lu_solve_{n}x{n}"), || {
-                black_box(q.sub(&Matrix::identity(n)).solve(&rhs).expect("nonsingular"))
+                black_box(
+                    q.sub(&Matrix::identity(n))
+                        .solve(&rhs)
+                        .expect("nonsingular"),
+                )
             });
         }
     }
@@ -61,7 +65,9 @@ fn bench_ctmc() {
     b.bench("transient_5_states_stiff_1y", || {
         black_box(chain.transient(black_box(&pi0), 8760.0).expect("valid"))
     });
-    b.bench("mttf_5_states", || chain.mttf(black_box(&pi0), &[states[4]]).ok());
+    b.bench("mttf_5_states", || {
+        chain.mttf(black_box(&pi0), &[states[4]]).ok()
+    });
     b.finish();
 }
 
@@ -152,11 +158,8 @@ fn bench_preemptive() {
             output_port: 0,
             critical: false,
         };
-        exec.add_task(
-            mk(1, 0, 400, 150),
-            "ldi r0, 5\nout r0, port0\nhalt",
-        )
-        .expect("loads");
+        exec.add_task(mk(1, 0, 400, 150), "ldi r0, 5\nout r0, port0\nhalt")
+            .expect("loads");
         exec.add_task(
             mk(2, 1, 2_000, 1_500),
             "    ldi r0, 0
@@ -182,7 +185,8 @@ fn bench_net() {
         b.bench("tdma_cycle_6_nodes", || {
             bus.start_cycle();
             for n in 0..6 {
-                bus.transmit_static(NodeId(n), vec![1, 2, 3, 4]).expect("own slot");
+                bus.transmit_static(NodeId(n), vec![1, 2, 3, 4])
+                    .expect("own slot");
             }
             black_box(bus.finish_cycle())
         });

@@ -8,7 +8,10 @@ use nlft_testkit::bench::Bench;
 use std::hint::black_box;
 
 fn print_table() {
-    print!("{}", report::heading("Table 1 — regenerated detection matrix"));
+    print!(
+        "{}",
+        report::heading("Table 1 — regenerated detection matrix")
+    );
     for policy in [NodePolicy::LightweightNlft, NodePolicy::FailSilent] {
         let result = table1::generate(5_000, 0x7AB1E, policy);
         println!("policy: {policy}");

@@ -5,9 +5,7 @@
 //! braking-safety metrics, command-path counters) under
 //! `<target>/testkit/`.
 
-use nlft_bbw::{
-    run_value_domain_campaign, ValueDomainCampaignConfig, ValueDomainCampaignResult,
-};
+use nlft_bbw::{run_value_domain_campaign, ValueDomainCampaignConfig, ValueDomainCampaignResult};
 use nlft_testkit::bench::{artifact_path, Bench};
 use nlft_testkit::json::Json;
 use std::hint::black_box;

@@ -28,14 +28,20 @@ fn main() {
                 "slack_ablation",
                 ablation::slack_pressure(trials.min(5_000), 0xAB1A).to_json(),
             ),
-            ("ecc_ablation", ablation::ecc(trials.min(5_000), 0xECC).to_json()),
+            (
+                "ecc_ablation",
+                ablation::ecc(trials.min(5_000), 0xECC).to_json(),
+            ),
             ("rta", rta::generate().to_json()),
         ]);
         println!("{doc}");
         return;
     }
 
-    print!("{}", report::heading("Figure 12 — BBW system reliability over one year"));
+    print!(
+        "{}",
+        report::heading("Figure 12 — BBW system reliability over one year")
+    );
     let curves = fig12::generate();
     let series: Vec<(String, Vec<(f64, f64)>)> = curves
         .iter()
@@ -74,7 +80,10 @@ fn main() {
     );
     println!("Paper:    R(1y) degraded 0.45 -> 0.70 (+55%), MTTF 1.2y -> 1.9y (+~60%)");
 
-    print!("{}", report::heading("Figure 13 — subsystem reliability over one year"));
+    print!(
+        "{}",
+        report::heading("Figure 13 — subsystem reliability over one year")
+    );
     let curves = fig13::generate();
     let series: Vec<(String, Vec<(f64, f64)>)> = curves
         .iter()
@@ -95,12 +104,7 @@ fn main() {
     );
     let series: Vec<(String, Vec<(f64, f64)>)> = fig14::generate()
         .into_iter()
-        .map(|s| {
-            (
-                format!("{} C_D={}", s.policy, s.coverage),
-                s.points,
-            )
-        })
+        .map(|s| (format!("{} C_D={}", s.policy, s.coverage), s.points))
         .collect();
     print!(
         "{}",
@@ -128,7 +132,10 @@ fn main() {
         "{}",
         report::heading("Extension — Monte-Carlo cross-validation of Figure 12")
     );
-    println!("{:<16}{:>10}{:>12}{:>12}{:>24}", "config", "t (h)", "analytic", "MC", "95% CI");
+    println!(
+        "{:<16}{:>10}{:>12}{:>12}{:>24}",
+        "config", "t (h)", "analytic", "MC", "95% CI"
+    );
     for row in xcheck::generate(reps, 0x5EED) {
         println!(
             "{:<16}{:>10.0}{:>12.4}{:>12.4}      [{:.4}, {:.4}]",
@@ -155,7 +162,10 @@ fn main() {
         "{}",
         report::heading("Extension — ECC ablation (memory-inclusive fault space)")
     );
-    println!("{:<22}{:>6}{:>12}{:>10}{:>12}", "policy", "ECC", "coverage", "benign", "undetected");
+    println!(
+        "{:<22}{:>6}{:>12}{:>10}{:>12}",
+        "policy", "ECC", "coverage", "benign", "undetected"
+    );
     for row in ablation::ecc(trials.min(5_000), 0xECC) {
         println!(
             "{:<22}{:>6}{:>12.4}{:>10}{:>12}",

@@ -264,8 +264,7 @@ pub mod xcheck {
             ("FS/degraded", Policy::FailSilent, Functionality::Degraded),
             ("NLFT/degraded", Policy::Nlft, Functionality::Degraded),
         ] {
-            let mut cfg =
-                MonteCarloConfig::one_year(policy, functionality, replications, seed);
+            let mut cfg = MonteCarloConfig::one_year(policy, functionality, replications, seed);
             cfg.grid_hours = grid.clone();
             cfg.threads = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -452,7 +451,7 @@ pub mod rta {
             TaskSpecBuilder::new(TaskId(id), format!("t{id}"))
                 .period(SimDuration::from_micros(period_us))
                 .wcet(SimDuration::from_micros(
-                    (base_wcet_us * scale).max(1.0) as u64,
+                    (base_wcet_us * scale).max(1.0) as u64
                 ))
                 .priority(Priority(prio))
                 .criticality(Criticality::Critical)
@@ -476,11 +475,8 @@ pub mod rta {
             .map(|u| {
                 let set = task_set(u);
                 let tem_set = tem_transform(&set, &costs);
-                let min_tf = min_tolerable_fault_interval(
-                    &tem_set,
-                    &costs,
-                    SimDuration::from_micros(10),
-                );
+                let min_tf =
+                    min_tolerable_fault_interval(&tem_set, &costs, SimDuration::from_micros(10));
                 Row {
                     utilisation: set.utilisation(),
                     tem_utilisation: tem_set.utilisation(),
@@ -499,7 +495,11 @@ mod tests {
         assert_eq!(curves.len(), 4);
         for c in &curves {
             assert_eq!(c.points.len(), 13);
-            assert!((c.points[0].1 - 1.0).abs() < 1e-9, "{} starts at 1", c.label);
+            assert!(
+                (c.points[0].1 - 1.0).abs() < 1e-9,
+                "{} starts at 1",
+                c.label
+            );
             assert!(c.mttf_years > 0.0);
         }
         let get = |label: &str| {

@@ -11,10 +11,7 @@ use std::fmt::Write as _;
 /// # Panics
 ///
 /// Panics if the series have differing lengths or mismatched x values.
-pub fn series_table(
-    x_label: &str,
-    series: &[(String, Vec<(f64, f64)>)],
-) -> String {
+pub fn series_table(x_label: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
     assert!(!series.is_empty(), "need at least one series");
     let n = series[0].1.len();
     for (name, pts) in series {

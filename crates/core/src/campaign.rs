@@ -269,7 +269,14 @@ fn run_shard(config: &CampaignConfig, start: u64, end: u64) -> CampaignResult {
         let mut rng = root.fork_indexed("trial", trial);
         let workload = &config.workloads[(trial % config.workloads.len() as u64) as usize];
         let verdict = run_trial(config, workload, &mut rng);
-        record(&mut result, config.policy, verdict, &mut rng, workload, config);
+        record(
+            &mut result,
+            config.policy,
+            verdict,
+            &mut rng,
+            workload,
+            config,
+        );
     }
     result
 }
@@ -303,8 +310,7 @@ fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) 
                 // No recovery slack this period: two copies and the
                 // comparison must fit, nothing more (§2.5's "enough time
                 // may not be available").
-                tem_config.deadline_cycles =
-                    tem_config.copy_budget * 2 + tem_config.compare_cycles;
+                tem_config.deadline_cycles = tem_config.copy_budget * 2 + tem_config.compare_cycles;
             }
             let tem = TemExecutor::new(tem_config);
             let mut machine = instantiate(workload, config.ecc);
@@ -600,10 +606,13 @@ impl RecoveryCampaignResult {
         self.counts.missed_permanent += o.missed_permanent;
         self.counts.unresolved += o.unresolved;
         self.false_retirement.merge(&other.false_retirement);
-        self.detection_latency_jobs.merge(&other.detection_latency_jobs);
-        self.retirement_latency_jobs.merge(&other.retirement_latency_jobs);
+        self.detection_latency_jobs
+            .merge(&other.detection_latency_jobs);
+        self.retirement_latency_jobs
+            .merge(&other.retirement_latency_jobs);
         self.restarts_total += other.restarts_total;
-        self.intermittent_error_rate.merge(&other.intermittent_error_rate);
+        self.intermittent_error_rate
+            .merge(&other.intermittent_error_rate);
         self.undetected_wrong_jobs += other.undetected_wrong_jobs;
     }
 }
@@ -914,8 +923,8 @@ mod tests {
             "TEM should mask the majority of detected transients, got {p_t}"
         );
         // Conditional probabilities partition.
-        let total = r.counts.p_t().estimate() + r.counts.p_om().estimate()
-            + r.counts.p_fs().estimate();
+        let total =
+            r.counts.p_t().estimate() + r.counts.p_om().estimate() + r.counts.p_fs().estimate();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

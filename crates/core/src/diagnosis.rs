@@ -111,10 +111,7 @@ impl AlphaCount {
             config.intermittent_threshold <= config.permanent_threshold,
             "thresholds must be ordered"
         );
-        AlphaCount {
-            config,
-            alpha: 0.0,
-        }
+        AlphaCount { config, alpha: 0.0 }
     }
 
     /// Feeds one job outcome and returns the updated score.
@@ -237,6 +234,19 @@ impl NodeSupervisor {
     pub fn tick_silent(&mut self) -> Vec<EscalationEvent> {
         self.escalation.tick()
     }
+
+    /// Whether the ladder finished its restart window and is parked
+    /// waiting for the network startup protocol to readmit the node
+    /// (only with `gate_reintegration` set in the policy).
+    pub fn awaiting_integration(&self) -> bool {
+        self.escalation.awaiting_integration()
+    }
+
+    /// Completes a gated reintegration: the startup protocol reports the
+    /// node synchronized and active again.
+    pub fn integration_complete(&mut self) -> Vec<EscalationEvent> {
+        self.escalation.integration_complete()
+    }
 }
 
 /// The escalation ladder unfolded into an exact discrete-time Markov
@@ -271,6 +281,13 @@ pub struct EscalationChain {
 /// Panics if `p_err` is not a probability.
 pub fn escalation_chain(policy: EscalationPolicy, p_err: f64) -> EscalationChain {
     assert!((0.0..=1.0).contains(&p_err), "p_err must be a probability");
+    // A gated ladder parks in Restarting until an *external* startup
+    // protocol readmits the node — a closed-system unfolding would
+    // contain a non-retired absorbing state and diverge.
+    assert!(
+        !policy.gate_reintegration,
+        "escalation_chain models the ungated ladder; clear gate_reintegration"
+    );
     let root = EscalationMachine::new(policy);
     let mut index: HashMap<EscalationMachine, usize> = HashMap::new();
     let mut states: Vec<EscalationMachine> = Vec::new();
@@ -285,15 +302,14 @@ pub fn escalation_chain(policy: EscalationPolicy, p_err: f64) -> EscalationChain
         let i = queue[head];
         head += 1;
         let state = states[i].clone();
-        let mut intern = |m: EscalationMachine,
-                          states: &mut Vec<EscalationMachine>,
-                          queue: &mut Vec<usize>| {
-            *index.entry(m.clone()).or_insert_with(|| {
-                states.push(m);
-                queue.push(states.len() - 1);
-                states.len() - 1
-            })
-        };
+        let mut intern =
+            |m: EscalationMachine, states: &mut Vec<EscalationMachine>, queue: &mut Vec<usize>| {
+                *index.entry(m.clone()).or_insert_with(|| {
+                    states.push(m);
+                    queue.push(states.len() - 1);
+                    states.len() - 1
+                })
+            };
         let mut edges: Vec<(usize, f64)> = Vec::new();
         if state.state() == NodeHealth::Retired {
             edges.push((i, 1.0));

@@ -129,9 +129,15 @@ mod tests {
     #[test]
     fn fs_nodes_never_omit() {
         for v in [
-            Verdict::Masked { detected_by: Edm::TemComparison },
-            Verdict::Omission { detected_by: Edm::TemVote },
-            Verdict::Detected { detected_by: Edm::BusError },
+            Verdict::Masked {
+                detected_by: Edm::TemComparison,
+            },
+            Verdict::Omission {
+                detected_by: Edm::TemVote,
+            },
+            Verdict::Detected {
+                detected_by: Edm::BusError,
+            },
         ] {
             let mode = NodeFailureMode::classify(NodePolicy::FailSilent, v);
             assert_eq!(mode, NodeFailureMode::FailSilent);
@@ -143,14 +149,18 @@ mod tests {
         assert_eq!(
             NodeFailureMode::classify(
                 NodePolicy::LightweightNlft,
-                Verdict::Masked { detected_by: Edm::TemComparison }
+                Verdict::Masked {
+                    detected_by: Edm::TemComparison
+                }
             ),
             NodeFailureMode::Masked
         );
         assert_eq!(
             NodeFailureMode::classify(
                 NodePolicy::LightweightNlft,
-                Verdict::Omission { detected_by: Edm::ExecutionTimeMonitor }
+                Verdict::Omission {
+                    detected_by: Edm::ExecutionTimeMonitor
+                }
             ),
             NodeFailureMode::Omission
         );

@@ -6,7 +6,7 @@
 //! evidence behind [`nlft_core::diagnosis::FALSE_RETIREMENT_BOUND`].
 
 use nlft_core::diagnosis::{AlphaCount, AlphaCountConfig, Diagnosis};
-use nlft_testkit::prop::{Suite, CaseError};
+use nlft_testkit::prop::{CaseError, Suite};
 use nlft_testkit::prop_assert;
 use nlft_testkit::rng::TkRng;
 

@@ -267,9 +267,18 @@ mod tests {
         let set = classic_set();
         // R1 = 10. R2 = 20 + ceil(R2/50)*10 → 30. R3 = 40 + ceil(R/50)*10 + ceil(R/100)*20
         // R3: start 40 → 40+10+20=70 → 40+20+20=80 → 40+20+20=80 ✓
-        assert_eq!(response_time(&set, set.get(TaskId(1)).unwrap()), Some(us(10)));
-        assert_eq!(response_time(&set, set.get(TaskId(2)).unwrap()), Some(us(30)));
-        assert_eq!(response_time(&set, set.get(TaskId(3)).unwrap()), Some(us(80)));
+        assert_eq!(
+            response_time(&set, set.get(TaskId(1)).unwrap()),
+            Some(us(10))
+        );
+        assert_eq!(
+            response_time(&set, set.get(TaskId(2)).unwrap()),
+            Some(us(30))
+        );
+        assert_eq!(
+            response_time(&set, set.get(TaskId(3)).unwrap()),
+            Some(us(80))
+        );
         assert!(analyse(&set).is_schedulable());
     }
 

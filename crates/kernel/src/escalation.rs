@@ -122,6 +122,15 @@ pub struct EscalationPolicy {
     pub reintegrate_after: u32,
     /// Restart scheduling and budget.
     pub restart: RestartPolicy,
+    /// Route restarts through real network startup: when the restart
+    /// window expires the machine emits
+    /// [`EscalationEvent::AwaitingIntegration`] and *stays silent* until
+    /// [`EscalationMachine::integration_complete`] confirms the node has
+    /// re-synchronized and re-entered the agreed membership (TTP/C
+    /// Listen → Cold-Start → Integrate). Off by default: the node then
+    /// rejoins instantly when the window expires, as in a single-node
+    /// model where no cluster exists to integrate with.
+    pub gate_reintegration: bool,
 }
 
 impl Default for EscalationPolicy {
@@ -132,6 +141,7 @@ impl Default for EscalationPolicy {
             calm_after: 4,
             reintegrate_after: 2,
             restart: RestartPolicy::default(),
+            gate_reintegration: false,
         }
     }
 }
@@ -149,6 +159,10 @@ pub enum EscalationEvent {
         /// Silent job slots until the restart completes.
         wait_jobs: u32,
     },
+    /// The restart window elapsed, but reintegration is gated: the node
+    /// stays silent until the network startup protocol readmits it (see
+    /// [`EscalationPolicy::gate_reintegration`]).
+    AwaitingIntegration,
     /// The restart window elapsed; the node is back online on probation.
     Restarted,
     /// The node returned to `Healthy` (calmed down or graduated probation).
@@ -288,18 +302,51 @@ impl EscalationMachine {
                 }
             }
             NodeHealth::Restarting => {
+                if self.wait_remaining == 0 {
+                    // Gated and already parked: silent until
+                    // `integration_complete`.
+                    return Vec::new();
+                }
                 self.wait_remaining -= 1;
                 if self.wait_remaining == 0 {
-                    self.state = NodeHealth::Reintegrating;
-                    self.clean_streak = 0;
-                    self.error_streak = 0;
-                    vec![EscalationEvent::Restarted]
+                    if self.policy.gate_reintegration {
+                        vec![EscalationEvent::AwaitingIntegration]
+                    } else {
+                        self.come_back_online();
+                        vec![EscalationEvent::Restarted]
+                    }
                 } else {
                     Vec::new()
                 }
             }
             _ => Vec::new(),
         }
+    }
+
+    /// Whether the machine is parked after its restart window, waiting
+    /// for the startup protocol to readmit the node.
+    pub fn awaiting_integration(&self) -> bool {
+        self.state == NodeHealth::Restarting && self.wait_remaining == 0
+    }
+
+    /// Completes a gated reintegration: the startup protocol reports the
+    /// node synchronized and active again. Returns
+    /// [`EscalationEvent::Restarted`] when the machine was actually
+    /// parked; a no-op otherwise.
+    pub fn integration_complete(&mut self) -> Vec<EscalationEvent> {
+        if self.awaiting_integration() {
+            self.come_back_online();
+            vec![EscalationEvent::Restarted]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn come_back_online(&mut self) {
+        self.state = NodeHealth::Reintegrating;
+        self.clean_streak = 0;
+        self.error_streak = 0;
+        self.wait_remaining = 0;
     }
 
     /// Forces Healthy → Suspect on an external verdict (the α-count
@@ -484,5 +531,63 @@ mod tests {
             events[0],
             EscalationEvent::RestartScheduled { .. }
         ));
+    }
+
+    /// Drives a fresh machine to the end of its first restart window.
+    fn machine_at_window_end(gate: bool) -> EscalationMachine {
+        let mut m = EscalationMachine::new(EscalationPolicy {
+            gate_reintegration: gate,
+            ..EscalationPolicy::default()
+        });
+        for _ in 0..4 {
+            m.observe(true);
+        }
+        assert_eq!(m.state(), NodeHealth::FailSilent);
+        assert_eq!(
+            m.tick(),
+            vec![EscalationEvent::RestartScheduled { wait_jobs: 2 }]
+        );
+        assert!(m.tick().is_empty(), "window still counting down");
+        m
+    }
+
+    #[test]
+    fn gated_restart_parks_until_integration_completes() {
+        let mut m = machine_at_window_end(true);
+        assert_eq!(m.tick(), vec![EscalationEvent::AwaitingIntegration]);
+        assert_eq!(m.state(), NodeHealth::Restarting, "still silent");
+        assert!(m.awaiting_integration());
+        // Parked: further slots pass without progress — the node must
+        // not rejoin until the startup protocol readmits it.
+        for _ in 0..5 {
+            assert!(m.tick().is_empty());
+            assert!(m.is_silent());
+        }
+        assert_eq!(m.integration_complete(), vec![EscalationEvent::Restarted]);
+        assert_eq!(m.state(), NodeHealth::Reintegrating);
+        assert!(!m.awaiting_integration());
+        assert!(
+            m.integration_complete().is_empty(),
+            "second completion is a no-op"
+        );
+    }
+
+    #[test]
+    fn ungated_restart_rejoins_instantly_as_before() {
+        let mut m = machine_at_window_end(false);
+        assert_eq!(m.tick(), vec![EscalationEvent::Restarted]);
+        assert_eq!(m.state(), NodeHealth::Reintegrating);
+        assert!(!m.awaiting_integration());
+        assert!(m.integration_complete().is_empty());
+    }
+
+    #[test]
+    fn integration_complete_is_a_noop_off_the_parking_state() {
+        let mut m = machine();
+        assert!(m.integration_complete().is_empty());
+        m.observe(true);
+        m.observe(true);
+        assert_eq!(m.state(), NodeHealth::Suspect);
+        assert!(m.integration_complete().is_empty());
     }
 }

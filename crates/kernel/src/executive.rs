@@ -238,7 +238,11 @@ impl NodeExecutive {
         mut inputs: impl FnMut(usize, u32) -> Vec<u32>,
         injection: Option<InjectionSite>,
     ) -> ExecutiveReport {
-        let mut machines: Vec<Machine> = self.tasks.iter().map(|t| t.workload.instantiate()).collect();
+        let mut machines: Vec<Machine> = self
+            .tasks
+            .iter()
+            .map(|t| t.workload.instantiate())
+            .collect();
         let mut shutdown = vec![false; self.tasks.len()];
         let mut consecutive_errors = vec![0u32; self.tasks.len()];
         // Kernel-side protected copies of each critical task's state region.
@@ -298,9 +302,7 @@ impl NodeExecutive {
                     }
                 }
                 let mut integrity_detection = false;
-                if self.config.seal_task_state
-                    && bound.spec.criticality == Criticality::Critical
-                {
+                if self.config.seal_task_state && bound.spec.criticality == Criticality::Critical {
                     kernel_cycles += self.config.kernel_overhead_cycles;
                     if let Some((copy, crc)) = &sealed_state[idx] {
                         let current = read_state(machine);
@@ -563,7 +565,11 @@ mod tests {
                 },
             },
         };
-        let report = exec.run(4, |i, _| if i == 0 { vec![500, 400] } else { vec![100] }, Some(site));
+        let report = exec.run(
+            4,
+            |i, _| if i == 0 { vec![500, 400] } else { vec![100] },
+            Some(site),
+        );
         assert_eq!(report.node_state, NodeState::Completed, "node survives");
         let t2: Vec<_> = report.for_task(TaskId(2)).collect();
         assert!(matches!(
@@ -655,7 +661,10 @@ mod tests {
         assert_eq!(faulted.node_state, NodeState::Completed);
         let frame3 = faulted.activations.iter().find(|a| a.frame == 3).unwrap();
         assert!(
-            matches!(frame3.outcome, ActivationOutcome::Delivered { masked: true, .. }),
+            matches!(
+                frame3.outcome,
+                ActivationOutcome::Delivered { masked: true, .. }
+            ),
             "integrity check must mask the wild write: {:?}",
             frame3.outcome
         );

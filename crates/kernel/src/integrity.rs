@@ -104,7 +104,10 @@ impl fmt::Display for IntegrityError {
                 write!(f, "duplicated data mismatch at offset {offset:#x}")
             }
             IntegrityError::CrcMismatch { expected, actual } => {
-                write!(f, "crc mismatch: stored {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
             }
             IntegrityError::Memory(e) => write!(f, "memory fault during check: {e}"),
         }
@@ -514,11 +517,16 @@ impl CommandAcceptor {
         let msg = FreshSealedMessage::from_words(words).ok_or(CommandReject::Malformed)?;
         let (seq, payload) = msg.open().map_err(CommandReject::Corrupt)?;
         if let Some(last) = self.last_seq {
-            if seq <= last {
+            if !seq_newer(seq, last) {
                 return Err(CommandReject::Stale { seq, last });
             }
         }
-        let age = now.saturating_sub(seq);
+        // Windowed age, like the staleness rule: a sequence number "ahead"
+        // of the consumer clock (wrapping distance in the upper half of
+        // the space) is a producer sealing just before the consumer's
+        // cycle counter incremented — age 0, not four billion.
+        let diff = now.wrapping_sub(seq);
+        let age = if diff < 1 << 31 { diff } else { 0 };
         if age > self.max_age {
             return Err(CommandReject::TooOld {
                 age,
@@ -528,6 +536,15 @@ impl CommandAcceptor {
         self.last_seq = Some(seq);
         Ok(payload)
     }
+}
+
+/// Serial-number arithmetic (RFC 1982): `a` is newer than `b` iff the
+/// forward wrapping distance from `b` to `a` is non-zero and less than
+/// half the sequence space. A plain `seq <= last` comparison would brick
+/// the acceptor forever once the producer's counter wraps past
+/// `u32::MAX` — every subsequent command would compare "stale".
+fn seq_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < 1 << 31
 }
 
 #[cfg(test)]
@@ -569,7 +586,10 @@ mod tests {
         let w1 = u32::from_le_bytes(*b"1234");
         let w2 = u32::from_le_bytes(*b"5678");
         assert_eq!(crc32(&[w1, w2]), crc32_bytes(b"12345678"));
-        assert_eq!(crc32(&[0xDEAD_BEEF]), crc32_bytes(&0xDEAD_BEEFu32.to_le_bytes()));
+        assert_eq!(
+            crc32(&[0xDEAD_BEEF]),
+            crc32_bytes(&0xDEAD_BEEFu32.to_le_bytes())
+        );
         assert_eq!(crc32(&[]), crc32_bytes(&[]));
     }
 
@@ -649,6 +669,60 @@ mod tests {
     }
 
     #[test]
+    fn acceptor_survives_sequence_wraparound() {
+        // At the wrap: u32::MAX is accepted normally…
+        let mut port = CommandAcceptor::new(2);
+        let last = FreshSealedMessage::seal(u32::MAX, vec![900]).to_words();
+        assert_eq!(port.accept(&last, u32::MAX).unwrap(), vec![900]);
+        assert_eq!(port.last_seq(), Some(u32::MAX));
+        // …and across it: seq 0 is *newer* than u32::MAX by serial-number
+        // arithmetic, not "stale forever" as a plain `<=` would decide.
+        let wrapped = FreshSealedMessage::seal(0, vec![901]).to_words();
+        assert_eq!(port.accept(&wrapped, 0).unwrap(), vec![901]);
+        assert_eq!(port.last_seq(), Some(0));
+        // The stream keeps flowing after the wrap.
+        let next = FreshSealedMessage::seal(1, vec![902]).to_words();
+        assert_eq!(port.accept(&next, 1).unwrap(), vec![902]);
+        // A replay from just before the wrap is still stale.
+        assert!(matches!(
+            port.accept(&last, 1),
+            Err(CommandReject::Stale {
+                seq: u32::MAX,
+                last: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn acceptor_age_window_spans_the_wrap() {
+        // Sealed two cycles before the consumer clock wrapped: age 2,
+        // within a max_age of 2 — the old `saturating_sub` would have
+        // called this four billion cycles old via the unwrapped clock.
+        let mut port = CommandAcceptor::new(2);
+        let cmd = FreshSealedMessage::seal(u32::MAX - 1, vec![903]).to_words();
+        assert_eq!(port.accept(&cmd, 0).unwrap(), vec![903]);
+        // Three cycles across the wrap is past the bound.
+        let mut port = CommandAcceptor::new(2);
+        let cmd = FreshSealedMessage::seal(u32::MAX - 1, vec![904]).to_words();
+        assert!(matches!(
+            port.accept(&cmd, 1),
+            Err(CommandReject::TooOld { age: 3, max_age: 2 })
+        ));
+    }
+
+    #[test]
+    fn seq_newer_is_windowed() {
+        assert!(seq_newer(1, 0));
+        assert!(seq_newer(0, u32::MAX));
+        assert!(seq_newer(5, u32::MAX - 5));
+        assert!(!seq_newer(0, 0));
+        assert!(!seq_newer(0, 1));
+        assert!(!seq_newer(u32::MAX, 0));
+        // Exactly half the space away counts as old, never newer.
+        assert!(!seq_newer(1 << 31, 0));
+    }
+
+    #[test]
     fn seq_corruption_cannot_smuggle_a_stale_command_past_the_crc() {
         // Forging a higher sequence number onto an old payload breaks the
         // seal: seq participates in the CRC.
@@ -698,7 +772,9 @@ mod tests {
             base: DATA_BASE,
             words: 8,
         };
-        region.write_sealed(&mut m, &[5, 6, 7, 8, 9, 10, 11, 12]).unwrap();
+        region
+            .write_sealed(&mut m, &[5, 6, 7, 8, 9, 10, 11, 12])
+            .unwrap();
         assert_eq!(
             region.read_verified(&mut m).unwrap(),
             vec![5, 6, 7, 8, 9, 10, 11, 12]
@@ -741,7 +817,10 @@ mod tests {
 
     #[test]
     fn empty_message_is_valid() {
-        assert_eq!(SealedMessage::seal(vec![]).open().unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            SealedMessage::seal(vec![]).open().unwrap(),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@
 pub mod analysis;
 pub mod escalation;
 pub mod executive;
-pub mod preemptive;
 pub mod integrity;
+pub mod preemptive;
 pub mod sched;
 pub mod task;
 pub mod tem;

@@ -105,9 +105,14 @@ impl From<nlft_machine::asm::AsmError> for BuildError {
 enum JobState {
     Idle,
     /// Released, never dispatched yet.
-    Ready { released_at: u64 },
+    Ready {
+        released_at: u64,
+    },
     /// Preempted mid-execution.
-    Suspended { released_at: u64, consumed: u64 },
+    Suspended {
+        released_at: u64,
+        consumed: u64,
+    },
 }
 
 /// Maximum executions per TEM job (two scheduled + up to two recoveries).
@@ -243,7 +248,11 @@ impl PreemptiveExecutive {
         let map = MemoryMap::from_regions(vec![
             Region::new(base, CODE_BYTES, Perms::RX),
             Region::new(base + CODE_BYTES, DATA_BYTES, Perms::RW),
-            Region::new(base + CODE_BYTES + DATA_BYTES, WINDOW_BYTES - CODE_BYTES - DATA_BYTES, Perms::RW),
+            Region::new(
+                base + CODE_BYTES + DATA_BYTES,
+                WINDOW_BYTES - CODE_BYTES - DATA_BYTES,
+                Perms::RW,
+            ),
         ]);
         self.tcbs.push(Tcb {
             stack_top: base + WINDOW_BYTES,
@@ -262,7 +271,10 @@ impl PreemptiveExecutive {
 
     /// Base address of a task's window (for oracle inspection in tests).
     pub fn window_of(&self, id: TaskId) -> Option<u32> {
-        self.tcbs.iter().find(|t| t.task.id == id).map(|t| t.window_base)
+        self.tcbs
+            .iter()
+            .find(|t| t.task.id == id)
+            .map(|t| t.window_base)
     }
 
     /// Raw access to the shared machine (oracle inspection).
@@ -386,11 +398,7 @@ impl PreemptiveExecutive {
                         digest,
                         sig,
                     });
-                    report
-                        .tasks
-                        .get_mut(&t.task.id)
-                        .expect("known task")
-                        .copies += 1;
+                    report.tasks.get_mut(&t.task.id).expect("known task").copies += 1;
                     let decision = decide(tem);
                     self.conclude_copy(idx, decision, now, released_at, &mut report);
                     running = None;
@@ -415,8 +423,7 @@ impl PreemptiveExecutive {
                         // Execution-time monitor trip.
                         if self.tcbs[idx].task.critical {
                             let t = &mut self.tcbs[idx];
-                            let stats =
-                                report.tasks.get_mut(&t.task.id).expect("known task");
+                            let stats = report.tasks.get_mut(&t.task.id).expect("known task");
                             stats.overruns += 1;
                             let tem = t.tem.as_mut().expect("critical job has TEM state");
                             tem.detected = true;
@@ -425,8 +432,7 @@ impl PreemptiveExecutive {
                             running = None;
                         } else {
                             let t = &mut self.tcbs[idx];
-                            let stats =
-                                report.tasks.get_mut(&t.task.id).expect("known task");
+                            let stats = report.tasks.get_mut(&t.task.id).expect("known task");
                             stats.overruns += 1;
                             stats.deadline_misses += 1;
                             t.state = JobState::Idle;
@@ -765,7 +771,10 @@ mod tests {
         let report = exec.run(8_000);
         assert!(report.tasks[&TaskId(1)].overruns > 0);
         assert_eq!(report.tasks[&TaskId(1)].completed, 0);
-        assert!(report.tasks[&TaskId(2)].completed >= 14, "victim unaffected");
+        assert!(
+            report.tasks[&TaskId(2)].completed >= 14,
+            "victim unaffected"
+        );
         assert_eq!(report.tasks[&TaskId(2)].deadline_misses, 0);
     }
 
@@ -849,9 +858,7 @@ mod tests {
             30,
             TaskId(1),
             TransientFault {
-                target: nlft_machine::fault::FaultTarget::Register(
-                    nlft_machine::isa::Reg::R0,
-                ),
+                target: nlft_machine::fault::FaultTarget::Register(nlft_machine::isa::Reg::R0),
                 mask: 1 << 4,
             },
         );
@@ -874,7 +881,10 @@ mod tests {
         let report = exec.run(9_000);
         let s1 = &report.tasks[&TaskId(1)];
         assert_eq!(s1.completed, 0);
-        assert!(s1.omissions >= 2, "one omission per period, task stays alive");
+        assert!(
+            s1.omissions >= 2,
+            "one omission per period, task stays alive"
+        );
         assert!(s1.overruns >= s1.omissions, "overruns drove the omissions");
         // The neighbour is untouched.
         assert!(report.tasks[&TaskId(2)].completed >= 14);
@@ -893,7 +903,11 @@ mod tests {
         assert!(report.preemptions > 0, "copies must get preempted");
         let s = &report.tasks[&TaskId(2)];
         assert!(s.completed >= 3);
-        assert_eq!(s.last_output, Some(2331), "7 × 333, copy-exact across preemption");
+        assert_eq!(
+            s.last_output,
+            Some(2331),
+            "7 × 333, copy-exact across preemption"
+        );
         assert_eq!(s.masked, 0);
         assert!(report.no_misses());
     }

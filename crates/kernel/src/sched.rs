@@ -346,13 +346,9 @@ mod tests {
     }
 
     fn classic_set() -> TaskSet {
-        [
-            task(1, 0, 50, 10),
-            task(2, 1, 100, 20),
-            task(3, 2, 200, 40),
-        ]
-        .into_iter()
-        .collect()
+        [task(1, 0, 50, 10), task(2, 1, 100, 20), task(3, 2, 200, 40)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -372,7 +368,10 @@ mod tests {
         // At the critical instant (synchronous release) the bound is tight
         // for the lowest-priority task.
         let t3 = set.get(TaskId(3)).unwrap();
-        assert_eq!(report.tasks[&TaskId(3)].max_response, response_time(&set, t3).unwrap());
+        assert_eq!(
+            report.tasks[&TaskId(3)].max_response,
+            response_time(&set, t3).unwrap()
+        );
     }
 
     #[test]
@@ -384,7 +383,9 @@ mod tests {
 
     #[test]
     fn overload_misses_deadlines() {
-        let set: TaskSet = [task(1, 0, 10, 6), task(2, 1, 20, 10)].into_iter().collect();
+        let set: TaskSet = [task(1, 0, 10, 6), task(2, 1, 20, 10)]
+            .into_iter()
+            .collect();
         let report = FpSimulator::new(set).run(us(1_000));
         assert!(!report.no_misses());
         assert!(report.tasks[&TaskId(2)].deadline_misses > 0);
@@ -411,8 +412,14 @@ mod tests {
         let plain = response_time(&set, t3).unwrap();
         let ft = ft_response_time(&set, t3, us(200), |k| k.wcet).unwrap();
         let observed = report.tasks[&TaskId(3)].max_response;
-        assert!(observed > plain, "recovery must be visible: {observed} <= {plain}");
-        assert!(observed <= ft, "FT-RTA must still bound it: {observed} > {ft}");
+        assert!(
+            observed > plain,
+            "recovery must be visible: {observed} <= {plain}"
+        );
+        assert!(
+            observed <= ft,
+            "FT-RTA must still bound it: {observed} > {ft}"
+        );
         assert!(report.no_misses());
     }
 
@@ -441,7 +448,9 @@ mod tests {
 
     #[test]
     fn sporadic_task_releases_only_at_arrivals() {
-        let set: TaskSet = [task(1, 0, 100, 10), task(2, 1, 50, 5)].into_iter().collect();
+        let set: TaskSet = [task(1, 0, 100, 10), task(2, 1, 50, 5)]
+            .into_iter()
+            .collect();
         let mut sim = FpSimulator::new(set);
         // Task 1 is sporadic with two arrivals.
         sim.set_sporadic(
@@ -481,7 +490,9 @@ mod tests {
 
     #[test]
     fn sporadic_with_no_arrivals_never_runs() {
-        let set: TaskSet = [task(1, 0, 100, 10), task(2, 1, 100, 10)].into_iter().collect();
+        let set: TaskSet = [task(1, 0, 100, 10), task(2, 1, 100, 10)]
+            .into_iter()
+            .collect();
         let mut sim = FpSimulator::new(set);
         sim.set_sporadic(TaskId(1), vec![]);
         let report = sim.run(us(500));

@@ -186,8 +186,14 @@ impl TaskSpecBuilder {
     /// Returns a [`TaskSpecError`] when the period/WCET are missing or zero,
     /// or the deadline is inconsistent.
     pub fn build(self) -> Result<TaskSpec, TaskSpecError> {
-        let period = self.period.filter(|p| !p.is_zero()).ok_or(TaskSpecError::InvalidPeriod)?;
-        let wcet = self.wcet.filter(|c| !c.is_zero()).ok_or(TaskSpecError::InvalidWcet)?;
+        let period = self
+            .period
+            .filter(|p| !p.is_zero())
+            .ok_or(TaskSpecError::InvalidPeriod)?;
+        let wcet = self
+            .wcet
+            .filter(|c| !c.is_zero())
+            .ok_or(TaskSpecError::InvalidWcet)?;
         let deadline = self.deadline.unwrap_or(period);
         if deadline.is_zero() || deadline > period {
             return Err(TaskSpecError::InvalidDeadline);

@@ -26,8 +26,8 @@ use std::fmt;
 use nlft_machine::edm::Edm;
 use nlft_machine::fault::{StuckAtFault, TransientFault};
 use nlft_machine::machine::{Machine, RunExit, NUM_PORTS};
-use nlft_machine::workloads::{Workload, DATA_BASE, STACK_TOP};
 use nlft_machine::mem::WORD_BYTES;
+use nlft_machine::workloads::{Workload, DATA_BASE, STACK_TOP};
 
 /// Size (bytes) of the task state region digested into the result.
 pub const STATE_BYTES: u32 = 0x400;
@@ -269,7 +269,10 @@ impl TemExecutor {
             let out_of_copies = copies.len() as u32 >= cfg.max_executions;
             if (results.len() as u32) < results_wanted && (out_of_time || out_of_copies) {
                 restore_state(machine, &state_snapshot);
-                let last = detections.last().copied().unwrap_or(Edm::ExecutionTimeMonitor);
+                let last = detections
+                    .last()
+                    .copied()
+                    .unwrap_or(Edm::ExecutionTimeMonitor);
                 return JobReport {
                     outcome: JobOutcome::Omission { detected_by: last },
                     copies,
@@ -363,13 +366,7 @@ impl TemExecutor {
                 cycles_used += cfg.compare_cycles;
                 if results[0] == results[1] {
                     let masked = detections.first().copied();
-                    return deliver(
-                        masked,
-                        results[1].outputs,
-                        copies,
-                        cycles_used,
-                        detections,
-                    );
+                    return deliver(masked, results[1].outputs, copies, cycles_used, detections);
                 }
                 // Scenario ii: mismatch → need a third result for the vote.
                 detections.push(Edm::TemComparison);
@@ -506,10 +503,7 @@ mod tests {
             report.outcome
         );
         assert_eq!(report.executions(), 3, "killed copy + replacement");
-        assert!(matches!(
-            report.copies[1].result,
-            CopyResult::Detected(_)
-        ));
+        assert!(matches!(report.copies[1].result, CopyResult::Detected(_)));
         assert!(report.outputs.is_some());
     }
 

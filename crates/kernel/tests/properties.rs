@@ -50,7 +50,9 @@ fn simulation_never_beats_rta_bound() {
         "simulation_never_beats_rta_bound",
         gens::vec(arb_task, 1..5),
         |specs| {
-            let Some(set) = build_set(specs) else { return Ok(()) };
+            let Some(set) = build_set(specs) else {
+                return Ok(());
+            };
             let horizon = SimDuration::from_millis(200);
             let report = FpSimulator::new(set.clone()).run(horizon);
             for t in set.iter() {
@@ -76,7 +78,9 @@ fn rta_schedulable_implies_no_misses() {
         "rta_schedulable_implies_no_misses",
         gens::vec(arb_task, 1..5),
         |specs| {
-            let Some(set) = build_set(specs) else { return Ok(()) };
+            let Some(set) = build_set(specs) else {
+                return Ok(());
+            };
             if analyse(&set).is_schedulable() {
                 let report = FpSimulator::new(set).run(SimDuration::from_millis(200));
                 prop_assert!(report.no_misses());
@@ -95,7 +99,9 @@ fn overload_is_unschedulable() {
         |&period| {
             // Two tasks, each needing 60% of the CPU.
             let wcet = period * 6 / 10;
-            let Some(set) = build_set(&[(period, wcet), (period, wcet)]) else { return Ok(()) };
+            let Some(set) = build_set(&[(period, wcet), (period, wcet)]) else {
+                return Ok(());
+            };
             prop_assert!(!analyse(&set).is_schedulable());
             Ok(())
         },
@@ -116,11 +122,16 @@ fn tem_reports_are_deterministic() {
                 let (_, wcet) = w.golden_run(&[900, 700]);
                 let tem = TemExecutor::new(TemConfig::with_budget(wcet * 2));
                 let mut m = w.instantiate();
-                tem.run_job(&mut m, &w, &[900, 700], Some(InjectionPlan {
-                    copy: 0,
-                    at_cycle,
-                    fault,
-                }))
+                tem.run_job(
+                    &mut m,
+                    &w,
+                    &[900, 700],
+                    Some(InjectionPlan {
+                        copy: 0,
+                        at_cycle,
+                        fault,
+                    }),
+                )
             };
             prop_assert_eq!(run(), run());
             Ok(())
@@ -142,7 +153,16 @@ fn delivered_results_are_always_golden() {
             let fault = FaultSpace::cpu_only().sample(&mut rng);
             let tem = TemExecutor::new(TemConfig::with_budget(wcet * 2));
             let mut m = w.instantiate();
-            let report = tem.run_job(&mut m, &w, &[], Some(InjectionPlan { copy, at_cycle, fault }));
+            let report = tem.run_job(
+                &mut m,
+                &w,
+                &[],
+                Some(InjectionPlan {
+                    copy,
+                    at_cycle,
+                    fault,
+                }),
+            );
             if let Some(outputs) = report.outputs {
                 prop_assert_eq!(outputs[0], golden[0], "delivered wrong value: {:?}", report);
             }

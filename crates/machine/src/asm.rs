@@ -89,7 +89,11 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
 /// One parsed statement awaiting label resolution.
 #[derive(Debug, Clone)]
 enum Stmt {
-    Instr { line: usize, mnemonic: String, operands: Vec<String> },
+    Instr {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
     Word(u32),
 }
 
@@ -156,11 +160,7 @@ fn parse_mem(s: &str, line: usize) -> Result<(Reg, i16), AsmError> {
 }
 
 /// Resolves a branch target: a label or a numeric address.
-fn resolve_target(
-    s: &str,
-    labels: &HashMap<String, u32>,
-    line: usize,
-) -> Result<u16, AsmError> {
+fn resolve_target(s: &str, labels: &HashMap<String, u32>, line: usize) -> Result<u16, AsmError> {
     if let Some(&addr) = labels.get(s) {
         return u16::try_from(addr)
             .map_err(|_| err(line, format!("label `{s}` beyond 16-bit address space")));
@@ -210,9 +210,7 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
             let (label, rest) = text.split_at(colon);
             let label = label.trim();
             if label.is_empty()
-                || !label
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                 || label.chars().next().is_some_and(|c| c.is_ascii_digit())
             {
                 return Err(err(line_no, format!("bad label `{label}`")));
@@ -393,7 +391,11 @@ pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
         }
     }
 
-    Ok(Image { words, labels, base })
+    Ok(Image {
+        words,
+        labels,
+        base,
+    })
 }
 
 /// Disassembles an image for traces and debugging; undecodable words render
@@ -533,7 +535,10 @@ mod tests {
     fn immediates_out_of_range_rejected() {
         assert!(assemble("addi r0, r0, 70000").is_err());
         assert!(assemble("ldi r0, 0x1FFFF").is_err());
-        assert!(assemble("ldi r0, 0xFFFF").is_ok(), "0xFFFF allowed as bit pattern");
+        assert!(
+            assemble("ldi r0, 0xFFFF").is_ok(),
+            "0xFFFF allowed as bit pattern"
+        );
     }
 
     #[test]
@@ -595,7 +600,10 @@ mod tests {
     #[test]
     fn relocation_rejects_misaligned_or_oversized_base() {
         assert!(assemble_at("halt", 2).is_err());
-        assert!(assemble_at("a: jmp a", 0x1_0000).is_err(), "label beyond u16");
+        assert!(
+            assemble_at("a: jmp a", 0x1_0000).is_err(),
+            "label beyond u16"
+        );
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl CpuState {
     /// Folds a taken control transfer into the path signature.
     pub fn record_branch(&mut self, from_pc: u32, to_pc: u32) {
         let x = (u64::from(from_pc) << 32) | u64::from(to_pc);
-        self.path_sig = self
-            .path_sig
-            .rotate_left(7)
-            .wrapping_mul(0x100_0000_01b3)
-            ^ x;
+        self.path_sig = self.path_sig.rotate_left(7).wrapping_mul(0x100_0000_01b3) ^ x;
     }
 
     /// Reads a general-purpose register.
@@ -166,7 +162,10 @@ mod tests {
     #[test]
     fn flags_pack_round_trip() {
         for (z, n) in [(false, false), (true, false), (false, true), (true, true)] {
-            let f = StatusFlags { zero: z, negative: n };
+            let f = StatusFlags {
+                zero: z,
+                negative: n,
+            };
             assert_eq!(StatusFlags::from_word(f.to_word()), f);
         }
     }
@@ -183,14 +182,20 @@ mod tests {
     fn capture_restore_round_trip() {
         let mut cpu = CpuState::new(0x100, 0x2000);
         cpu.set_reg(Reg::R3, 42);
-        cpu.flags = StatusFlags { zero: true, negative: false };
+        cpu.flags = StatusFlags {
+            zero: true,
+            negative: false,
+        };
         cpu.cycles = 17;
         let ctx = cpu.capture();
 
         cpu.set_reg(Reg::R3, 99);
         cpu.pc = 0xDEAD;
         cpu.sp = 0xBEEC;
-        cpu.flags = StatusFlags { zero: false, negative: true };
+        cpu.flags = StatusFlags {
+            zero: false,
+            negative: true,
+        };
         cpu.cycles = 50;
 
         cpu.restore(&ctx);

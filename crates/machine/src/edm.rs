@@ -182,7 +182,10 @@ impl DetectionMatrix {
 
     /// Overall coverage across all classes.
     pub fn overall_coverage(&self) -> Option<f64> {
-        let det: u64 = TargetClass::ALL.iter().map(|&c| self.total_detected(c)).sum();
+        let det: u64 = TargetClass::ALL
+            .iter()
+            .map(|&c| self.total_detected(c))
+            .sum();
         let esc: u64 = TargetClass::ALL.iter().map(|&c| self.undetected(c)).sum();
         if det + esc == 0 {
             None
@@ -327,7 +330,11 @@ mod tests {
         let mut m = DetectionMatrix::new();
         assert_eq!(m.coverage(TargetClass::Memory), None);
         m.record_benign(TargetClass::Memory);
-        assert_eq!(m.coverage(TargetClass::Memory), None, "benign-only has no coverage");
+        assert_eq!(
+            m.coverage(TargetClass::Memory),
+            None,
+            "benign-only has no coverage"
+        );
         assert_eq!(m.overall_coverage(), None);
     }
 

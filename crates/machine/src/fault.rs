@@ -439,11 +439,7 @@ impl FaultSpace {
 /// of [`run_with_injection`] for [`StuckAtFault`]s. Unlike a transient, the
 /// fault is always "activated": it re-manifests on every read/execute for
 /// as long as the run lasts.
-pub fn run_with_stuck_at(
-    m: &mut Machine,
-    cycle_budget: u64,
-    fault: StuckAtFault,
-) -> RunOutcome {
+pub fn run_with_stuck_at(m: &mut Machine, cycle_budget: u64, fault: StuckAtFault) -> RunOutcome {
     let start = m.cpu.cycles;
     loop {
         let used = m.cpu.cycles - start;
@@ -751,10 +747,11 @@ mod tests {
             recurrence: 0.25,
             burst_jobs: u32::MAX,
         };
-        let hits = (0..2000)
-            .filter(|_| f.manifests(1, &mut rng))
-            .count();
-        assert!((400..=600).contains(&hits), "~25% expected, got {hits}/2000");
+        let hits = (0..2000).filter(|_| f.manifests(1, &mut rng)).count();
+        assert!(
+            (400..=600).contains(&hits),
+            "~25% expected, got {hits}/2000"
+        );
     }
 
     #[test]

@@ -396,7 +396,10 @@ mod tests {
     fn undefined_opcodes_are_illegal() {
         for opc in [0x02u8, 0x0F, 0x1A, 0x2B, 0x39, 0x42, 0x7F, 0xFF] {
             let word = u32::from(opc) << 24;
-            assert!(Instr::decode(word).is_err(), "opcode {opc:#x} should be illegal");
+            assert!(
+                Instr::decode(word).is_err(),
+                "opcode {opc:#x} should be illegal"
+            );
         }
     }
 
@@ -425,8 +428,10 @@ mod tests {
     #[test]
     fn cycle_costs_reflect_complexity() {
         assert!(Instr::Mul(Reg::R0, Reg::R0, Reg::R0).cycles() > Instr::Nop.cycles());
-        assert!(Instr::Div(Reg::R0, Reg::R0, Reg::R0).cycles()
-            > Instr::Mul(Reg::R0, Reg::R0, Reg::R0).cycles());
+        assert!(
+            Instr::Div(Reg::R0, Reg::R0, Reg::R0).cycles()
+                > Instr::Mul(Reg::R0, Reg::R0, Reg::R0).cycles()
+        );
     }
 
     #[test]

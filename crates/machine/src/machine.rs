@@ -304,10 +304,8 @@ impl Machine {
         }
         let pc = self.cpu.pc;
         let word = self.load_checked(pc, Access::Execute)?;
-        let instr = Instr::decode(word).map_err(|e| Exception::IllegalOpcode {
-            pc,
-            word: e.word,
-        })?;
+        let instr =
+            Instr::decode(word).map_err(|e| Exception::IllegalOpcode { pc, word: e.word })?;
         self.cpu.cycles += instr.cycles();
         if let Some(trace) = &mut self.trace {
             if trace.len() == self.trace_capacity {
@@ -570,9 +568,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_stops_infinite_loop() {
-        let mut m = machine_with(
-            "loop: jmp loop",
-        );
+        let mut m = machine_with("loop: jmp loop");
         let out = m.run(50);
         assert_eq!(out.exit, RunExit::BudgetExhausted);
         assert!(out.cycles_used >= 50);
@@ -648,7 +644,8 @@ mod tests {
         assert_eq!(m.run(10).exit, RunExit::Halted);
         // port 16 is out of range: patch an IN with port 16
         let mut m2 = Machine::new(4096, MemoryMap::permissive());
-        m2.load_program(0, &[Instr::In(Reg::R0, 16).encode()]).unwrap();
+        m2.load_program(0, &[Instr::In(Reg::R0, 16).encode()])
+            .unwrap();
         m2.reset(0, 4096);
         assert_eq!(
             m2.run(10).exit,

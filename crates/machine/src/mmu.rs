@@ -102,7 +102,10 @@ impl Region {
     /// Panics if the region is empty or wraps around the address space.
     pub fn new(start: u32, len: u32, perms: Perms) -> Self {
         assert!(len > 0, "region must be non-empty");
-        assert!(start.checked_add(len - 1).is_some(), "region wraps address space");
+        assert!(
+            start.checked_add(len - 1).is_some(),
+            "region wraps address space"
+        );
         Region { start, len, perms }
     }
 

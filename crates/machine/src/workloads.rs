@@ -367,7 +367,10 @@ mod tests {
         m.set_input(1, 90);
         m.run(DEFAULT_BUDGET);
         let second = m.output(0).unwrap();
-        assert!(second > first, "integral action accumulates: {first} -> {second}");
+        assert!(
+            second > first,
+            "integral action accumulates: {first} -> {second}"
+        );
     }
 
     #[test]

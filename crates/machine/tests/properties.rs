@@ -83,7 +83,10 @@ fn machine_total_on_arbitrary_programs() {
             match out.exit {
                 RunExit::Halted | RunExit::BudgetExhausted | RunExit::Exception(_) => {}
             }
-            prop_assert!(out.cycles_used <= 10_000 + 8, "budget respected modulo one instruction");
+            prop_assert!(
+                out.cycles_used <= 10_000 + 8,
+                "budget respected modulo one instruction"
+            );
             Ok(())
         },
     );
@@ -179,10 +182,10 @@ fn stuck_at_bit_remanifests_until_cleared() {
         "stuck_at_bit_remanifests_until_cleared",
         |r: &mut TkRng| {
             (
-                r.range(0, 8) as u8,        // register
-                r.range(0, 32) as u32,      // bit index
-                r.next_u64() & 1 == 1,      // stuck high?
-                r.range(10, 200),           // steps to run
+                r.range(0, 8) as u8,   // register
+                r.range(0, 32) as u32, // bit index
+                r.next_u64() & 1 == 1, // stuck high?
+                r.range(10, 200),      // steps to run
             )
         },
         |&(reg, bit_index, stuck_high, steps)| {
@@ -225,7 +228,7 @@ fn stuck_at_bit_remanifests_until_cleared() {
 /// transient bad luck.
 #[test]
 fn stuck_at_detection_classifies_consistently() {
-    use nlft_machine::fault::{run_with_stuck_at, FaultSpace, FaultModel};
+    use nlft_machine::fault::{run_with_stuck_at, FaultModel, FaultSpace};
 
     SUITE.check(
         "stuck_at_detection_classifies_consistently",

@@ -146,7 +146,9 @@ pub struct CycleDelivery {
 impl CycleDelivery {
     /// Frame sent by `node` in its static slot, if it arrived intact.
     pub fn from_node<'a>(&'a self, config: &BusConfig, node: NodeId) -> Option<&'a Frame> {
-        config.slot_of(node).and_then(|s| self.static_frames.get(&s))
+        config
+            .slot_of(node)
+            .and_then(|s| self.static_frames.get(&s))
     }
 }
 
@@ -379,7 +381,9 @@ impl Bus {
                         delivery.rejected += 1;
                     }
                 }
-                Err(FrameError::Truncated | FrameError::LengthMismatch | FrameError::CrcMismatch) => {
+                Err(
+                    FrameError::Truncated | FrameError::LengthMismatch | FrameError::CrcMismatch,
+                ) => {
                     self.crc_rejects += 1;
                     delivery.rejected += 1;
                 }
@@ -457,7 +461,10 @@ impl Bus {
                 }
             }
         }
-        if faults.iter().any(|f| matches!(f, WireFault::ReorderDynamic)) {
+        if faults
+            .iter()
+            .any(|f| matches!(f, WireFault::ReorderDynamic))
+        {
             dynamic.reverse();
         }
     }
@@ -481,14 +488,19 @@ mod tests {
         assert_eq!(d.static_frames[&SlotId(0)].payload, vec![1]);
         assert_eq!(d.static_frames[&SlotId(1)].payload, vec![2]);
         assert!(d.static_frames.get(&SlotId(2)).is_none(), "silent node 2");
-        assert_eq!(d.from_node(bus.config(), NodeId(1)).unwrap().payload, vec![2]);
+        assert_eq!(
+            d.from_node(bus.config(), NodeId(1)).unwrap().payload,
+            vec![2]
+        );
     }
 
     #[test]
     fn guardian_blocks_foreign_slot() {
         let mut bus = bus3();
         bus.start_cycle();
-        let err = bus.transmit_in_slot(NodeId(0), SlotId(1), vec![9]).unwrap_err();
+        let err = bus
+            .transmit_in_slot(NodeId(0), SlotId(1), vec![9])
+            .unwrap_err();
         assert_eq!(
             err,
             TransmitError::GuardianBlocked {
@@ -498,7 +510,10 @@ mod tests {
         );
         assert_eq!(bus.guardian_blocks(), 1);
         let d = bus.finish_cycle();
-        assert!(d.static_frames.is_empty(), "babbling never reaches receivers");
+        assert!(
+            d.static_frames.is_empty(),
+            "babbling never reaches receivers"
+        );
     }
 
     #[test]
@@ -536,7 +551,10 @@ mod tests {
         let d = bus.finish_cycle();
         assert_eq!(d.rejected, 1);
         assert!(d.static_frames.get(&SlotId(0)).is_none());
-        assert!(d.static_frames.contains_key(&SlotId(1)), "other frames unaffected");
+        assert!(
+            d.static_frames.contains_key(&SlotId(1)),
+            "other frames unaffected"
+        );
         assert_eq!(bus.crc_rejects(), 1);
         assert_eq!(bus.corruptions_applied(), 1);
     }
@@ -553,7 +571,11 @@ mod tests {
         bus.transmit_static(NodeId(0), vec![1]).unwrap();
         let d = bus.finish_cycle();
         assert_eq!(d.rejected, 0);
-        assert_eq!(bus.corruptions_applied(), 0, "nothing on the wire to corrupt");
+        assert_eq!(
+            bus.corruptions_applied(),
+            0,
+            "nothing on the wire to corrupt"
+        );
     }
 
     #[test]
@@ -565,7 +587,10 @@ mod tests {
         bus.stage_wire_fault(WireFault::DropStatic { slot: SlotId(1) });
         let d = bus.finish_cycle();
         assert!(d.static_frames.get(&SlotId(1)).is_none());
-        assert_eq!(d.rejected, 0, "an omission is silence, not a rejected frame");
+        assert_eq!(
+            d.rejected, 0,
+            "an omission is silence, not a rejected frame"
+        );
         assert_eq!(bus.drops_applied(), 1);
         assert_eq!(bus.crc_rejects(), 0);
     }
@@ -646,7 +671,11 @@ mod tests {
         bus.start_cycle();
         bus.transmit_dynamic(NodeId(0), 0, vec![10]).unwrap();
         bus.stage_wire_fault(WireFault::DuplicateDynamic { index: 9 });
-        bus.stage_wire_fault(WireFault::CorruptDynamic { index: 9, byte: 0, mask: 1 });
+        bus.stage_wire_fault(WireFault::CorruptDynamic {
+            index: 9,
+            byte: 0,
+            mask: 1,
+        });
         let d = bus.finish_cycle();
         assert_eq!(d.dynamic_frames.len(), 1);
         assert_eq!(d.rejected, 0);

@@ -120,12 +120,28 @@ impl NetFaultRates {
             ("masquerade", self.masquerade),
             ("clock_glitch", self.clock_glitch),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&r),
-                "{name} rate {r} outside [0, 1]"
-            );
+            assert!((0.0..=1.0).contains(&r), "{name} rate {r} outside [0, 1]");
         }
     }
+}
+
+/// A correlated blackout / brown-out: in one slot of `at_cycle`, every
+/// listed node is reset simultaneously — the EMI-burst / power-dip
+/// failure mode that takes out several (optionally all, including both
+/// CU replicas) nodes at once. Each victim stays down for `down_cycles`
+/// plus an individual stagger drawn uniformly from `[0, stagger]`
+/// (supply capacitors discharge at different rates), then re-enters the
+/// cluster through the startup protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlackoutSpec {
+    /// Cycle in which the burst hits.
+    pub at_cycle: u32,
+    /// The nodes reset by the burst.
+    pub nodes: Vec<NodeId>,
+    /// Minimum cycles every victim stays powered down (≥ 1).
+    pub down_cycles: u32,
+    /// Upper bound of the per-node additional power-up stagger.
+    pub stagger: u32,
 }
 
 /// A full injection plan: per-node rates, outage geometry, dynamic-segment
@@ -133,6 +149,9 @@ impl NetFaultRates {
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetFaultPlan {
     node_rates: BTreeMap<NodeId, NetFaultRates>,
+    /// Scheduled correlated blackouts. Unlike the stochastic rates these
+    /// fire at absolute cycles, ignoring the activity window.
+    pub blackouts: Vec<BlackoutSpec>,
     /// Cycles a crashed node stays silent before returning.
     pub restart_cycles: u32,
     /// Cycles a clock-glitched node loses slot alignment for. Calibrate
@@ -156,6 +175,7 @@ impl NetFaultPlan {
     pub fn quiet() -> Self {
         NetFaultPlan {
             node_rates: BTreeMap::new(),
+            blackouts: Vec::new(),
             restart_cycles: 8,
             clock_outage_cycles: 2,
             duplicate_dynamic: 0.0,
@@ -187,10 +207,25 @@ impl NetFaultPlan {
     ///
     /// Panics if either rate is outside `[0, 1]`.
     pub fn with_dynamic(mut self, duplicate: f64, reorder: f64) -> Self {
-        assert!((0.0..=1.0).contains(&duplicate), "duplicate rate {duplicate}");
+        assert!(
+            (0.0..=1.0).contains(&duplicate),
+            "duplicate rate {duplicate}"
+        );
         assert!((0.0..=1.0).contains(&reorder), "reorder rate {reorder}");
         self.duplicate_dynamic = duplicate;
         self.reorder_dynamic = reorder;
+        self
+    }
+
+    /// Schedules a correlated blackout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec lists no nodes or has `down_cycles == 0`.
+    pub fn with_blackout(mut self, spec: BlackoutSpec) -> Self {
+        assert!(!spec.nodes.is_empty(), "blackout without victims");
+        assert!(spec.down_cycles > 0, "blackout must last at least 1 cycle");
+        self.blackouts.push(spec);
         self
     }
 
@@ -203,7 +238,10 @@ impl NetFaultPlan {
 
     /// The rates applying to `node` (quiet if never configured).
     pub fn rates_for(&self, node: NodeId) -> NetFaultRates {
-        self.node_rates.get(&node).copied().unwrap_or(NetFaultRates::QUIET)
+        self.node_rates
+            .get(&node)
+            .copied()
+            .unwrap_or(NetFaultRates::QUIET)
     }
 
     /// Whether the plan is active in `cycle`.
@@ -233,6 +271,8 @@ pub struct InjectionCounts {
     pub duplicates: u64,
     /// Dynamic-segment reorders decided.
     pub reorders: u64,
+    /// Node resets caused by scheduled blackouts.
+    pub blackout_resets: u64,
 }
 
 impl InjectionCounts {
@@ -246,6 +286,7 @@ impl InjectionCounts {
             + self.clock_glitches
             + self.duplicates
             + self.reorders
+            + self.blackout_resets
     }
 
     /// Field-wise accumulation.
@@ -258,6 +299,7 @@ impl InjectionCounts {
         self.clock_glitches += other.clock_glitches;
         self.duplicates += other.duplicates;
         self.reorders += other.reorders;
+        self.blackout_resets += other.blackout_resets;
     }
 }
 
@@ -269,6 +311,9 @@ pub struct NetFaultInjector {
     /// Nodes currently held down: cycle (exclusive) until which each stays
     /// silent.
     down_until: BTreeMap<NodeId, u32>,
+    /// Nodes reset by a blackout in the most recent perturbed cycle,
+    /// with their total down windows (refreshed every `perturb_cycle`).
+    last_resets: Vec<(NodeId, u32)>,
     counts: InjectionCounts,
 }
 
@@ -283,8 +328,18 @@ impl NetFaultInjector {
             plan,
             root: rng,
             down_until: BTreeMap::new(),
+            last_resets: Vec::new(),
             counts: InjectionCounts::default(),
         }
+    }
+
+    /// Nodes reset by a scheduled blackout in the most recently
+    /// perturbed cycle, with the total number of cycles each stays down
+    /// (base `down_cycles` plus its individual stagger draw). The caller
+    /// uses this to wipe node-local state — a reset node reboots, it
+    /// does not merely miss a slot.
+    pub fn resets_this_cycle(&self) -> &[(NodeId, u32)] {
+        &self.last_resets
     }
 
     /// The active plan.
@@ -306,7 +361,9 @@ impl NetFaultInjector {
     /// Whether `node` is being held silent in `cycle` by a crash or clock
     /// outage window.
     pub fn is_down(&self, node: NodeId, cycle: u32) -> bool {
-        self.down_until.get(&node).is_some_and(|&until| cycle < until)
+        self.down_until
+            .get(&node)
+            .is_some_and(|&until| cycle < until)
     }
 
     /// Perturbs the cycle that `bus` currently has open. Call exactly once
@@ -317,6 +374,33 @@ impl NetFaultInjector {
     /// outage) in slot order.
     pub fn perturb_cycle(&mut self, bus: &mut Bus) -> Vec<NodeId> {
         let cycle = bus.cycle();
+        self.last_resets.clear();
+        // Scheduled blackouts fire first: a reset node is down from this
+        // very cycle, before any stochastic per-node fate is drawn.
+        let due: Vec<BlackoutSpec> = self
+            .plan
+            .blackouts
+            .iter()
+            .filter(|spec| spec.at_cycle == cycle)
+            .cloned()
+            .collect();
+        for spec in due {
+            for &node in &spec.nodes {
+                let stagger = if spec.stagger == 0 {
+                    0
+                } else {
+                    // One labelled fork per (cycle, node), like every
+                    // other injection decision.
+                    self.root
+                        .fork_indexed("net-blackout", (u64::from(cycle) << 8) | u64::from(node.0))
+                        .uniform_range(0, u64::from(spec.stagger) + 1) as u32
+                };
+                let down = spec.down_cycles + stagger;
+                self.down_until.insert(node, cycle + down);
+                self.counts.blackout_resets += 1;
+                self.last_resets.push((node, down));
+            }
+        }
         let active = self.plan.active_in(cycle);
         let nodes: Vec<NodeId> = bus.config().static_slots.clone();
         let mut silenced = Vec::new();
@@ -340,7 +424,8 @@ impl NetFaultInjector {
                 .fork_indexed("net-fault", (u64::from(cycle) << 8) | u64::from(node.0));
             if rng.bernoulli(rates.crash) {
                 self.counts.crashes += 1;
-                self.down_until.insert(node, cycle + self.plan.restart_cycles.max(1));
+                self.down_until
+                    .insert(node, cycle + self.plan.restart_cycles.max(1));
                 silenced.push(node);
                 continue;
             }
@@ -363,15 +448,18 @@ impl NetFaultInjector {
                 // the frame CRC is *guaranteed* to catch.
                 let bit1 = 1u8 << rng.uniform_range(0, 8);
                 let bit2 = 1u8 << rng.uniform_range(0, 8);
-                let mask = if rng.bernoulli(0.5) { bit1 } else { bit1 | bit2 };
+                let mask = if rng.bernoulli(0.5) {
+                    bit1
+                } else {
+                    bit1 | bit2
+                };
                 bus.stage_wire_fault(WireFault::CorruptStatic { slot, byte, mask });
             }
             if rng.bernoulli(rates.masquerade) {
                 self.counts.masquerades += 1;
                 let n = bus.config().static_slots.len() as u64;
                 let shift = rng.uniform_range(1, n.max(2));
-                let claim =
-                    bus.config().static_slots[((u64::from(slot.0) + shift) % n) as usize];
+                let claim = bus.config().static_slots[((u64::from(slot.0) + shift) % n) as usize];
                 bus.stage_wire_fault(WireFault::MasqueradeStatic { slot, claim });
             }
             if rng.bernoulli(rates.babble) {
@@ -424,10 +512,8 @@ mod tests {
 
     fn storm_bus() -> (Bus, NetFaultInjector) {
         let config = BusConfig::round_robin(4, 2);
-        let plan = NetFaultPlan::quiet().with_nodes(
-            &config.static_slots.clone(),
-            NetFaultRates::storm(1.0),
-        );
+        let plan = NetFaultPlan::quiet()
+            .with_nodes(&config.static_slots.clone(), NetFaultRates::storm(1.0));
         (
             Bus::new(config),
             NetFaultInjector::new(plan, RngStream::new(0x57A3)),
@@ -477,7 +563,10 @@ mod tests {
         let config = BusConfig::round_robin(4, 0);
         let plan = NetFaultPlan::quiet().with_nodes(
             &config.static_slots.clone(),
-            NetFaultRates { corruption: 0.5, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                corruption: 0.5,
+                ..NetFaultRates::QUIET
+            },
         );
         let mut bus = Bus::new(config);
         let mut injector = NetFaultInjector::new(plan, RngStream::new(9));
@@ -495,7 +584,10 @@ mod tests {
         let config = BusConfig::round_robin(4, 0);
         let plan = NetFaultPlan::quiet().with_nodes(
             &config.static_slots.clone(),
-            NetFaultRates { babble: 0.7, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                babble: 0.7,
+                ..NetFaultRates::QUIET
+            },
         );
         let mut bus = Bus::new(config);
         let mut injector = NetFaultInjector::new(plan, RngStream::new(10));
@@ -509,7 +601,10 @@ mod tests {
         let config = BusConfig::round_robin(2, 0);
         let mut plan = NetFaultPlan::quiet().with_node(
             NodeId(1),
-            NetFaultRates { crash: 1.0, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                crash: 1.0,
+                ..NetFaultRates::QUIET
+            },
         );
         plan.restart_cycles = 5;
         // Only cycle 0 can crash the node; afterwards the plan is idle.
@@ -534,7 +629,13 @@ mod tests {
     fn plan_window_bounds_activity() {
         let config = BusConfig::round_robin(2, 0);
         let plan = NetFaultPlan::quiet()
-            .with_node(NodeId(0), NetFaultRates { omission: 1.0, ..NetFaultRates::QUIET })
+            .with_node(
+                NodeId(0),
+                NetFaultRates {
+                    omission: 1.0,
+                    ..NetFaultRates::QUIET
+                },
+            )
             .window(3, 6);
         let mut bus = Bus::new(config);
         let mut injector = NetFaultInjector::new(plan, RngStream::new(4));
@@ -547,7 +648,10 @@ mod tests {
         let config = BusConfig::round_robin(2, 0);
         let mut plan = NetFaultPlan::quiet().with_node(
             NodeId(0),
-            NetFaultRates { crash: 1.0, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                crash: 1.0,
+                ..NetFaultRates::QUIET
+            },
         );
         plan.restart_cycles = 6;
         let mut bus = Bus::new(config);
@@ -564,7 +668,10 @@ mod tests {
             }
             bus.finish_cycle();
         }
-        assert_eq!(still_down, 5, "outage opened before quiescing still completes");
+        assert_eq!(
+            still_down, 5,
+            "outage opened before quiescing still completes"
+        );
     }
 
     #[test]
@@ -572,7 +679,10 @@ mod tests {
         let config = BusConfig::round_robin(3, 0);
         let plan = NetFaultPlan::quiet().with_nodes(
             &config.static_slots.clone(),
-            NetFaultRates { masquerade: 1.0, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                masquerade: 1.0,
+                ..NetFaultRates::QUIET
+            },
         );
         let mut bus = Bus::new(config);
         let mut injector = NetFaultInjector::new(plan, RngStream::new(6));
@@ -587,7 +697,10 @@ mod tests {
     fn invalid_rates_rejected() {
         NetFaultPlan::quiet().with_node(
             NodeId(0),
-            NetFaultRates { corruption: 1.5, ..NetFaultRates::QUIET },
+            NetFaultRates {
+                corruption: 1.5,
+                ..NetFaultRates::QUIET
+            },
         );
     }
 
@@ -600,5 +713,92 @@ mod tests {
         assert_eq!(a, b);
         assert!(a >= 1);
         assert!(a < 40, "Welch-Lynch must pull a glitched clock back: {a}");
+    }
+
+    #[test]
+    fn blackout_resets_all_victims_in_one_cycle() {
+        let config = BusConfig::round_robin(4, 0);
+        let mut bus = Bus::new(config);
+        let victims = vec![NodeId(0), NodeId(1), NodeId(3)];
+        let plan = NetFaultPlan::quiet().with_blackout(BlackoutSpec {
+            at_cycle: 2,
+            nodes: victims.clone(),
+            down_cycles: 3,
+            stagger: 0,
+        });
+        let mut injector = NetFaultInjector::new(plan, RngStream::new(0xB1AC));
+        for cycle in 0..2 {
+            bus.start_cycle();
+            assert!(injector.perturb_cycle(&mut bus).is_empty());
+            assert!(injector.resets_this_cycle().is_empty(), "cycle {cycle}");
+            bus.finish_cycle();
+        }
+        bus.start_cycle();
+        let silenced = injector.perturb_cycle(&mut bus);
+        assert_eq!(silenced, victims, "all victims drop in the same cycle");
+        assert_eq!(
+            injector.resets_this_cycle(),
+            &[(NodeId(0), 3), (NodeId(1), 3), (NodeId(3), 3)],
+            "zero stagger: every victim is down exactly down_cycles"
+        );
+        assert_eq!(injector.counts().blackout_resets, 3);
+        assert_eq!(injector.counts().total(), 3);
+        bus.finish_cycle();
+        // Down for cycles 2, 3, 4; back in cycle 5.
+        for cycle in 3..=5 {
+            bus.start_cycle();
+            let silenced = injector.perturb_cycle(&mut bus);
+            if cycle < 5 {
+                assert_eq!(silenced, victims, "cycle {cycle}");
+            } else {
+                assert!(silenced.is_empty(), "victims return in cycle 5");
+            }
+            assert!(injector.resets_this_cycle().is_empty());
+            bus.finish_cycle();
+        }
+    }
+
+    #[test]
+    fn blackout_stagger_is_bounded_and_deterministic() {
+        let config = BusConfig::round_robin(6, 0);
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let spec = BlackoutSpec {
+            at_cycle: 0,
+            nodes: nodes.clone(),
+            down_cycles: 2,
+            stagger: 3,
+        };
+        let run = || {
+            let mut bus = Bus::new(config.clone());
+            let plan = NetFaultPlan::quiet().with_blackout(spec.clone());
+            let mut injector = NetFaultInjector::new(plan, RngStream::new(0x0FF));
+            bus.start_cycle();
+            injector.perturb_cycle(&mut bus);
+            let resets = injector.resets_this_cycle().to_vec();
+            bus.finish_cycle();
+            resets
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "stagger draws are a pure function of the seed");
+        assert_eq!(a.len(), 6);
+        for &(_, down) in &a {
+            assert!((2..=5).contains(&down), "down {down} outside [2, 2+3]");
+        }
+        assert!(
+            a.iter().any(|&(_, down)| down != a[0].1),
+            "a 3-cycle stagger over 6 nodes should not be uniform"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn zero_length_blackout_rejected() {
+        NetFaultPlan::quiet().with_blackout(BlackoutSpec {
+            at_cycle: 0,
+            nodes: vec![NodeId(0)],
+            down_cycles: 0,
+            stagger: 0,
+        });
     }
 }

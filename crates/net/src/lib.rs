@@ -46,15 +46,19 @@ pub mod frame;
 pub mod inject;
 pub mod membership;
 pub mod replication;
+pub mod startup;
 pub mod sync;
 pub mod timing;
 
 pub use bus::{Bus, BusConfig, CycleDelivery, TransmitError, WireFault};
 pub use frame::{Frame, FrameError, NodeId, SlotId};
-pub use inject::{InjectionCounts, NetFaultInjector, NetFaultPlan, NetFaultRates};
-pub use membership::{Membership, MembershipEvent};
-pub use sync::{ClockBehaviour, ClockGlitch, SyncConfig, SyncReport};
-pub use timing::{derive_repair_rates, BusTiming, DerivedRepairRates};
+pub use inject::{BlackoutSpec, InjectionCounts, NetFaultInjector, NetFaultPlan, NetFaultRates};
+pub use membership::{clique_majority_threshold, CliqueVerdict, Membership, MembershipEvent};
 pub use replication::{
     select_duplex, select_duplex_among, DuplexPair, DuplexValue, ResyncPolicy, StateResync,
 };
+pub use startup::{
+    StartupConfig, StartupEvent, StartupMetrics, StartupProtocol, StartupState, TransmitIntent,
+};
+pub use sync::{ClockBehaviour, ClockGlitch, SyncConfig, SyncReport};
+pub use timing::{derive_repair_rates, BusTiming, DerivedRepairRates};

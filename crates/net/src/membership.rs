@@ -117,7 +117,13 @@ impl Membership {
             window_misses <= window_cycles,
             "window_misses must be at most window_cycles"
         );
-        Self::build(config, exclude_after, reintegrate_after, window_misses, window_cycles)
+        Self::build(
+            config,
+            exclude_after,
+            reintegrate_after,
+            window_misses,
+            window_cycles,
+        )
     }
 
     fn build(
@@ -177,8 +183,7 @@ impl Membership {
                     let history = self.history.entry(node).or_insert(0);
                     *history = (*history << 1) | u64::from(!transmitted);
                     let window_violated = self.window_cycles > 0
-                        && (*history & mask(self.window_cycles)).count_ones()
-                            >= self.window_misses;
+                        && (*history & mask(self.window_cycles)).count_ones() >= self.window_misses;
                     if transmitted {
                         *missed = 0;
                     } else {
@@ -218,6 +223,54 @@ impl Membership {
     pub fn reintegration_latency_cycles(&self) -> u32 {
         self.reintegrate_after
     }
+
+    /// TTP/C clique-avoidance check for one completed cycle: compares
+    /// the number of senders actually heard against the majority
+    /// threshold over *all* slot owners. The count deliberately ignores
+    /// the node's own membership view — after a glitch, that view is
+    /// exactly what cannot be trusted, and TTP/C resolves the ambiguity
+    /// by raw sender counting.
+    ///
+    /// A node that receives a [`CliqueVerdict::Minority`] must assume it
+    /// is the one partitioned off and revert to integration (fall
+    /// silent) instead of babbling against the majority clique; the
+    /// startup protocol (`crate::startup`) enforces exactly that rule.
+    pub fn clique_check(&self, delivery: &CycleDelivery) -> CliqueVerdict {
+        let threshold = clique_majority_threshold(self.config.static_slots.len());
+        let heard = delivery.static_frames.len();
+        if heard >= threshold {
+            CliqueVerdict::Majority { heard, threshold }
+        } else {
+            CliqueVerdict::Minority { heard, threshold }
+        }
+    }
+}
+
+/// Verdict of [`Membership::clique_check`] for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliqueVerdict {
+    /// The observing node hears a majority of slot owners: it is in the
+    /// agreeing clique and may keep transmitting.
+    Majority {
+        /// Distinct senders heard this cycle.
+        heard: usize,
+        /// Senders required for a majority (`n/2 + 1`).
+        threshold: usize,
+    },
+    /// The observing node hears only a minority: it must fall silent and
+    /// reintegrate rather than babble.
+    Minority {
+        /// Distinct senders heard this cycle.
+        heard: usize,
+        /// Senders required for a majority (`n/2 + 1`).
+        threshold: usize,
+    },
+}
+
+/// Senders that must be heard in one cycle for the observer to count
+/// itself in the majority clique: `n/2 + 1` of `n` slot owners.
+pub fn clique_majority_threshold(n: usize) -> usize {
+    n / 2 + 1
 }
 
 /// Bitmask selecting the `k` most recent history bits (`k ≤ 64`).
@@ -260,7 +313,10 @@ mod tests {
     #[test]
     fn silent_node_excluded_after_threshold() {
         let (mut bus, mut m) = setup(2, 2);
-        assert!(cycle(&mut bus, &mut m, &[0, 1]).is_empty(), "one miss tolerated");
+        assert!(
+            cycle(&mut bus, &mut m, &[0, 1]).is_empty(),
+            "one miss tolerated"
+        );
         let ev = cycle(&mut bus, &mut m, &[0, 1]);
         assert_eq!(ev, vec![MembershipEvent::Excluded(NodeId(2))]);
         assert!(!m.is_member(NodeId(2)));
@@ -354,7 +410,10 @@ mod tests {
         for good in 1..reint {
             let ev = cycle(&mut bus, &mut m, &[0, 1, 2]);
             assert!(ev.is_empty(), "good cycle {good}: still excluded");
-            assert_eq!(m.state(NodeId(2)), Some(MemberState::Excluded { seen: good }));
+            assert_eq!(
+                m.state(NodeId(2)),
+                Some(MemberState::Excluded { seen: good })
+            );
         }
         let ev = cycle(&mut bus, &mut m, &[0, 1, 2]);
         assert_eq!(
@@ -463,5 +522,62 @@ mod tests {
     fn window_longer_than_history_rejected() {
         let config = BusConfig::round_robin(2, 0);
         Membership::with_hysteresis(&config, 1, 1, 2, 65);
+    }
+
+    #[test]
+    fn clique_threshold_is_strict_majority() {
+        assert_eq!(clique_majority_threshold(3), 2);
+        assert_eq!(clique_majority_threshold(4), 3);
+        assert_eq!(clique_majority_threshold(6), 4);
+        assert_eq!(clique_majority_threshold(7), 4);
+    }
+
+    #[test]
+    fn clique_check_counts_senders_against_all_slot_owners() {
+        let (mut bus, membership) = setup(2, 2);
+        // 3 slot owners → threshold 2. One sender is a minority clique.
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        let delivery = bus.finish_cycle();
+        assert_eq!(
+            membership.clique_check(&delivery),
+            CliqueVerdict::Minority {
+                heard: 1,
+                threshold: 2
+            }
+        );
+        // Two senders reach the majority threshold.
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        bus.transmit_static(NodeId(2), vec![1]).unwrap();
+        let delivery = bus.finish_cycle();
+        assert_eq!(
+            membership.clique_check(&delivery),
+            CliqueVerdict::Majority {
+                heard: 2,
+                threshold: 2
+            }
+        );
+    }
+
+    #[test]
+    fn clique_check_ignores_own_membership_view() {
+        let (mut bus, mut membership) = setup(1, 1);
+        // Exclude node 2 from the local view…
+        cycle(&mut bus, &mut membership, &[0, 1]);
+        assert!(!membership.is_member(NodeId(2)));
+        // …but the clique count still spans all 3 slot owners: hearing
+        // the two *other* nodes while silent ourselves is a majority.
+        bus.start_cycle();
+        bus.transmit_static(NodeId(1), vec![1]).unwrap();
+        bus.transmit_static(NodeId(2), vec![1]).unwrap();
+        let delivery = bus.finish_cycle();
+        assert_eq!(
+            membership.clique_check(&delivery),
+            CliqueVerdict::Majority {
+                heard: 2,
+                threshold: 2
+            }
+        );
     }
 }

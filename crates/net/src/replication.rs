@@ -99,7 +99,11 @@ impl fmt::Display for DuplexValue {
 }
 
 /// Selects the duplex pair's value from one cycle's delivery.
-pub fn select_duplex(config: &BusConfig, delivery: &CycleDelivery, pair: DuplexPair) -> DuplexValue {
+pub fn select_duplex(
+    config: &BusConfig,
+    delivery: &CycleDelivery,
+    pair: DuplexPair,
+) -> DuplexValue {
     let fa = delivery.from_node(config, pair.a);
     let fb = delivery.from_node(config, pair.b);
     match (fa, fb) {
@@ -136,8 +140,12 @@ pub fn select_duplex_among(
     pair: DuplexPair,
     is_member: impl Fn(NodeId) -> bool,
 ) -> DuplexValue {
-    let fa = delivery.from_node(config, pair.a).filter(|_| is_member(pair.a));
-    let fb = delivery.from_node(config, pair.b).filter(|_| is_member(pair.b));
+    let fa = delivery
+        .from_node(config, pair.a)
+        .filter(|_| is_member(pair.a));
+    let fb = delivery
+        .from_node(config, pair.b)
+        .filter(|_| is_member(pair.b));
     match (fa, fb) {
         (Some(x), Some(y)) => {
             if x.payload == y.payload {
@@ -392,7 +400,11 @@ mod tests {
 
     fn setup() -> (Bus, BusConfig, DuplexPair) {
         let config = BusConfig::round_robin(2, 4);
-        (Bus::new(config.clone()), config, DuplexPair::new(NodeId(0), NodeId(1)))
+        (
+            Bus::new(config.clone()),
+            config,
+            DuplexPair::new(NodeId(0), NodeId(1)),
+        )
     }
 
     #[test]
@@ -402,7 +414,10 @@ mod tests {
         bus.transmit_static(NodeId(0), vec![42]).unwrap();
         bus.transmit_static(NodeId(1), vec![42]).unwrap();
         let d = bus.finish_cycle();
-        assert_eq!(select_duplex(&config, &d, pair), DuplexValue::Agreed(vec![42]));
+        assert_eq!(
+            select_duplex(&config, &d, pair),
+            DuplexValue::Agreed(vec![42])
+        );
     }
 
     #[test]
@@ -471,8 +486,13 @@ mod tests {
 
         // Cycle 2: the healthy partner sees the request and answers.
         bus.start_cycle();
-        let ev_h = healthy.process_cycle(&mut bus, &d1, &healthy_state).unwrap();
-        assert_eq!(ev_h, vec![ResyncEvent::ServedPartner(healthy_state.clone())]);
+        let ev_h = healthy
+            .process_cycle(&mut bus, &d1, &healthy_state)
+            .unwrap();
+        assert_eq!(
+            ev_h,
+            vec![ResyncEvent::ServedPartner(healthy_state.clone())]
+        );
         let d2 = bus.finish_cycle();
 
         // Cycle 3: the recovering node installs the state.
@@ -502,7 +522,8 @@ mod tests {
         let mut node = StateResync::new(NodeId(1), pair);
         // A spurious response arrives without a request.
         bus.start_cycle();
-        bus.transmit_dynamic(NodeId(0), 1, vec![RESYNC_RESPONSE, 1, 99]).unwrap();
+        bus.transmit_dynamic(NodeId(0), 1, vec![RESYNC_RESPONSE, 1, 99])
+            .unwrap();
         let d = bus.finish_cycle();
         bus.start_cycle();
         let ev = node.process_cycle(&mut bus, &d, &[]).unwrap();
@@ -628,7 +649,12 @@ mod tests {
 
     #[test]
     fn resync_frames_identified() {
-        let f = Frame::new(NodeId(0), crate::frame::SlotId(255), 0, vec![RESYNC_REQUEST, 0]);
+        let f = Frame::new(
+            NodeId(0),
+            crate::frame::SlotId(255),
+            0,
+            vec![RESYNC_REQUEST, 0],
+        );
         assert!(is_resync_frame(&f));
         let g = Frame::new(NodeId(0), crate::frame::SlotId(255), 0, vec![7]);
         assert!(!is_resync_frame(&g));

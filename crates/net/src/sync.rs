@@ -57,6 +57,36 @@ impl SyncConfig {
             reading_error_us: 1.0,
         }
     }
+
+    /// Overrides the resynchronisation interval `R` (µs). The drift term
+    /// of the skew bound scales linearly with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `us` is finite and positive.
+    pub fn with_resync_interval(mut self, us: f64) -> Self {
+        assert!(
+            us.is_finite() && us > 0.0,
+            "resync interval must be positive"
+        );
+        self.resync_interval_us = us;
+        self
+    }
+
+    /// Overrides the clock-reading error `ε` (µs) — the dominant term of
+    /// the Welch–Lynch skew bound `4ε + 2ρR`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `us` is finite and non-negative.
+    pub fn with_reading_error(mut self, us: f64) -> Self {
+        assert!(
+            us.is_finite() && us >= 0.0,
+            "reading error must be non-negative"
+        );
+        self.reading_error_us = us;
+        self
+    }
 }
 
 /// A one-off clock jump injected into a run — the clock-fault half of the
@@ -158,7 +188,11 @@ pub fn run_with_glitches(
     rng: &mut RngStream,
 ) -> SyncReport {
     for g in glitches {
-        assert!(g.node < config.clocks.len(), "glitch node {} out of range", g.node);
+        assert!(
+            g.node < config.clocks.len(),
+            "glitch node {} out of range",
+            g.node
+        );
         assert!(
             matches!(config.clocks[g.node], ClockBehaviour::Drifting { .. }),
             "glitching a Byzantine clock is meaningless"
@@ -223,8 +257,7 @@ fn run_faulted(
                     ClockBehaviour::Drifting { .. } => {
                         // Reading of clock j relative to true time, with
                         // bounded measurement error.
-                        offsets[j]
-                            + (rng.uniform_f64() * 2.0 - 1.0) * config.reading_error_us
+                        offsets[j] + (rng.uniform_f64() * 2.0 - 1.0) * config.reading_error_us
                     }
                     ClockBehaviour::Byzantine => {
                         // Split attack: echo the reader's own clock with a
@@ -263,9 +296,7 @@ fn run_faulted(
                 .clocks
                 .iter()
                 .enumerate()
-                .filter(|(j, c)| {
-                    *j != g.node && matches!(c, ClockBehaviour::Drifting { .. })
-                })
+                .filter(|(j, c)| *j != g.node && matches!(c, ClockBehaviour::Drifting { .. }))
                 .map(|(j, _)| (offsets[j] - offsets[g.node]).abs())
                 .fold(0.0, f64::max);
             if worst <= report.skew_bound_us * 1.5 {
@@ -309,7 +340,10 @@ mod tests {
             "steady skew {steady} vs bound {}",
             report.skew_bound_us
         );
-        assert!(steady < 50.0, "far below the 500 µs initial spread: {steady}");
+        assert!(
+            steady < 50.0,
+            "far below the 500 µs initial spread: {steady}"
+        );
     }
 
     #[test]
@@ -425,5 +459,42 @@ mod tests {
         let c2 = SyncConfig::cluster(5, 30.0, 1, &mut r2);
         let rep2 = run(&c2, 20, 50.0, &mut r2);
         assert_eq!(rep1, rep2);
+    }
+
+    #[test]
+    fn builder_overrides_feed_the_skew_bound() {
+        let mut rng = RngStream::new(11);
+        let config = SyncConfig::cluster(4, 20.0, 1, &mut rng)
+            .with_resync_interval(5_000.0)
+            .with_reading_error(0.25);
+        assert_eq!(config.resync_interval_us, 5_000.0);
+        assert_eq!(config.reading_error_us, 0.25);
+        let report = run(&config, 10, 10.0, &mut rng);
+        // 4ε + 2·ρ_max·R with the overridden ε and R, where ρ_max is the
+        // largest drift actually drawn for the cluster.
+        let rho = config
+            .clocks
+            .iter()
+            .map(|c| match c {
+                ClockBehaviour::Drifting { ppm } => ppm.abs(),
+                ClockBehaviour::Byzantine => 0.0,
+            })
+            .fold(0.0, f64::max);
+        let expected = 4.0 * 0.25 + 2.0 * rho * 1e-6 * 5_000.0;
+        assert!((report.skew_bound_us - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reading error")]
+    fn negative_reading_error_rejected() {
+        let mut rng = RngStream::new(1);
+        let _ = SyncConfig::cluster(4, 20.0, 1, &mut rng).with_reading_error(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resync interval")]
+    fn zero_resync_interval_rejected() {
+        let mut rng = RngStream::new(1);
+        let _ = SyncConfig::cluster(4, 20.0, 1, &mut rng).with_resync_interval(0.0);
     }
 }

@@ -130,7 +130,10 @@ mod tests {
 
         // Restart = 1.4 s + 1.6 s ≈ 3 s → μ_R ≈ 1.2e3/h.
         let r_secs = rates.restart_latency.as_secs_f64();
-        assert!((r_secs - 3.0).abs() < 0.05, "restart {r_secs}s, paper says 3s");
+        assert!(
+            (r_secs - 3.0).abs() < 0.05,
+            "restart {r_secs}s, paper says 3s"
+        );
         assert!(
             (rates.mu_r - 1.2e3).abs() / 1.2e3 < 0.05,
             "mu_r {} vs paper 1.2e3",
@@ -156,12 +159,7 @@ mod tests {
         let config = BusConfig::round_robin(6, 0);
         let membership = paper_membership(&config);
         let recovery = NodeRecoveryTimes::paper_like();
-        let fast = derive_repair_rates(
-            &BusTiming::paper_like(),
-            &config,
-            &membership,
-            &recovery,
-        );
+        let fast = derive_repair_rates(&BusTiming::paper_like(), &config, &membership, &recovery);
         let slow_timing = BusTiming {
             slot_duration: SimDuration::from_millis(10),
             minislot_duration: SimDuration::from_micros(200),

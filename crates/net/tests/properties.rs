@@ -3,6 +3,8 @@
 use nlft_net::bus::{Bus, BusConfig, WireFault};
 use nlft_net::frame::{Frame, NodeId, SlotId};
 use nlft_net::membership::Membership;
+use nlft_net::sync::{run, SyncConfig};
+use nlft_sim::rng::RngStream;
 use nlft_testkit::prop::{gens, Suite};
 use nlft_testkit::rng::TkRng;
 use nlft_testkit::{prop_assert, prop_assert_eq};
@@ -17,7 +19,12 @@ fn frame_round_trip() {
         {
             let mut payload = gens::vec(|r| r.next_u32(), 0..64);
             move |r: &mut TkRng| {
-                (r.range(0, 32) as u8, r.range(0, 32) as u8, r.next_u32(), payload(r))
+                (
+                    r.range(0, 32) as u8,
+                    r.range(0, 32) as u8,
+                    r.next_u32(),
+                    payload(r),
+                )
             }
         },
         |(sender, slot, cycle, payload)| {
@@ -39,7 +46,13 @@ fn frame_detects_small_corruption() {
             let mut b1 = gens::index();
             let mut b2 = gens::index();
             move |r: &mut TkRng| {
-                (payload(r), b1(r), r.range(0, 8) as u8, b2(r), r.range(0, 8) as u8)
+                (
+                    payload(r),
+                    b1(r),
+                    r.range(0, 8) as u8,
+                    b2(r),
+                    r.range(0, 8) as u8,
+                )
             }
         },
         |(payload, b1, bit1, b2, bit2)| {
@@ -114,10 +127,10 @@ fn staged_corruption_always_rejected() {
             move |r: &mut TkRng| {
                 (
                     payload(r),
-                    r.range(0, 4) as u8,       // victim slot
-                    byte(r),                   // victim byte
-                    r.range(0, 8) as u8,       // first flipped bit
-                    r.range(0, 8) as u8,       // second flipped bit
+                    r.range(0, 4) as u8, // victim slot
+                    byte(r),             // victim byte
+                    r.range(0, 8) as u8, // first flipped bit
+                    r.range(0, 8) as u8, // second flipped bit
                 )
             }
         },
@@ -155,10 +168,7 @@ fn staged_corruption_always_rejected() {
 fn guardian_counts_each_babble_exactly_once() {
     SUITE.check(
         "guardian_counts_each_babble_exactly_once",
-        gens::vec(
-            |r| (r.range(0, 4) as u8, r.range(1, 4) as u8),
-            0..12,
-        ),
+        gens::vec(|r| (r.range(0, 4) as u8, r.range(1, 4) as u8), 0..12),
         |attempts| {
             let mut bus = Bus::new(BusConfig::round_robin(4, 0));
             bus.start_cycle();
@@ -246,6 +256,97 @@ fn reliable_node_never_excluded() {
                 membership.observe(&d);
                 prop_assert!(membership.is_member(NodeId(0)));
             }
+            Ok(())
+        },
+    );
+}
+
+/// Welch–Lynch on a correct cluster (no Byzantine clocks) keeps the
+/// steady-state skew within the analytic `4ε + 2ρR` bound (with the
+/// house ×1.5 convergence cushion) for any reading error ε, drift rate
+/// and resync interval.
+#[test]
+fn sync_steady_state_skew_within_analytic_bound() {
+    SUITE.check(
+        "sync_steady_state_skew_within_analytic_bound",
+        |r: &mut TkRng| {
+            (
+                4 + r.range(0, 5) as usize,     // n in 4..=8
+                r.f64_range(5.0, 100.0),        // max drift, ppm
+                r.f64_range(0.05, 4.0),         // reading error ε, µs
+                r.f64_range(1_000.0, 20_000.0), // resync interval R, µs
+                r.next_u64(),                   // cluster + run seed
+            )
+        },
+        |(n, ppm, eps, interval, seed)| {
+            let mut rng = RngStream::new(*seed);
+            let config = SyncConfig::cluster(*n, *ppm, 1, &mut rng)
+                .with_reading_error(*eps)
+                .with_resync_interval(*interval);
+            let report = run(&config, 30, report_offset(&config), &mut rng);
+            let steady = report.steady_state_skew();
+            prop_assert!(
+                steady <= report.skew_bound_us * 1.5,
+                "steady skew {steady} exceeds bound {} (n={n}, ppm={ppm}, eps={eps}, R={interval})",
+                report.skew_bound_us
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A benign initial offset: twice the cluster's own skew bound, so the
+/// algorithm is past its convergence transient within the two rounds
+/// `steady_state_skew` skips.
+fn report_offset(config: &SyncConfig) -> f64 {
+    2.0 * (4.0 * config.reading_error_us + 1.0)
+}
+
+/// Degradation is monotone in the reading error: scaling ε up by ≥ 4×
+/// with identical clock drifts and identical unit random draws never
+/// *reduces* the steady-state skew by more than the drift term — the
+/// only contribution that does not scale with ε.
+#[test]
+fn sync_steady_state_skew_monotone_in_reading_error() {
+    SUITE.check(
+        "sync_steady_state_skew_monotone_in_reading_error",
+        |r: &mut TkRng| {
+            (
+                4 + r.range(0, 4) as usize, // n in 4..=7
+                r.f64_range(5.0, 100.0),    // max drift, ppm
+                r.f64_range(0.2, 1.0),      // ε_lo, µs
+                r.f64_range(4.0, 10.0),     // ε_hi / ε_lo
+                r.next_u64(),
+            )
+        },
+        |(n, ppm, eps_lo, factor, seed)| {
+            let interval = 1_000.0;
+            let base = SyncConfig::cluster(*n, *ppm, 1, &mut RngStream::new(*seed));
+            let run_with = |eps: f64| {
+                let config = base
+                    .clone()
+                    .with_reading_error(eps)
+                    .with_resync_interval(interval);
+                // A fresh stream with the same seed for both runs: the
+                // unit draws are identical, so every reading error
+                // scales exactly with ε.
+                run(
+                    &config,
+                    30,
+                    report_offset(&config),
+                    &mut RngStream::new(seed ^ 0xA5),
+                )
+                .steady_state_skew()
+            };
+            let lo = run_with(*eps_lo);
+            let hi = run_with(*eps_lo * *factor);
+            let drift_term = 2.0 * *ppm * 1e-6 * interval;
+            prop_assert!(
+                lo <= hi + drift_term,
+                "skew shrank as ε grew: ε_lo={eps_lo} -> {lo}, ε_hi={} -> {hi} \
+                 (drift term {drift_term}, n={n}, ppm={ppm})",
+                *eps_lo * *factor
+            );
             Ok(())
         },
     );

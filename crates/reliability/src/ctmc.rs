@@ -104,7 +104,10 @@ impl CtmcBuilder {
     ///
     /// Panics if either state id is out of range.
     pub fn transition(&mut self, from: StateId, to: StateId, rate: f64) -> Result<(), CtmcError> {
-        assert!(from.0 < self.names.len() && to.0 < self.names.len(), "unknown state");
+        assert!(
+            from.0 < self.names.len() && to.0 < self.names.len(),
+            "unknown state"
+        );
         if !(rate > 0.0 && rate.is_finite()) {
             return Err(CtmcError::InvalidRate(rate));
         }
@@ -178,7 +181,10 @@ impl Ctmc {
     ///
     /// Panics if `t` is negative or not finite.
     pub fn transient(&self, pi0: &[f64], t_hours: f64) -> Result<Vec<f64>, CtmcError> {
-        assert!(t_hours >= 0.0 && t_hours.is_finite(), "time must be nonnegative");
+        assert!(
+            t_hours >= 0.0 && t_hours.is_finite(),
+            "time must be nonnegative"
+        );
         self.check_distribution(pi0)?;
         if t_hours == 0.0 {
             return Ok(pi0.to_vec());
@@ -216,7 +222,10 @@ impl Ctmc {
         t_hours: f64,
         eps: f64,
     ) -> Result<Vec<f64>, CtmcError> {
-        assert!(t_hours >= 0.0 && t_hours.is_finite(), "time must be nonnegative");
+        assert!(
+            t_hours >= 0.0 && t_hours.is_finite(),
+            "time must be nonnegative"
+        );
         self.check_distribution(pi0)?;
         let n = self.num_states();
         let rate = (0..n)
@@ -266,7 +275,9 @@ impl Ctmc {
     pub fn mttf(&self, pi0: &[f64], absorbing: &[StateId]) -> Result<f64, CtmcError> {
         self.check_distribution(pi0)?;
         let n = self.num_states();
-        let transient: Vec<usize> = (0..n).filter(|i| !absorbing.iter().any(|s| s.0 == *i)).collect();
+        let transient: Vec<usize> = (0..n)
+            .filter(|i| !absorbing.iter().any(|s| s.0 == *i))
+            .collect();
         if transient.is_empty() {
             return Ok(0.0);
         }

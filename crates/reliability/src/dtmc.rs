@@ -77,7 +77,9 @@ impl AbsorbingDtmc {
         }
         for (i, row) in p.iter().enumerate() {
             let sum: f64 = row.iter().sum();
-            if (sum - 1.0).abs() > ROW_SUM_TOL || row.iter().any(|&v| !(0.0..=1.0 + ROW_SUM_TOL).contains(&v)) {
+            if (sum - 1.0).abs() > ROW_SUM_TOL
+                || row.iter().any(|&v| !(0.0..=1.0 + ROW_SUM_TOL).contains(&v))
+            {
                 return Err(DtmcError::NotStochastic(i));
             }
         }
@@ -240,8 +242,16 @@ mod tests {
         assert!(close(steps, 3.0, 1e-12), "steps {steps}");
         assert_eq!(chain.expected_steps_to_absorption(3).unwrap(), 0.0);
         // Finite-horizon CDF: not absorbed by 2, certainly by 3.
-        assert!(close(chain.absorption_probability(0, 2, &[3]).unwrap(), 0.0, 1e-12));
-        assert!(close(chain.absorption_probability(0, 3, &[3]).unwrap(), 1.0, 1e-12));
+        assert!(close(
+            chain.absorption_probability(0, 2, &[3]).unwrap(),
+            0.0,
+            1e-12
+        ));
+        assert!(close(
+            chain.absorption_probability(0, 3, &[3]).unwrap(),
+            1.0,
+            1e-12
+        ));
     }
 
     #[test]

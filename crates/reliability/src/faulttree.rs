@@ -436,7 +436,13 @@ impl Bdd {
 
     /// BDD for "at least `k` of these functions are true".
     fn at_least(&mut self, k: usize, fns: &[u32]) -> u32 {
-        fn rec(bdd: &mut Bdd, k: usize, idx: usize, fns: &[u32], memo: &mut HashMap<(usize, usize), u32>) -> u32 {
+        fn rec(
+            bdd: &mut Bdd,
+            k: usize,
+            idx: usize,
+            fns: &[u32],
+            memo: &mut HashMap<(usize, usize), u32>,
+        ) -> u32 {
             if k == 0 {
                 return Bdd::TRUE;
             }

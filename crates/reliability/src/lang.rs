@@ -405,7 +405,8 @@ pub fn parse(source: &str) -> Result<ModelSet, LangError> {
                 if words.len() < 2 {
                     return Err(err(line_no, "absorb needs at least one state"));
                 }
-                def.absorbing.extend(words[1..].iter().map(|s| s.to_string()));
+                def.absorbing
+                    .extend(words[1..].iter().map(|s| s.to_string()));
             }
             (Section::Markov(def), "init") => {
                 if words.len() < 3 {
@@ -562,12 +563,18 @@ fn parse_comp_ref(
             return Err(err(line, format!("invalid rate {rate}")));
         }
         Ok(CompRef::Exp(rate))
-    } else if let Some(inner) = spec.strip_prefix("markov(").and_then(|s| s.strip_suffix(')')) {
+    } else if let Some(inner) = spec
+        .strip_prefix("markov(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
         Ok(CompRef::Markov(inner.trim().to_string()))
     } else if let Some(inner) = spec.strip_prefix("rbd(").and_then(|s| s.strip_suffix(')')) {
         Ok(CompRef::Rbd(inner.trim().to_string()))
     } else {
-        Err(err(line, format!("expected exp(…), markov(…) or rbd(…), got `{spec}`")))
+        Err(err(
+            line,
+            format!("expected exp(…), markov(…) or rbd(…), got `{spec}`"),
+        ))
     }
 }
 
@@ -578,7 +585,10 @@ fn parse_basic_ref(
     line: usize,
 ) -> Result<BasicRef, LangError> {
     let spec = spec.trim();
-    if let Some(inner) = spec.strip_prefix("markov(").and_then(|s| s.strip_suffix(')')) {
+    if let Some(inner) = spec
+        .strip_prefix("markov(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
         Ok(BasicRef::Markov(inner.trim().to_string()))
     } else if let Some(inner) = spec.strip_prefix("rbd(").and_then(|s| s.strip_suffix(')')) {
         Ok(BasicRef::Rbd(inner.trim().to_string()))
@@ -654,7 +664,10 @@ impl ModelSet {
 
         for def in markovs {
             if models.contains_key(&def.name) {
-                return Err(err(def.line, format!("duplicate model name `{}`", def.name)));
+                return Err(err(
+                    def.line,
+                    format!("duplicate model name `{}`", def.name),
+                ));
             }
             let model = compile_markov(&def)?;
             models.insert(def.name.clone(), Compiled::Markov(Arc::new(model)));
@@ -662,14 +675,20 @@ impl ModelSet {
         // RBDs may reference markov models (and earlier RBDs).
         for def in rbds {
             if models.contains_key(&def.name) {
-                return Err(err(def.line, format!("duplicate model name `{}`", def.name)));
+                return Err(err(
+                    def.line,
+                    format!("duplicate model name `{}`", def.name),
+                ));
             }
             let block = compile_rbd(&def, &models)?;
             models.insert(def.name.clone(), Compiled::Rbd(Arc::new(block)));
         }
         for def in ftrees {
             if models.contains_key(&def.name) {
-                return Err(err(def.line, format!("duplicate model name `{}`", def.name)));
+                return Err(err(
+                    def.line,
+                    format!("duplicate model name `{}`", def.name),
+                ));
             }
             let ft = compile_ftree(&def, &models)?;
             models.insert(def.name.clone(), Compiled::Ftree(Arc::new(ft)));
@@ -730,9 +749,10 @@ fn compile_markov(def: &MarkovDef) -> Result<CtmcReliability, LangError> {
     let mut builder = CtmcBuilder::new();
     let mut states: BTreeMap<String, StateId> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
-    let intern = |name: &str, b: &mut CtmcBuilder,
-                      states: &mut BTreeMap<String, StateId>,
-                      order: &mut Vec<String>| {
+    let intern = |name: &str,
+                  b: &mut CtmcBuilder,
+                  states: &mut BTreeMap<String, StateId>,
+                  order: &mut Vec<String>| {
         *states.entry(name.to_string()).or_insert_with(|| {
             order.push(name.to_string());
             b.state(name)
@@ -752,13 +772,19 @@ fn compile_markov(def: &MarkovDef) -> Result<CtmcReliability, LangError> {
         intern(s, &mut builder, &mut states, &mut order);
     }
     if states.is_empty() {
-        return Err(err(def.line, format!("markov `{}` has no states", def.name)));
+        return Err(err(
+            def.line,
+            format!("markov `{}` has no states", def.name),
+        ));
     }
     let chain: Ctmc = builder.build();
 
     let mut pi0 = vec![0.0; chain.num_states()];
     if def.init.is_empty() {
-        return Err(err(def.line, format!("markov `{}` needs an init line", def.name)));
+        return Err(err(
+            def.line,
+            format!("markov `{}` needs an init line", def.name),
+        ));
     }
     for (sname, p) in &def.init {
         pi0[states[sname].0] += *p;
@@ -1072,10 +1098,12 @@ mod tests {
             .message
             .contains("sum to 1"));
         // absorbing state with outgoing edges.
-        assert!(parse("markov m\n trans a b 1\n trans b a 1\n absorb b\n init a 1\nend")
-            .unwrap_err()
-            .message
-            .contains("outgoing"));
+        assert!(
+            parse("markov m\n trans a b 1\n trans b a 1\n absorb b\n init a 1\nend")
+                .unwrap_err()
+                .message
+                .contains("outgoing")
+        );
         // dangling reference.
         assert!(parse("rbd r\n comp a markov(nope)\n top a\nend")
             .unwrap_err()
@@ -1118,10 +1146,7 @@ mod tests {
 
     #[test]
     fn as_model_returns_usable_trait_object() {
-        let set = parse(
-            "markov m\n trans a b 0.1\n absorb b\n init a 1\nend",
-        )
-        .unwrap();
+        let set = parse("markov m\n trans a b 0.1\n absorb b\n init a 1\nend").unwrap();
         let model = set.as_model("m").unwrap();
         assert_close(model.reliability(10.0), (-1.0f64).exp(), 1e-12);
         assert!(set.as_model("missing").is_none());
@@ -1135,10 +1160,9 @@ mod tests {
 
     #[test]
     fn model_names_listed() {
-        let set = parse(
-            "markov m\n trans a b 1\n init a 1\nend\nrbd r\n comp c exp(1)\n top c\nend",
-        )
-        .unwrap();
+        let set =
+            parse("markov m\n trans a b 1\n init a 1\nend\nrbd r\n comp c exp(1)\n top c\nend")
+                .unwrap();
         assert_eq!(set.model_names(), vec!["m", "r"]);
     }
 }

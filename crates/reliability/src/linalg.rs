@@ -310,10 +310,7 @@ impl Matrix {
         let a6 = a2.mul(&a4);
 
         // U = A [ A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I ]
-        let u_inner = a6
-            .scale(B[13])
-            .add(&a4.scale(B[11]))
-            .add(&a2.scale(B[9]));
+        let u_inner = a6.scale(B[13]).add(&a4.scale(B[11])).add(&a2.scale(B[9]));
         let u = a.mul(
             &a6.mul(&u_inner)
                 .add(&a6.scale(B[7]))
@@ -322,10 +319,7 @@ impl Matrix {
                 .add(&id.scale(B[1])),
         );
         // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
-        let v_inner = a6
-            .scale(B[12])
-            .add(&a4.scale(B[10]))
-            .add(&a2.scale(B[8]));
+        let v_inner = a6.scale(B[12]).add(&a4.scale(B[10])).add(&a2.scale(B[8]));
         let v = a6
             .mul(&v_inner)
             .add(&a6.scale(B[6]))

@@ -199,13 +199,7 @@ pub fn mttf_numeric(model: &impl ReliabilityModel, rel_tol: f64) -> f64 {
     total
 }
 
-fn adaptive_simpson(
-    model: &impl ReliabilityModel,
-    a: f64,
-    b: f64,
-    tol: f64,
-    depth: u32,
-) -> f64 {
+fn adaptive_simpson(model: &impl ReliabilityModel, a: f64, b: f64, tol: f64, depth: u32) -> f64 {
     let m = 0.5 * (a + b);
     let fa = model.reliability(a);
     let fb = model.reliability(b);

@@ -91,10 +91,7 @@ impl ReliabilityModel for Block {
     fn reliability(&self, t_hours: f64) -> f64 {
         match self {
             Block::Component(m) => m.reliability(t_hours),
-            Block::Series(children) => children
-                .iter()
-                .map(|c| c.reliability(t_hours))
-                .product(),
+            Block::Series(children) => children.iter().map(|c| c.reliability(t_hours)).product(),
             Block::Parallel(children) => {
                 1.0 - children
                     .iter()
@@ -202,11 +199,7 @@ mod tests {
         let node = Block::component(Exponential::new(2.002e-4));
         let wn = Block::series(vec![node.clone(), node.clone(), node.clone(), node]);
         let t = 8760.0;
-        assert_close(
-            wn.reliability(t),
-            (-4.0 * 2.002e-4 * t).exp(),
-            1e-12,
-        );
+        assert_close(wn.reliability(t), (-4.0 * 2.002e-4 * t).exp(), 1e-12);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use nlft_reliability::faulttree::{FaultTreeBuilder, GateId};
 use nlft_reliability::model::{CtmcReliability, Exponential, ReliabilityModel};
 use nlft_reliability::rbd::Block;
 use nlft_testkit::prop::{gens, Suite};
-use nlft_testkit::rng::TkRng;
 use nlft_testkit::prop_assert;
+use nlft_testkit::rng::TkRng;
 
 const SUITE: Suite = Suite::new(0x5EED_0021).cases(64);
 
@@ -34,7 +34,8 @@ fn random_ctmc(n: usize, rates: &[f64]) -> nlft_reliability::ctmc::Ctmc {
         if rates[k % rates.len()] > 0.5 {
             let target = (i + 2) % n;
             if target != i {
-                b.transition(states[i], states[target], rates[k % rates.len()]).unwrap();
+                b.transition(states[i], states[target], rates[k % rates.len()])
+                    .unwrap();
             }
             k += 1;
         }
@@ -97,7 +98,11 @@ fn absorbing_reliability_monotone() {
     SUITE.check(
         "absorbing_reliability_monotone",
         |r: &mut TkRng| {
-            (r.f64_range(1e-4, 1.0), r.f64_range(0.1, 100.0), r.f64_range(1e-4, 1.0))
+            (
+                r.f64_range(1e-4, 1.0),
+                r.f64_range(0.1, 100.0),
+                r.f64_range(1e-4, 1.0),
+            )
         },
         |&(lam, mu, nu)| {
             let mut b = CtmcBuilder::new();
@@ -132,8 +137,10 @@ fn rbd_bounds() {
         },
         |(ps, t)| {
             let t = *t;
-            let blocks: Vec<Block> =
-                ps.iter().map(|&r| Block::component(Exponential::new(r))).collect();
+            let blocks: Vec<Block> = ps
+                .iter()
+                .map(|&r| Block::component(Exponential::new(r)))
+                .collect();
             let child_r: Vec<f64> = blocks.iter().map(|b| b.reliability(t)).collect();
             let min = child_r.iter().cloned().fold(1.0, f64::min);
             let max = child_r.iter().cloned().fold(0.0, f64::max);
@@ -151,8 +158,12 @@ fn rbd_bounds() {
                 last = r;
             }
             // 1-of-n == parallel, n-of-n == series.
-            prop_assert!((Block::k_of_n(1, blocks.clone()).reliability(t) - parallel).abs() < 1e-12);
-            prop_assert!((Block::k_of_n(blocks.len(), blocks).reliability(t) - series).abs() < 1e-12);
+            prop_assert!(
+                (Block::k_of_n(1, blocks.clone()).reliability(t) - parallel).abs() < 1e-12
+            );
+            prop_assert!(
+                (Block::k_of_n(blocks.len(), blocks).reliability(t) - series).abs() < 1e-12
+            );
             Ok(())
         },
     );
@@ -204,13 +215,10 @@ fn faulttree_matches_enumeration() {
                     1 => assign.iter().all(|&x| x),
                     2 => assign.iter().filter(|&&x| x).count() >= (n / 2).max(1),
                     3 => {
-                        assign[..n / 2 + 1].iter().all(|&x| x)
-                            || assign[n / 2..].iter().any(|&x| x)
+                        assign[..n / 2 + 1].iter().all(|&x| x) || assign[n / 2..].iter().any(|&x| x)
                     }
                     4 => (assign[0] && assign[n - 1]) || (assign[0] && assign[n / 2]),
-                    _ => {
-                        assign.iter().filter(|&&x| x).count() >= 1.max(n - 1) || assign[0]
-                    }
+                    _ => assign.iter().filter(|&&x| x).count() >= 1.max(n - 1) || assign[0],
                 }
             };
             let mut expect = 0.0f64;
@@ -226,7 +234,10 @@ fn faulttree_matches_enumeration() {
                 }
             }
             let got = tree.top_probability(probs);
-            prop_assert!((got - expect).abs() < 1e-9, "bdd {got} vs enumeration {expect}");
+            prop_assert!(
+                (got - expect).abs() < 1e-9,
+                "bdd {got} vs enumeration {expect}"
+            );
             Ok(())
         },
     );
@@ -240,8 +251,9 @@ fn birnbaum_in_unit_interval() {
         gens::vec(|r| r.f64_range(0.0, 1.0), 2..6),
         |probs| {
             let mut b = FaultTreeBuilder::new();
-            let events: Vec<GateId> =
-                (0..probs.len()).map(|i| b.basic_event(format!("e{i}"))).collect();
+            let events: Vec<GateId> = (0..probs.len())
+                .map(|i| b.basic_event(format!("e{i}")))
+                .collect();
             let top = b.k_of_n((probs.len() / 2).max(1), events);
             let tree = b.build(top);
             for imp in tree.birnbaum_importance(probs) {
@@ -277,10 +289,32 @@ fn lang_parser_total_on_keyword_soup() {
         {
             let mut words = gens::vec(
                 gens::select(vec![
-                    "bind", "markov", "rbd", "ftree", "end", "trans", "init",
-                    "absorb", "comp", "series", "parallel", "kofn", "basic",
-                    "and", "or", "top", "x", "y", "1.5", "-2", "exp(1)",
-                    "markov(x)", "(", ")", "*", "+",
+                    "bind",
+                    "markov",
+                    "rbd",
+                    "ftree",
+                    "end",
+                    "trans",
+                    "init",
+                    "absorb",
+                    "comp",
+                    "series",
+                    "parallel",
+                    "kofn",
+                    "basic",
+                    "and",
+                    "or",
+                    "top",
+                    "x",
+                    "y",
+                    "1.5",
+                    "-2",
+                    "exp(1)",
+                    "markov(x)",
+                    "(",
+                    ")",
+                    "*",
+                    "+",
                 ]),
                 0..60,
             );
@@ -306,9 +340,7 @@ fn lang_matches_programmatic() {
         "lang_matches_programmatic",
         |r: &mut TkRng| (r.f64_range(1e-6, 1.0), r.f64_range(0.0, 100.0)),
         |&(lam, t)| {
-            let src = format!(
-                "markov m\n trans up down {lam}\n absorb down\n init up 1\nend"
-            );
+            let src = format!("markov m\n trans up down {lam}\n absorb down\n init up 1\nend");
             let set = nlft_reliability::lang::parse(&src).unwrap();
             let got = set.reliability("m", t).unwrap();
             prop_assert!((got - (-lam * t).exp()).abs() < 1e-9);

@@ -336,9 +336,7 @@ mod tests {
     #[test]
     fn len_accounts_for_cancellations() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10)
-            .map(|i| q.schedule(at_ms(i), i).unwrap())
-            .collect();
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(at_ms(i), i).unwrap()).collect();
         for id in ids.iter().take(4) {
             q.cancel(*id);
         }

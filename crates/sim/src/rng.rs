@@ -181,7 +181,10 @@ impl RngStream {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// weight, or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
@@ -199,7 +202,6 @@ impl RngStream {
         }
         weights.len() - 1 // floating-point slack lands on the last bucket
     }
-
 }
 
 #[cfg(test)]
@@ -215,7 +217,10 @@ mod tests {
     fn golden_raw_stream_seed_42() {
         let mut s = RngStream::new(42);
         let draws: [u64; 4] = std::array::from_fn(|_| s.next_u64());
-        assert_eq!(draws, GOLDEN_SEED_42, "xoshiro256++ stream for seed 42 changed");
+        assert_eq!(
+            draws, GOLDEN_SEED_42,
+            "xoshiro256++ stream for seed 42 changed"
+        );
     }
 
     const GOLDEN_SEED_42: [u64; 4] = [
@@ -253,14 +258,24 @@ mod tests {
         let draws: Vec<String> = (0..4).map(|_| format!("{:#018X}", s.next_u64())).collect();
         println!("const GOLDEN_SEED_42: [u64; 4] = [{}];", draws.join(", "));
         let root = RngStream::new(0x2005_0D5A);
-        println!("const GOLDEN_FORK: u64 = {:#018X};", root.fork("node-a").next_u64());
+        println!(
+            "const GOLDEN_FORK: u64 = {:#018X};",
+            root.fork("node-a").next_u64()
+        );
         println!(
             "const GOLDEN_RANGE: u64 = {};",
-            root.fork_indexed("replication", 3).uniform_range(0, 1_000_000)
+            root.fork_indexed("replication", 3)
+                .uniform_range(0, 1_000_000)
         );
         let mut dist = root.fork("dist");
-        println!("const GOLDEN_F64_BITS: u64 = {:#018X};", dist.uniform_f64().to_bits());
-        println!("const GOLDEN_EXP_BITS: u64 = {:#018X};", dist.exponential(2.5).to_bits());
+        println!(
+            "const GOLDEN_F64_BITS: u64 = {:#018X};",
+            dist.uniform_f64().to_bits()
+        );
+        println!(
+            "const GOLDEN_EXP_BITS: u64 = {:#018X};",
+            dist.exponential(2.5).to_bits()
+        );
     }
 
     #[test]

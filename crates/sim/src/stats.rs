@@ -524,7 +524,10 @@ mod tests {
 
     #[test]
     fn wilson_interval_of_empty_is_vacuous() {
-        assert_eq!(Proportion::new().wilson_interval(Confidence::C99), (0.0, 1.0));
+        assert_eq!(
+            Proportion::new().wilson_interval(Confidence::C99),
+            (0.0, 1.0)
+        );
     }
 
     #[test]

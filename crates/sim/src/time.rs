@@ -397,7 +397,9 @@ mod tests {
 
     #[test]
     fn checked_ops_detect_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert!(SimDuration::MAX.checked_mul(2).is_none());
         assert_eq!(
             SimDuration::from_nanos(4).checked_mul(2),

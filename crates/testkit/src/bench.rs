@@ -60,7 +60,10 @@ impl Record {
         let mut fields = vec![
             ("name".to_string(), Json::from(self.name.clone())),
             ("samples".to_string(), Json::from(self.samples)),
-            ("iters_per_sample".to_string(), Json::from(self.iters_per_sample)),
+            (
+                "iters_per_sample".to_string(),
+                Json::from(self.iters_per_sample),
+            ),
             ("min_ns".to_string(), Json::from(self.min_ns)),
             ("mean_ns".to_string(), Json::from(self.mean_ns)),
             ("median_ns".to_string(), Json::from(self.median_ns)),
@@ -346,7 +349,10 @@ mod tests {
         let mut b = full_bench("unit");
         b.push_record("x", vec![1.0, 2.0, 3.0], 7, Some(10));
         let j = b.records[0].to_json().to_string();
-        assert!(j.starts_with(r#"{"name":"x","samples":3,"iters_per_sample":7,"min_ns":1.0"#), "{j}");
+        assert!(
+            j.starts_with(r#"{"name":"x","samples":3,"iters_per_sample":7,"min_ns":1.0"#),
+            "{j}"
+        );
         assert!(j.contains(r#""elements":10"#));
     }
 

@@ -304,7 +304,9 @@ pub mod gens {
         assert!(!len.is_empty(), "empty length range {len:?}");
         move |r| {
             let n = r.usize_range(len.start, len.end);
-            (0..n).map(|_| chars[r.usize_range(0, chars.len())]).collect()
+            (0..n)
+                .map(|_| chars[r.usize_range(0, chars.len())])
+                .collect()
         }
     }
 
@@ -406,10 +408,14 @@ mod tests {
     fn same_suite_same_draws() {
         let collect = || {
             let seen = RefCell::new(Vec::new());
-            SUITE.check("deterministic", |r| r.next_u64(), |&x| {
-                seen.borrow_mut().push(x);
-                Ok(())
-            });
+            SUITE.check(
+                "deterministic",
+                |r| r.next_u64(),
+                |&x| {
+                    seen.borrow_mut().push(x);
+                    Ok(())
+                },
+            );
             seen.into_inner()
         };
         let first = collect();
@@ -422,10 +428,14 @@ mod tests {
     fn properties_with_different_names_draw_differently() {
         let collect = |name: &str| {
             let seen = RefCell::new(Vec::new());
-            SUITE.check(name, |r| r.next_u64(), |&x| {
-                seen.borrow_mut().push(x);
-                Ok(())
-            });
+            SUITE.check(
+                name,
+                |r| r.next_u64(),
+                |&x| {
+                    seen.borrow_mut().push(x);
+                    Ok(())
+                },
+            );
             seen.into_inner()
         };
         assert_ne!(collect("alpha"), collect("beta"));

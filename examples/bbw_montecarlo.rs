@@ -56,7 +56,11 @@ fn main() {
                 rel[i],
                 lo,
                 hi,
-                if (lo..=hi).contains(&a) { "" } else { "  <-- outside" }
+                if (lo..=hi).contains(&a) {
+                    ""
+                } else {
+                    "  <-- outside"
+                }
             );
         }
         println!(

@@ -16,12 +16,18 @@ use nlft::reliability::model::ReliabilityModel;
 fn main() {
     let params = BbwParams::paper();
     println!("parameters (paper §3.3):");
-    println!("  lambda_P = {:.2e}/h   lambda_T = {:.2e}/h", params.lambda_p, params.lambda_t);
+    println!(
+        "  lambda_P = {:.2e}/h   lambda_T = {:.2e}/h",
+        params.lambda_p, params.lambda_t
+    );
     println!(
         "  C_D = {}   P_T = {}   P_OM = {}   P_FS = {}",
         params.coverage, params.p_t, params.p_om, params.p_fs
     );
-    println!("  mu_R = {:.0}/h (3 s)   mu_OM = {:.0}/h (1.6 s)", params.mu_r, params.mu_om);
+    println!(
+        "  mu_R = {:.0}/h (3 s)   mu_OM = {:.0}/h (1.6 s)",
+        params.mu_r, params.mu_om
+    );
 
     let configs = [
         ("FS / full", Policy::FailSilent, Functionality::Full),
@@ -51,7 +57,11 @@ fn main() {
 
     println!("\nmean time to failure:");
     for (name, sys) in &systems {
-        println!("  {:<16} {:.3} years", name, sys.mttf_hours() / HOURS_PER_YEAR);
+        println!(
+            "  {:<16} {:.3} years",
+            name,
+            sys.mttf_hours() / HOURS_PER_YEAR
+        );
     }
 
     let fs = &systems[2].1;
@@ -95,5 +105,7 @@ fn main() {
             nlft.reliability(5.0)
         );
     }
-    println!("\ncoverage dominates; the NLFT advantage grows with the fault rate — as in the paper.");
+    println!(
+        "\ncoverage dominates; the NLFT advantage grows with the fault rate — as in the paper."
+    );
 }

@@ -61,11 +61,26 @@ fn main() {
         }
         mttf_numeric(&F(m), 1e-7) / HOURS_PER_YEAR
     };
-    println!("  duplex FS            {:.2}", mttf(&|t| duplex_fs.reliability(t)));
-    println!("  duplex NLFT          {:.2}", mttf(&|t| duplex_nlft.reliability(t)));
-    println!("  simplex NLFT (tol)   {:.2}", mttf(&|t| simplex_nlft_tol.reliability(t)));
-    println!("  simplex NLFT (strict){:.2}", mttf(&|t| simplex_nlft_strict.reliability(t)));
-    println!("  simplex FS (tol)     {:.2}", mttf(&|t| simplex_fs_tol.reliability(t)));
+    println!(
+        "  duplex FS            {:.2}",
+        mttf(&|t| duplex_fs.reliability(t))
+    );
+    println!(
+        "  duplex NLFT          {:.2}",
+        mttf(&|t| duplex_nlft.reliability(t))
+    );
+    println!(
+        "  simplex NLFT (tol)   {:.2}",
+        mttf(&|t| simplex_nlft_tol.reliability(t))
+    );
+    println!(
+        "  simplex NLFT (strict){:.2}",
+        mttf(&|t| simplex_nlft_strict.reliability(t))
+    );
+    println!(
+        "  simplex FS (tol)     {:.2}",
+        mttf(&|t| simplex_fs_tol.reliability(t))
+    );
 
     let t = HOURS_PER_YEAR;
     let r_duplex = duplex_fs.reliability(t);
@@ -102,5 +117,8 @@ fn main() {
         "\nexpected outage windows per year: FS simplex {:.2} (3 s each) vs NLFT simplex {:.2}",
         outages_fs, outages_nlft
     );
-    println!("TEM masks {:.0}% of would-be outages entirely.", params.p_t * 100.0);
+    println!(
+        "TEM masks {:.0}% of would-be outages entirely.",
+        params.p_t * 100.0
+    );
 }

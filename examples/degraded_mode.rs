@@ -24,7 +24,10 @@ fn show(cluster_name: &str, report: &nlft::bbw::cluster::ClusterReport) {
         let forces: Vec<String> = r
             .wheel_force
             .iter()
-            .map(|f| f.map(|v| format!("{v:>4}")).unwrap_or_else(|| "   -".into()))
+            .map(|f| {
+                f.map(|v| format!("{v:>4}"))
+                    .unwrap_or_else(|| "   -".into())
+            })
             .collect();
         let mut line = format!(
             "cycle {:>2}  pedal {:>4}  forces [{}]  members {}{}{}",
@@ -60,7 +63,10 @@ fn main() {
         },
     });
     let report = cluster.run(8, |_| 1200);
-    show("incident 1: transient in wheel node, masked by TEM", &report);
+    show(
+        "incident 1: transient in wheel node, masked by TEM",
+        &report,
+    );
     assert!(!report.service_lost && report.degraded_cycles == 0);
 
     // Incident 2: wheel 4 silent for six cycles → exclusion,

@@ -43,7 +43,10 @@ fn act_one() {
         let forces: Vec<String> = r
             .wheel_force
             .iter()
-            .map(|f| f.map(|v| format!("{v:>4}")).unwrap_or_else(|| "   -".into()))
+            .map(|f| {
+                f.map(|v| format!("{v:>4}"))
+                    .unwrap_or_else(|| "   -".into())
+            })
             .collect();
         println!(
             "cycle {:>2}  forces [{}]  members {}{}",
@@ -84,11 +87,31 @@ fn act_two(trials: u64) {
     let o = &result.outcomes;
     let pct = |n: u64| 100.0 * n as f64 / o.trials as f64;
     println!("outcomes:");
-    println!("  unaffected        {:>6} ({:>5.1}%)", o.unaffected, pct(o.unaffected));
-    println!("  omission only     {:>6} ({:>5.1}%)", o.omission_only, pct(o.omission_only));
-    println!("  degraded episode  {:>6} ({:>5.1}%)", o.degraded_episode, pct(o.degraded_episode));
-    println!("  service lost      {:>6} ({:>5.1}%)", o.service_lost, pct(o.service_lost));
-    println!("  split membership  {:>6} ({:>5.1}%)", o.split_membership, pct(o.split_membership));
+    println!(
+        "  unaffected        {:>6} ({:>5.1}%)",
+        o.unaffected,
+        pct(o.unaffected)
+    );
+    println!(
+        "  omission only     {:>6} ({:>5.1}%)",
+        o.omission_only,
+        pct(o.omission_only)
+    );
+    println!(
+        "  degraded episode  {:>6} ({:>5.1}%)",
+        o.degraded_episode,
+        pct(o.degraded_episode)
+    );
+    println!(
+        "  service lost      {:>6} ({:>5.1}%)",
+        o.service_lost,
+        pct(o.service_lost)
+    );
+    println!(
+        "  split membership  {:>6} ({:>5.1}%)",
+        o.split_membership,
+        pct(o.split_membership)
+    );
 
     println!(
         "injected: {} corruptions, {} omissions, {} crashes, {} babbles, \
@@ -104,8 +127,14 @@ fn act_two(trials: u64) {
     );
     println!("measured coverage parameters:");
     println!("  CRC reject rate        {:.4}", result.crc_reject_rate());
-    println!("  guardian block rate    {:.4}", result.guardian_block_rate());
-    println!("  masquerade reject rate {:.4}", result.masquerade_reject_rate());
+    println!(
+        "  guardian block rate    {:.4}",
+        result.guardian_block_rate()
+    );
+    println!(
+        "  masquerade reject rate {:.4}",
+        result.masquerade_reject_rate()
+    );
     println!(
         "reintegration latency: p50 {:?} p95 {:?} cycles ({} reintegrations)",
         result.reintegration_percentile(50),

@@ -123,12 +123,22 @@ fn main() {
     let logger = &report.tasks[&TaskId(3)];
     let integrator = &report.tasks[&TaskId(4)];
     assert_eq!(monitor.deadline_misses, 0, "the monitor never misses");
-    assert!(report.preemptions > 0, "lower-priority work yields to the monitor");
+    assert!(
+        report.preemptions > 0,
+        "lower-priority work yields to the monitor"
+    );
     assert!(sweep.completed > 0, "and still completes");
     assert_eq!(logger.exceptions, 1, "the wild store traps at the MMU");
     assert_eq!(logger.completed, 0);
-    assert_eq!(integrator.masked, 1, "TEM's vote masked the accumulator flip");
-    assert_eq!(integrator.last_output, Some(360), "every delivered value is golden");
+    assert_eq!(
+        integrator.masked, 1,
+        "TEM's vote masked the accumulator flip"
+    );
+    assert_eq!(
+        integrator.last_output,
+        Some(360),
+        "every delivered value is golden"
+    );
     assert_eq!(integrator.omissions, 0);
 
     println!("\nthe monitor met every deadline, the sweep finished between releases,");

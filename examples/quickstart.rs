@@ -18,7 +18,11 @@ fn print_trace(title: &str, report: &JobReport) {
     for copy in &report.copies {
         match copy.result {
             CopyResult::Completed => {
-                println!("  copy T{}: completed in {} cycles", copy.index + 1, copy.cycles)
+                println!(
+                    "  copy T{}: completed in {} cycles",
+                    copy.index + 1,
+                    copy.cycles
+                )
             }
             CopyResult::Detected(edm) => println!(
                 "  copy T{}: terminated after {} cycles — detected by {edm}",

@@ -106,13 +106,41 @@ fn cluster_campaign(trials: u64) {
         .unwrap_or(1);
     let o = run_recovery_cluster_campaign(&config);
     let pct = |n: u64| 100.0 * n as f64 / o.trials as f64;
-    println!("  masked transient  {:>6} ({:>5.1}%)", o.masked_transient, pct(o.masked_transient));
-    println!("  recovered         {:>6} ({:>5.1}%)", o.recovered, pct(o.recovered));
-    println!("  retired           {:>6} ({:>5.1}%)", o.retired, pct(o.retired));
-    println!("  false retirement  {:>6} ({:>5.1}%)", o.false_retirement, pct(o.false_retirement));
-    println!("  missed permanent  {:>6} ({:>5.1}%)", o.missed_permanent, pct(o.missed_permanent));
-    println!("  service lost      {:>6} ({:>5.1}%)", o.service_lost, pct(o.service_lost));
-    println!("  unresolved        {:>6} ({:>5.1}%)", o.unresolved, pct(o.unresolved));
+    println!(
+        "  masked transient  {:>6} ({:>5.1}%)",
+        o.masked_transient,
+        pct(o.masked_transient)
+    );
+    println!(
+        "  recovered         {:>6} ({:>5.1}%)",
+        o.recovered,
+        pct(o.recovered)
+    );
+    println!(
+        "  retired           {:>6} ({:>5.1}%)",
+        o.retired,
+        pct(o.retired)
+    );
+    println!(
+        "  false retirement  {:>6} ({:>5.1}%)",
+        o.false_retirement,
+        pct(o.false_retirement)
+    );
+    println!(
+        "  missed permanent  {:>6} ({:>5.1}%)",
+        o.missed_permanent,
+        pct(o.missed_permanent)
+    );
+    println!(
+        "  service lost      {:>6} ({:>5.1}%)",
+        o.service_lost,
+        pct(o.service_lost)
+    );
+    println!(
+        "  unresolved        {:>6} ({:>5.1}%)",
+        o.unresolved,
+        pct(o.unresolved)
+    );
     assert_eq!(o.service_lost, 0, "recovery must never cost the service");
 }
 

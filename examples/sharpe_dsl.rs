@@ -26,7 +26,10 @@ fn main() {
 
     let native = BbwSystem::new(&BbwParams::paper(), Policy::Nlft, Functionality::Degraded);
 
-    println!("\n{:>8}{:>16}{:>16}{:>14}", "month", "DSL model", "native model", "difference");
+    println!(
+        "\n{:>8}{:>16}{:>16}{:>14}",
+        "month", "DSL model", "native model", "difference"
+    );
     let mut max_diff = 0.0f64;
     for month in 0..=12 {
         let t = month as f64 * HOURS_PER_YEAR / 12.0;
@@ -41,8 +44,14 @@ fn main() {
         "the text model and the native model must agree to machine precision"
     );
 
-    let mttf_cu = set.markov_mttf("cu").expect("cu is a markov model").expect("finite");
-    let mttf_wn = set.markov_mttf("wn").expect("wn is a markov model").expect("finite");
+    let mttf_cu = set
+        .markov_mttf("cu")
+        .expect("cu is a markov model")
+        .expect("finite");
+    let mttf_wn = set
+        .markov_mttf("wn")
+        .expect("wn is a markov model")
+        .expect("finite");
     println!(
         "subsystem MTTFs from the DSL: CU {:.2} years, WN {:.2} years (bottleneck: wheels)",
         mttf_cu / HOURS_PER_YEAR,

@@ -41,7 +41,10 @@ fn act_one() {
         let forces: Vec<String> = r
             .wheel_force
             .iter()
-            .map(|f| f.map(|v| format!("{v:>4}")).unwrap_or_else(|| "   -".into()))
+            .map(|f| {
+                f.map(|v| format!("{v:>4}"))
+                    .unwrap_or_else(|| "   -".into())
+            })
             .collect();
         println!(
             "cycle {:>2}  pedal {:>4}  forces [{}]{}",
@@ -74,8 +77,16 @@ fn act_one() {
 fn print_campaign(result: &ValueDomainCampaignResult) {
     let o = &result.outcomes;
     let pct = |n: u64| 100.0 * n as f64 / o.trials as f64;
-    println!("  masked            {:>6} ({:>5.1}%)", o.masked, pct(o.masked));
-    println!("  detected          {:>6} ({:>5.1}%)", o.detected, pct(o.detected));
+    println!(
+        "  masked            {:>6} ({:>5.1}%)",
+        o.masked,
+        pct(o.masked)
+    );
+    println!(
+        "  detected          {:>6} ({:>5.1}%)",
+        o.detected,
+        pct(o.detected)
+    );
     println!(
         "  service lost      {:>6} ({:>5.1}%)",
         o.service_lost,

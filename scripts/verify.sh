@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Formatting is part of tier 1: the tree must be rustfmt-clean.
+cargo fmt --all --check
+
 # Warnings are errors: the workspace must build clean.
 RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 cargo test --workspace -q --offline

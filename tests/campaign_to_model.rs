@@ -29,7 +29,9 @@ fn measured_params(trials: u64) -> BbwParams {
     params.p_t = p_t / sum;
     params.p_om = p_om / sum;
     params.p_fs = p_fs / sum;
-    params.validate().expect("measured parameters are consistent");
+    params
+        .validate()
+        .expect("measured parameters are consistent");
     params
 }
 

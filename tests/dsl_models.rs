@@ -56,12 +56,14 @@ fn dsl_supports_whole_experiment_sweeps() {
     }
 }
 
-
 #[test]
 fn fs_model_file_matches_native_and_loses_to_nlft() {
     let fs_set = lang::parse(BBW_FS_MODEL).expect("FS model parses");
-    let native_fs =
-        BbwSystem::new(&BbwParams::paper(), Policy::FailSilent, Functionality::Degraded);
+    let native_fs = BbwSystem::new(
+        &BbwParams::paper(),
+        Policy::FailSilent,
+        Functionality::Degraded,
+    );
     for i in 0..=12 {
         let t = i as f64 * HOURS_PER_YEAR / 12.0;
         let dsl = fs_set.reliability("system", t).unwrap();

@@ -5,9 +5,9 @@ use nlft::bbw::analytic::{BbwSystem, Functionality, Policy, HOURS_PER_YEAR};
 use nlft::bbw::cluster::{BbwCluster, ClusterInjection, CU_A, CU_B, WHEELS};
 use nlft::bbw::montecarlo::{run_monte_carlo, MonteCarloConfig};
 use nlft::bbw::params::BbwParams;
+use nlft::machine::fault::{FaultTarget, TransientFault};
 use nlft::net::bus::BusConfig;
 use nlft::net::timing::{derive_repair_rates, paper_membership, BusTiming, NodeRecoveryTimes};
-use nlft::machine::fault::{FaultTarget, TransientFault};
 use nlft::reliability::model::ReliabilityModel;
 use nlft::sim::stats::Confidence;
 
@@ -81,7 +81,9 @@ fn analytic_cluster_and_montecarlo_agree_on_the_ordering() {
     let params = BbwParams::paper();
     let t = HOURS_PER_YEAR;
     let r = |p, f| BbwSystem::new(&params, p, f).reliability(t);
-    assert!(r(Policy::Nlft, Functionality::Degraded) > r(Policy::FailSilent, Functionality::Degraded));
+    assert!(
+        r(Policy::Nlft, Functionality::Degraded) > r(Policy::FailSilent, Functionality::Degraded)
+    );
     assert!(r(Policy::Nlft, Functionality::Full) > r(Policy::FailSilent, Functionality::Full));
     assert!(r(Policy::Nlft, Functionality::Degraded) > r(Policy::Nlft, Functionality::Full));
 
@@ -90,7 +92,9 @@ fn analytic_cluster_and_montecarlo_agree_on_the_ordering() {
         cfg.grid_hours = vec![t];
         run_monte_carlo(&cfg).reliability()[0]
     };
-    assert!(mc(Policy::Nlft, Functionality::Degraded) > mc(Policy::FailSilent, Functionality::Degraded));
+    assert!(
+        mc(Policy::Nlft, Functionality::Degraded) > mc(Policy::FailSilent, Functionality::Degraded)
+    );
 }
 
 #[test]
@@ -127,7 +131,6 @@ fn uncovered_errors_dominate_short_missions() {
         "short-mission unreliability {unrel:.3e} should track uncovered rate {uncovered_only:.3e}"
     );
 }
-
 
 #[test]
 fn repair_rates_derived_from_the_network_reproduce_the_headline() {

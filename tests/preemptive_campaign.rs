@@ -115,7 +115,11 @@ fn preemptive_campaign_is_deterministic() {
         for trial in 0..30u64 {
             let mut rng = root.fork_indexed("t", trial);
             let mut exec = build();
-            exec.inject(rng.uniform_range(1, 6_000), TaskId(2), space.sample(&mut rng));
+            exec.inject(
+                rng.uniform_range(1, 6_000),
+                TaskId(2),
+                space.sample(&mut rng),
+            );
             let report = exec.run(8_000);
             let s = &report.tasks[&TaskId(2)];
             results.push((s.completed, s.copies, s.masked, s.omissions, s.last_output));

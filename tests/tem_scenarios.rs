@@ -56,7 +56,11 @@ fn scenario_ii_comparison_then_vote_recovers_golden_output() {
         other => panic!("expected comparison-masked, got {other:?}"),
     }
     assert_eq!(report.executions(), 3);
-    assert_eq!(report.outputs.unwrap()[0], golden[0], "vote restored golden");
+    assert_eq!(
+        report.outputs.unwrap()[0],
+        golden[0],
+        "vote restored golden"
+    );
 }
 
 #[test]
