@@ -1,0 +1,132 @@
+//! Bench-trajectory driver: snapshot a baseline, or compare against it.
+//!
+//! ```text
+//! cargo run --release -p nlft-bench --bin bench_compare -- snapshot [--out PATH]
+//! cargo run --release -p nlft-bench --bin bench_compare -- compare [--baseline PATH]
+//! ```
+//!
+//! Both modes read the `BENCH_<group>.json` artifacts that `cargo bench`
+//! leaves under `<target>/testkit/` (or `NLFT_BENCH_OUT`). `snapshot`
+//! merges them — together with the golden Figure 12 digest — into one
+//! baseline document (default `BENCH_BASELINE.json`). `compare` prints a
+//! ratio table against the baseline: timing slowdowns are warnings only
+//! (hardware varies), but golden-digest drift exits nonzero — the
+//! optimisations this trajectory tracks must be bit-invisible.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nlft_bench::trajectory;
+use nlft_testkit::bench::artifact_path;
+use nlft_testkit::json::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("snapshot") => {
+            let out = flag(&args, "--out").unwrap_or_else(|| PathBuf::from("BENCH_BASELINE.json"));
+            snapshot(&out)
+        }
+        Some("compare") => {
+            let baseline =
+                flag(&args, "--baseline").unwrap_or_else(|| PathBuf::from("BENCH_BASELINE.json"));
+            compare(&baseline)
+        }
+        _ => {
+            eprintln!("usage: bench_compare snapshot [--out PATH] | compare [--baseline PATH]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Collects every `BENCH_*.json` group report from the artifact directory.
+fn fresh_reports() -> Vec<Json> {
+    let dir = artifact_path("probe");
+    let Some(dir) = dir.parent() else {
+        return Vec::new();
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut reports = Vec::new();
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) if doc.get("group").is_some() => reports.push(doc),
+                Ok(_) => eprintln!("skipping {} (no group field)", path.display()),
+                Err(e) => eprintln!("skipping {} ({e})", path.display()),
+            },
+            Err(e) => eprintln!("skipping {} ({e})", path.display()),
+        }
+    }
+    reports
+}
+
+fn snapshot(out: &Path) -> ExitCode {
+    let reports = fresh_reports();
+    if reports.is_empty() {
+        eprintln!(
+            "no BENCH_*.json artifacts found — run `cargo bench -p nlft-bench` first \
+             (artifacts land under <target>/testkit/ or $NLFT_BENCH_OUT)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let doc = trajectory::merge_baseline(reports);
+    let groups = doc
+        .get("groups")
+        .and_then(Json::as_arr)
+        .map_or(0, <[_]>::len);
+    match std::fs::write(out, format!("{doc}\n")) {
+        Ok(()) => {
+            println!(
+                "baseline with {groups} group(s) written to {}",
+                out.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn compare(baseline_path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("could not parse {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmp = trajectory::compare(&baseline, &fresh_reports());
+    print!("{}", cmp.render());
+    if cmp.golden_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

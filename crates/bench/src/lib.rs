@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod trajectory;
 
 /// Figure 12: BBW system reliability over one year, four configurations.
 pub mod fig12 {

@@ -161,6 +161,11 @@ pub struct CampaignResult {
     pub counts: ParamCounts,
     /// Node-boundary failure modes, tallied.
     pub modes: ModeCounts,
+    /// Corrupted memory reads served with ECC disabled, summed over all
+    /// trials — the silent-corruption exposure of cheap-node (no-ECC)
+    /// configurations. Always zero when ECC is on: a corrupted read is
+    /// then either corrected or trapped, never served.
+    pub ecc_escaped: u64,
 }
 
 /// Tally of node-boundary failure modes.
@@ -190,6 +195,7 @@ impl CampaignResult {
         self.modes.omission += other.modes.omission;
         self.modes.fail_silent += other.modes.fail_silent;
         self.modes.undetected += other.modes.undetected;
+        self.ecc_escaped += other.ecc_escaped;
     }
 }
 
@@ -202,6 +208,13 @@ impl fmt::Display for CampaignResult {
             "  benign {} / detected {} / undetected {}",
             c.benign, c.detected, c.undetected
         )?;
+        if self.ecc_escaped > 0 {
+            writeln!(
+                f,
+                "  silent ECC escapes {} (corrupted reads served, no ECC)",
+                self.ecc_escaped
+            )?;
+        }
         let pct = |p: Proportion| format!("{:.4}", p.estimate());
         writeln!(f, "  C_D  = {}", pct(c.coverage()))?;
         writeln!(f, "  P_T  = {}", pct(c.p_t()))?;
@@ -296,6 +309,7 @@ fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) 
         return TrialOutcome {
             verdict: Verdict::KernelError,
             fault: None,
+            ecc_escaped: 0,
         };
     }
 
@@ -340,6 +354,7 @@ fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) 
             TrialOutcome {
                 verdict,
                 fault: Some(fault),
+                ecc_escaped: machine.mem.ecc_stats().escaped,
             }
         }
         NodePolicy::FailSilent => {
@@ -367,6 +382,7 @@ fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) 
             TrialOutcome {
                 verdict,
                 fault: Some(fault),
+                ecc_escaped: machine.mem.ecc_stats().escaped,
             }
         }
     }
@@ -395,6 +411,8 @@ fn instantiate(workload: &Workload, ecc: bool) -> nlft_machine::machine::Machine
 struct TrialOutcome {
     verdict: Verdict,
     fault: Option<TransientFault>,
+    /// Corrupted reads served during the trial (ECC-off machines only).
+    ecc_escaped: u64,
 }
 
 fn record(
@@ -406,6 +424,7 @@ fn record(
     _config: &CampaignConfig,
 ) {
     result.trials += 1;
+    result.ecc_escaped += outcome.ecc_escaped;
     let class = outcome.fault.map(|f| f.target.class());
     match outcome.verdict {
         Verdict::Benign => {

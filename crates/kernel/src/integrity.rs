@@ -16,12 +16,14 @@ use std::fmt;
 use nlft_machine::machine::Machine;
 use nlft_machine::mem::WORD_BYTES;
 
-/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes.
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over raw bytes.
 ///
 /// This is the classic CRC-32 ("CRC-32/ISO-HDLC"): its check value over
 /// the ASCII digits `"123456789"` is `0xCBF43926`, which is pinned by a
 /// known-answer test so the polynomial, reflection and init/final-xor
-/// conventions can never silently regress.
+/// conventions can never silently regress. Delegates to the workspace's
+/// one shared table-driven implementation ([`nlft_sim::crc`]), the same
+/// routine the network frames use.
 ///
 /// # Examples
 ///
@@ -31,21 +33,10 @@ use nlft_machine::mem::WORD_BYTES;
 /// assert_eq!(crc32_bytes(b"123456789"), 0xCBF43926);
 /// ```
 pub fn crc32_bytes(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &byte in bytes {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let lsb = crc & 1;
-            crc >>= 1;
-            if lsb != 0 {
-                crc ^= 0xEDB8_8320;
-            }
-        }
-    }
-    !crc
+    nlft_sim::crc::crc32(bytes)
 }
 
-/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected) over words.
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over words.
 ///
 /// Each word contributes its four bytes in little-endian order, so
 /// `crc32(&[w])` equals [`crc32_bytes`]`(&w.to_le_bytes())`.
@@ -61,20 +52,7 @@ pub fn crc32_bytes(bytes: &[u8]) -> u32 {
 /// assert_eq!(a, crc32(&[1, 2, 3]));
 /// ```
 pub fn crc32(words: &[u32]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &w in words {
-        for byte in w.to_le_bytes() {
-            crc ^= u32::from(byte);
-            for _ in 0..8 {
-                let lsb = crc & 1;
-                crc >>= 1;
-                if lsb != 0 {
-                    crc ^= 0xEDB8_8320;
-                }
-            }
-        }
-    }
-    !crc
+    nlft_sim::crc::crc32_words(words)
 }
 
 /// Failure reported by an integrity check.

@@ -141,6 +141,47 @@ pub struct Machine {
     halted: bool,
     trace: Option<VecDeque<TraceEntry>>,
     trace_capacity: usize,
+    /// Decoded-instruction cache, indexed by word address (`pc / 4`).
+    /// Grown lazily to the highest fetched PC, so a freshly instantiated
+    /// machine (one per campaign trial) pays for its code footprint, not
+    /// its memory size.
+    decode_cache: Vec<DecodeEntry>,
+    /// Bumped whenever the active memory map changes; entries from older
+    /// epochs are stale because their Execute-permission check may no
+    /// longer hold.
+    cache_epoch: u64,
+    decode_cache_enabled: bool,
+}
+
+/// One slot of the decoded-instruction cache.
+///
+/// A hit requires all three tags to match: the machine's `cache_epoch`
+/// (the MMU Execute check was performed under the *current* map), the
+/// memory's mutation [`EccMemory::generation`] (no image load, reset,
+/// injection or scrub since the fill), and the fetched `word` itself
+/// (catches ordinary stores into the instruction stream, which bump
+/// neither counter). The word tag alone already makes the cache
+/// semantically transparent; the generation tag is belt-and-braces that
+/// also keeps hits off the faulty-word load path entirely.
+#[derive(Debug, Clone, Copy)]
+struct DecodeEntry {
+    /// `cache_epoch` at fill time; 0 marks an empty slot.
+    epoch: u64,
+    /// Memory mutation generation at fill time.
+    generation: u64,
+    /// The instruction word this entry decoded.
+    word: u32,
+    /// Its decoding.
+    instr: Instr,
+}
+
+impl DecodeEntry {
+    const EMPTY: DecodeEntry = DecodeEntry {
+        epoch: 0,
+        generation: 0,
+        word: 0,
+        instr: Instr::Nop,
+    };
 }
 
 /// One retired (or faulting) instruction in the execution trace.
@@ -167,6 +208,9 @@ impl Machine {
             halted: false,
             trace: None,
             trace_capacity: 0,
+            decode_cache: Vec::new(),
+            cache_epoch: 1,
+            decode_cache_enabled: true,
         }
     }
 
@@ -216,6 +260,22 @@ impl Machine {
     /// switch to confine the incoming task).
     pub fn set_memory_map(&mut self, map: MemoryMap) {
         self.map = map;
+        // Cached entries embedded an Execute check against the old map.
+        self.cache_epoch = self.cache_epoch.wrapping_add(1);
+        if self.cache_epoch == 0 {
+            // 0 marks empty slots; skip it on wrap-around.
+            self.cache_epoch = 1;
+        }
+    }
+
+    /// Enables or disables the decoded-instruction cache (on by default).
+    ///
+    /// Execution is bit-identical either way — the differential property
+    /// suite runs the same programs and fault plans through both modes and
+    /// asserts identical traces, exceptions and cycle counts; disabling
+    /// only exists for that comparison and for forensics.
+    pub fn set_decode_cache_enabled(&mut self, enabled: bool) {
+        self.decode_cache_enabled = enabled;
     }
 
     /// The active memory map.
@@ -285,6 +345,54 @@ impl Machine {
         Ok(self.mem.load(addr)?)
     }
 
+    /// Fetches and decodes the instruction at `pc`, consulting the decode
+    /// cache.
+    ///
+    /// The memory load is *never* skipped: ECC semantics (correction
+    /// counters, scrubbing, uncorrectable exceptions, silent escapes) must
+    /// fire exactly as they would uncached. What a hit skips is the MMU
+    /// region scan (validated under the current `cache_epoch` at fill
+    /// time; the check is a pure function of map, address and access, so
+    /// an unchanged epoch implies an unchanged outcome) and the decoder.
+    #[inline]
+    fn fetch_decode(&mut self, pc: u32) -> Result<Instr, Exception> {
+        if self.decode_cache_enabled && pc % WORD_BYTES == 0 {
+            let idx = (pc / WORD_BYTES) as usize;
+            if idx < self.decode_cache.len() {
+                let e = self.decode_cache[idx];
+                if e.epoch == self.cache_epoch && e.generation == self.mem.generation() {
+                    let word = self.mem.load(pc)?;
+                    if word == e.word {
+                        return Ok(e.instr);
+                    }
+                }
+            }
+        }
+        self.fetch_decode_slow(pc)
+    }
+
+    fn fetch_decode_slow(&mut self, pc: u32) -> Result<Instr, Exception> {
+        let word = self.load_checked(pc, Access::Execute)?;
+        let instr =
+            Instr::decode(word).map_err(|e| Exception::IllegalOpcode { pc, word: e.word })?;
+        if self.decode_cache_enabled && pc % WORD_BYTES == 0 {
+            let idx = (pc / WORD_BYTES) as usize;
+            if idx < (self.mem.size_bytes() / WORD_BYTES) as usize {
+                if idx >= self.decode_cache.len() {
+                    // Amortised growth: `resize` reserves geometrically.
+                    self.decode_cache.resize(idx + 1, DecodeEntry::EMPTY);
+                }
+                self.decode_cache[idx] = DecodeEntry {
+                    epoch: self.cache_epoch,
+                    generation: self.mem.generation(),
+                    word,
+                    instr,
+                };
+            }
+        }
+        Ok(instr)
+    }
+
     fn store_checked(&mut self, addr: u32, value: u32) -> Result<(), Exception> {
         self.map.check(addr, Access::Write)?;
         self.mem.store(addr, value)?;
@@ -303,9 +411,7 @@ impl Machine {
             return Ok(Step::Halted);
         }
         let pc = self.cpu.pc;
-        let word = self.load_checked(pc, Access::Execute)?;
-        let instr =
-            Instr::decode(word).map_err(|e| Exception::IllegalOpcode { pc, word: e.word })?;
+        let instr = self.fetch_decode(pc)?;
         self.cpu.cycles += instr.cycles();
         if let Some(trace) = &mut self.trace {
             if trace.len() == self.trace_capacity {
@@ -760,5 +866,72 @@ mod tests {
         assert_eq!(m.step().unwrap(), Step::Halted);
         assert_eq!(m.step().unwrap(), Step::Halted);
         assert!(m.is_halted());
+    }
+
+    #[test]
+    fn decode_cache_sees_direct_instruction_store() {
+        // Self-modifying code through a plain data store never bumps the
+        // memory generation; the word tag on the cached entry must catch
+        // the rewrite anyway.
+        let src = "ldi r0, 1
+                   out r0, port0
+                   halt";
+        let image = assemble(src).unwrap();
+        let mut m = Machine::new(4096, MemoryMap::permissive());
+        m.load_program(0, &image.words).unwrap();
+        m.reset(0, 4096);
+        assert_eq!(m.run(100).exit, RunExit::Halted);
+        assert_eq!(m.output(0), Some(1));
+
+        // Patch the first instruction behind the cache's back.
+        let patched = assemble("ldi r0, 99").unwrap();
+        m.mem.store(0, patched.words[0]).unwrap();
+        m.reset(0, 4096);
+        assert_eq!(m.run(100).exit, RunExit::Halted);
+        assert_eq!(m.output(0), Some(99), "stale decode served after patch");
+    }
+
+    #[test]
+    fn decode_cache_invalidated_by_map_switch() {
+        // A successful run fills the cache; switching to a map that revokes
+        // Execute on the code region must raise the MMU violation instead
+        // of serving cached decodes.
+        let mut m = machine_with("ldi r0, 5\nout r0, port0\nhalt");
+        assert_eq!(m.run(100).exit, RunExit::Halted);
+
+        m.set_memory_map(MemoryMap::from_regions(vec![Region::new(
+            0x0000,
+            0x1000,
+            Perms::RW,
+        )]));
+        m.reset(0, 4096);
+        let out = m.run(100);
+        assert!(
+            matches!(out.exit, RunExit::Exception(Exception::Mmu(_))),
+            "expected MMU violation after Execute revoked, got {:?}",
+            out.exit
+        );
+    }
+
+    #[test]
+    fn decode_cache_disabled_matches_enabled() {
+        // Sanity pin for the differential property suite: the same program
+        // produces identical outputs and cycle counts either way.
+        let src = "    ldi r0, 0
+                       ldi r1, 10
+                       ldi r2, 1
+                   loop:
+                       add r0, r0, r1
+                       sub r1, r1, r2
+                       jnz loop
+                       out r0, port0
+                       halt";
+        let run = |cached: bool| {
+            let mut m = machine_with(src);
+            m.set_decode_cache_enabled(cached);
+            let out = m.run(1_000);
+            (out, m.output(0), m.cpu.clone())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -11,7 +11,14 @@
 //!   exception — detected, not masked;
 //! * a **write** re-encodes the word, clearing any accumulated flips;
 //! * with ECC disabled (cheap-node configuration), reads return the
-//!   corrupted value with no indication — the fault escapes to the program.
+//!   corrupted value with no indication *to the program* — the fault
+//!   escapes; the harness-visible [`EccStats::escaped`] counter records
+//!   the exposure so campaigns can report it.
+//!
+//! Faulty words are additionally tracked in a dense per-word dirty bitset:
+//! the fault-free load path — the overwhelmingly common case — tests one
+//! bit and never touches the sparse flip map, keeping the interpreter's
+//! fetch/load hot loop free of hashing.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -60,6 +67,11 @@ pub struct EccStats {
     pub corrected: u64,
     /// Multi-bit errors detected (exceptions raised).
     pub detected_uncorrectable: u64,
+    /// Corrupted reads served with ECC disabled — the fault escaped into
+    /// the program with no hardware indication. Campaigns on cheap nodes
+    /// use this to report silent-corruption exposure, which the escape
+    /// path previously left invisible.
+    pub escaped: u64,
 }
 
 /// Word-addressed main memory with SEC-DED ECC.
@@ -84,8 +96,17 @@ pub struct EccMemory {
     words: Vec<u32>,
     /// Injected-fault bit masks, keyed by word index. Sparse: faults are rare.
     flips: HashMap<u32, u32>,
+    /// One bit per word, set exactly when `flips` holds a mask for it.
+    /// Fault-free loads test this bitset and never touch the hash map —
+    /// the dominant case in every campaign (most trials run clean up to
+    /// the single injection point).
+    dirty: Vec<u64>,
     ecc_enabled: bool,
     stats: EccStats,
+    /// Bumped by every operation that can change the instruction stream
+    /// other than an ordinary store: image loads, resets, fault injection
+    /// and scrubs. The machine's decoded-instruction cache keys on it.
+    generation: u64,
 }
 
 impl EccMemory {
@@ -97,11 +118,14 @@ impl EccMemory {
     /// Panics if `bytes` is smaller than one word.
     pub fn new(bytes: u32) -> Self {
         assert!(bytes >= WORD_BYTES, "memory must hold at least one word");
+        let words = (bytes / WORD_BYTES) as usize;
         EccMemory {
-            words: vec![0; (bytes / WORD_BYTES) as usize],
+            words: vec![0; words],
             flips: HashMap::new(),
+            dirty: vec![0; words.div_ceil(64)],
             ecc_enabled: true,
             stats: EccStats::default(),
+            generation: 0,
         }
     }
 
@@ -128,6 +152,28 @@ impl EccMemory {
         self.stats
     }
 
+    /// Instruction-stream mutation counter: changes whenever an image
+    /// load, reset, fault injection, scrub or fault-clear may have altered
+    /// what a fetch would observe. Ordinary stores are *not* counted —
+    /// consumers that cache decoded instructions also tag entries with the
+    /// fetched word, which covers self-modifying stores exactly.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    #[inline]
+    fn is_dirty(&self, idx: usize) -> bool {
+        self.dirty[idx >> 6] & (1u64 << (idx & 63)) != 0
+    }
+
+    fn set_dirty(&mut self, idx: usize) {
+        self.dirty[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    fn clear_dirty(&mut self, idx: usize) {
+        self.dirty[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
     fn word_index(&self, addr: u32) -> Result<usize, MemError> {
         if addr % WORD_BYTES != 0 {
             return Err(MemError::Misaligned { addr });
@@ -148,17 +194,30 @@ impl EccMemory {
     /// word carries a multi-bit fault and ECC is enabled.
     pub fn load(&mut self, addr: u32) -> Result<u32, MemError> {
         let idx = self.word_index(addr)?;
+        // Dirty-word fast path: fault-free words never touch the hash map.
+        if !self.is_dirty(idx) {
+            return Ok(self.words[idx]);
+        }
+        self.load_faulty(addr, idx)
+    }
+
+    /// Slow path for a load whose word carries an injected fault.
+    fn load_faulty(&mut self, addr: u32, idx: usize) -> Result<u32, MemError> {
         let mask = self.flips.get(&(idx as u32)).copied().unwrap_or(0);
         if mask == 0 {
             return Ok(self.words[idx]);
         }
         if !self.ecc_enabled {
-            // Fault escapes: the program sees the corrupted value.
+            // Fault escapes: the program sees the corrupted value, and only
+            // the (harness-visible) counter records that it happened.
+            self.stats.escaped += 1;
             return Ok(self.words[idx] ^ mask);
         }
         if mask.count_ones() == 1 {
             // SEC: corrected in place (scrubbing).
             self.flips.remove(&(idx as u32));
+            self.clear_dirty(idx);
+            self.generation = self.generation.wrapping_add(1);
             self.stats.corrected += 1;
             Ok(self.words[idx])
         } else {
@@ -175,7 +234,10 @@ impl EccMemory {
     pub fn store(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let idx = self.word_index(addr)?;
         self.words[idx] = value;
-        self.flips.remove(&(idx as u32));
+        if self.is_dirty(idx) {
+            self.flips.remove(&(idx as u32));
+            self.clear_dirty(idx);
+        }
         Ok(())
     }
 
@@ -203,7 +265,11 @@ impl EccMemory {
                 *e ^= mask;
                 if *e == 0 {
                     self.flips.remove(&(idx as u32));
+                    self.clear_dirty(idx);
+                } else {
+                    self.set_dirty(idx);
                 }
+                self.generation = self.generation.wrapping_add(1);
                 true
             }
             Err(_) => false,
@@ -218,12 +284,16 @@ impl EccMemory {
     /// Clears all injected faults (models a scrub cycle or power reset).
     pub fn clear_faults(&mut self) {
         self.flips.clear();
+        self.dirty.fill(0);
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Zeroes all of memory and clears fault state (hard reset).
     pub fn reset(&mut self) {
         self.words.fill(0);
         self.flips.clear();
+        self.dirty.fill(0);
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Bulk-loads `words` starting at byte address `base` (program loading).
@@ -235,6 +305,7 @@ impl EccMemory {
         for (i, &w) in words.iter().enumerate() {
             self.store(base + (i as u32) * WORD_BYTES, w)?;
         }
+        self.generation = self.generation.wrapping_add(1);
         Ok(())
     }
 }
@@ -299,8 +370,65 @@ mod tests {
         m.inject_flip(8, 0b0001);
         assert_eq!(m.load(8).unwrap(), 0b1001, "corrupted value visible");
         assert_eq!(m.ecc_stats().corrected, 0);
+        // The escape is invisible to the program but counted for the
+        // harness: each corrupted read is one exposure.
+        assert_eq!(m.ecc_stats().escaped, 1);
+        m.load(8).unwrap();
+        assert_eq!(m.ecc_stats().escaped, 2, "no scrub without ECC");
         // peek still sees the golden value.
         assert_eq!(m.peek(8).unwrap(), 0b1000);
+        // Clean words never count as escapes.
+        m.load(4).unwrap();
+        assert_eq!(m.ecc_stats().escaped, 2);
+    }
+
+    #[test]
+    fn dirty_tracking_follows_fault_state() {
+        let mut m = EccMemory::new(256);
+        // Clean loads take the fast path and see stored values.
+        m.store(16, 0x1234).unwrap();
+        assert_eq!(m.load(16).unwrap(), 0x1234);
+        // Inject, then store: the store must clear the fault.
+        m.inject_flip(16, 0b11);
+        m.store(16, 0x5678).unwrap();
+        assert_eq!(m.load(16).unwrap(), 0x5678);
+        assert_eq!(m.faulty_words(), 0);
+        assert_eq!(m.ecc_stats().detected_uncorrectable, 0);
+        // Cancelling injections leave the word clean.
+        m.inject_flip(20, 0b100);
+        m.inject_flip(20, 0b100);
+        assert_eq!(m.load(20).unwrap(), 0);
+        assert_eq!(m.ecc_stats().corrected, 0, "cancelled flip is no fault");
+        // clear_faults wipes all dirty state.
+        m.inject_flip(24, 0b11);
+        m.clear_faults();
+        assert_eq!(m.load(24).unwrap(), 0);
+        assert_eq!(m.ecc_stats().detected_uncorrectable, 0);
+    }
+
+    #[test]
+    fn generation_tracks_instruction_stream_mutations() {
+        let mut m = EccMemory::new(64);
+        let g0 = m.generation();
+        // Ordinary stores do not bump — the decode cache covers them with
+        // its word tag.
+        m.store(0, 7).unwrap();
+        assert_eq!(m.generation(), g0);
+        m.inject_flip(0, 1);
+        let g1 = m.generation();
+        assert_ne!(g1, g0, "injection bumps");
+        // A corrected (scrubbing) load changes fault state: bump.
+        m.load(0).unwrap();
+        assert_ne!(m.generation(), g1, "scrub bumps");
+        let g2 = m.generation();
+        m.load_image(0, &[1, 2]).unwrap();
+        assert_ne!(m.generation(), g2, "image load bumps");
+        let g3 = m.generation();
+        m.reset();
+        assert_ne!(m.generation(), g3, "reset bumps");
+        let g4 = m.generation();
+        m.clear_faults();
+        assert_ne!(m.generation(), g4, "fault clear bumps");
     }
 
     #[test]

@@ -221,6 +221,114 @@ fn stuck_at_bit_remanifests_until_cleared() {
     );
 }
 
+/// The decoded-instruction cache is bit-invisible: for arbitrary programs
+/// and arbitrary single-event upsets drawn from the full SEU space
+/// (registers, PC, SP, status, and memory words — including instruction
+/// memory), a cached and an uncached machine produce identical exits,
+/// cycle counts, injection decisions, outputs, architectural state, traces
+/// and ECC statistics, with ECC both on and off.
+#[test]
+fn decode_cache_is_bit_invisible_under_fault_injection() {
+    SUITE.check(
+        "decode_cache_is_bit_invisible_under_fault_injection",
+        {
+            let mut words = gens::vec(|r| r.next_u32(), 1..64);
+            move |r: &mut TkRng| {
+                (
+                    words(r),
+                    r.next_u64(),          // fault seed
+                    r.range(1, 2000),      // injection cycle
+                    r.next_u64() & 1 == 1, // ECC enabled?
+                )
+            }
+        },
+        |(words, seed, cycle, ecc)| {
+            let run = |cached: bool| {
+                let mut m = if *ecc {
+                    Machine::new(4096, MemoryMap::permissive())
+                } else {
+                    Machine::new_without_ecc(4096, MemoryMap::permissive())
+                };
+                m.set_decode_cache_enabled(cached);
+                m.enable_trace(4096);
+                m.load_program(0, words).unwrap();
+                m.reset(0, 4096);
+                let mut rng = RngStream::new(*seed);
+                let fault = FaultSpace::seu(4096).sample(&mut rng);
+                let (out, injected) = run_with_injection(&mut m, 5_000, *cycle, fault);
+                let trace: Vec<_> = m.trace().copied().collect();
+                (
+                    out,
+                    injected,
+                    *m.outputs(),
+                    m.cpu.clone(),
+                    trace,
+                    m.mem.ecc_stats(),
+                )
+            };
+            let cached = run(true);
+            let uncached = run(false);
+            prop_assert_eq!(&cached.0, &uncached.0, "exit and cycle count differ");
+            prop_assert_eq!(cached.1, uncached.1, "injection decision differs");
+            prop_assert_eq!(&cached.2, &uncached.2, "outputs differ");
+            prop_assert_eq!(&cached.3, &uncached.3, "architectural state differs");
+            prop_assert_eq!(&cached.4, &uncached.4, "traces differ");
+            prop_assert_eq!(&cached.5, &uncached.5, "ECC statistics differ");
+            Ok(())
+        },
+    );
+}
+
+/// The cache stays bit-invisible across the campaign reuse pattern: flips
+/// pre-planted in instruction memory, a run, `clear_faults`, a *second*
+/// program loaded over the first, and a second run. Every phase must match
+/// the uncached machine exactly — this exercises the generation bump on
+/// `inject_flip`, `clear_faults` and `load_image`, and the word-tag check
+/// for ECC-off corrupted fetches.
+#[test]
+fn decode_cache_is_bit_invisible_across_reuse_and_reload() {
+    SUITE.check(
+        "decode_cache_is_bit_invisible_across_reuse_and_reload",
+        {
+            let mut first = gens::vec(|r| r.next_u32(), 1..48);
+            let mut second = gens::vec(|r| r.next_u32(), 1..48);
+            move |r: &mut TkRng| {
+                let flips: Vec<(u32, u32)> = (0..r.usize_range(1, 4))
+                    .map(|_| (r.range(0, 48) as u32 * 4, 1 << r.range(0, 32)))
+                    .collect();
+                (first(r), second(r), flips, r.next_u64() & 1 == 1)
+            }
+        },
+        |(first, second, flips, ecc)| {
+            let run = |cached: bool| {
+                let mut m = if *ecc {
+                    Machine::new(4096, MemoryMap::permissive())
+                } else {
+                    Machine::new_without_ecc(4096, MemoryMap::permissive())
+                };
+                m.set_decode_cache_enabled(cached);
+                m.load_program(0, first).unwrap();
+                m.reset(0, 4096);
+                for &(addr, mask) in flips {
+                    m.mem.inject_flip(addr, mask);
+                }
+                let out_a = m.run(2_000);
+                let snap_a = (out_a, m.cpu.clone(), m.mem.ecc_stats());
+                m.mem.clear_faults();
+                m.load_program(0, second).unwrap();
+                m.reset(0, 4096);
+                let out_b = m.run(2_000);
+                (snap_a, (out_b, m.cpu.clone(), m.mem.ecc_stats()))
+            };
+            let cached = run(true);
+            let uncached = run(false);
+            prop_assert_eq!(&cached.0, &uncached.0, "first phase differs");
+            prop_assert_eq!(&cached.1, &uncached.1, "second phase differs");
+            Ok(())
+        },
+    );
+}
+
 /// EDM classification of a stuck-at fault is consistent: running the same
 /// workload against the same stuck bit always ends the same way (same exit,
 /// same cycle count, same outputs) — a permanent fault produces a *stable*

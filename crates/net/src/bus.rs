@@ -8,10 +8,10 @@
 //! transmissions outside the sender's slot, converting babbling-idiot
 //! failures into omissions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::frame::{Frame, FrameError, NodeId, SlotId};
+use crate::frame::{Frame, NodeId, SlotId};
 
 /// Static configuration of one communication cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,12 @@ pub enum TransmitError {
     SlotBusy(SlotId),
     /// All dynamic mini-slots are taken this cycle.
     DynamicSegmentFull,
+    /// The payload exceeds the frame format's 16-bit length field
+    /// ([`Frame::MAX_PAYLOAD_WORDS`] words).
+    PayloadTooLarge {
+        /// The rejected payload size in words.
+        words: usize,
+    },
 }
 
 impl fmt::Display for TransmitError {
@@ -65,6 +71,9 @@ impl fmt::Display for TransmitError {
             }
             TransmitError::SlotBusy(slot) => write!(f, "{slot} already used this cycle"),
             TransmitError::DynamicSegmentFull => write!(f, "dynamic segment full"),
+            TransmitError::PayloadTooLarge { words } => {
+                write!(f, "payload of {words} words exceeds the frame length field")
+            }
         }
     }
 }
@@ -173,8 +182,15 @@ pub struct Bus {
     config: BusConfig,
     cycle: u32,
     in_cycle: bool,
-    static_pending: BTreeMap<SlotId, Vec<u8>>,
-    dynamic_pending: Vec<(u8, Vec<u8>)>, // (priority, frame)
+    /// Pending static frames, kept *structural*: serialisation to wire
+    /// bytes is deferred to `finish_cycle` and only performed for frames a
+    /// staged fault actually touches. For valid frames `decode ∘ encode`
+    /// is the identity, so skipping the round-trip for clean traffic is
+    /// bit-invisible to receivers.
+    static_pending: BTreeMap<SlotId, Frame>,
+    dynamic_pending: Vec<(u8, Frame)>, // (priority, frame)
+    /// Reusable wire-image buffer for the frames that do need encoding.
+    scratch: Vec<u8>,
     wire_faults: Vec<WireFault>,
     guardian_blocks: u64,
     crc_rejects: u64,
@@ -193,6 +209,7 @@ impl Bus {
             in_cycle: false,
             static_pending: BTreeMap::new(),
             dynamic_pending: Vec::new(),
+            scratch: Vec::new(),
             wire_faults: Vec::new(),
             guardian_blocks: 0,
             crc_rejects: 0,
@@ -263,7 +280,8 @@ impl Bus {
     /// # Errors
     ///
     /// [`TransmitError::GuardianBlocked`] if `node` owns no slot,
-    /// [`TransmitError::SlotBusy`] if it already transmitted this cycle.
+    /// [`TransmitError::SlotBusy`] if it already transmitted this cycle,
+    /// [`TransmitError::PayloadTooLarge`] if the payload cannot be framed.
     ///
     /// # Panics
     ///
@@ -311,9 +329,13 @@ impl Bus {
         if self.static_pending.contains_key(&slot) {
             return Err(TransmitError::SlotBusy(slot));
         }
-        let frame = Frame::new(node, slot, self.cycle, payload);
-        let bytes = frame.encode();
-        self.static_pending.insert(slot, bytes);
+        if payload.len() > Frame::MAX_PAYLOAD_WORDS {
+            return Err(TransmitError::PayloadTooLarge {
+                words: payload.len(),
+            });
+        }
+        self.static_pending
+            .insert(slot, Frame::new(node, slot, self.cycle, payload));
         Ok(())
     }
 
@@ -321,7 +343,9 @@ impl Bus {
     ///
     /// # Errors
     ///
-    /// [`TransmitError::DynamicSegmentFull`] when all mini-slots are taken.
+    /// [`TransmitError::DynamicSegmentFull`] when all mini-slots are
+    /// taken, [`TransmitError::PayloadTooLarge`] if the payload cannot be
+    /// framed.
     ///
     /// # Panics
     ///
@@ -336,8 +360,15 @@ impl Bus {
         if self.dynamic_pending.len() >= self.config.dynamic_minislots as usize {
             return Err(TransmitError::DynamicSegmentFull);
         }
-        let frame = Frame::new(node, SlotId(u8::MAX), self.cycle, payload);
-        self.dynamic_pending.push((priority, frame.encode()));
+        if payload.len() > Frame::MAX_PAYLOAD_WORDS {
+            return Err(TransmitError::PayloadTooLarge {
+                words: payload.len(),
+            });
+        }
+        self.dynamic_pending.push((
+            priority,
+            Frame::new(node, SlotId(u8::MAX), self.cycle, payload),
+        ));
         Ok(())
     }
 
@@ -367,79 +398,125 @@ impl Bus {
             ..CycleDelivery::default()
         };
         let faults = std::mem::take(&mut self.wire_faults);
-        self.apply_static_faults(&faults);
-        for (slot, bytes) in std::mem::take(&mut self.static_pending) {
-            match Frame::decode(&bytes) {
-                Ok(f) => {
-                    // Receiver-side identity check: a well-formed frame
-                    // whose sender is not the slot owner is a masquerade
-                    // and must not enter any node's view.
-                    if self.config.static_slots.get(slot.0 as usize) == Some(&f.sender) {
-                        delivery.static_frames.insert(slot, f);
-                    } else {
-                        self.masquerade_rejects += 1;
-                        delivery.rejected += 1;
-                    }
-                }
-                Err(
-                    FrameError::Truncated | FrameError::LengthMismatch | FrameError::CrcMismatch,
-                ) => {
-                    self.crc_rejects += 1;
-                    delivery.rejected += 1;
-                }
-            }
-        }
-        let mut dynamic = std::mem::take(&mut self.dynamic_pending);
-        dynamic.sort_by_key(|&(prio, _)| prio);
-        let mut dynamic: Vec<Vec<u8>> = dynamic.into_iter().map(|(_, bytes)| bytes).collect();
-        Self::apply_dynamic_faults(&faults, &mut dynamic);
-        for bytes in dynamic {
-            match Frame::decode(&bytes) {
-                Ok(f) => delivery.dynamic_frames.push(f),
-                Err(_) => {
-                    self.crc_rejects += 1;
-                    delivery.rejected += 1;
-                }
-            }
-        }
-        self.cycle += 1;
-        delivery
-    }
 
-    /// Applies staged static-segment faults in canonical order: drops,
-    /// then masquerades, then corruptions. A corruption therefore only
-    /// lands on frames that survive to the wire, which keeps the
-    /// `corruptions_applied` counter a valid denominator for the measured
-    /// CRC reject rate.
-    fn apply_static_faults(&mut self, faults: &[WireFault]) {
-        for f in faults {
+        // Static faults in canonical order: drops, then masquerades, then
+        // corruptions. A corruption therefore only lands on frames that
+        // survive to the wire, which keeps the `corruptions_applied`
+        // counter a valid denominator for the measured CRC reject rate.
+        //
+        // Drops and masquerades act on the frame structure directly — a
+        // drop removes the frame; a masquerade rewrites the sender field,
+        // which produces exactly the bytes the old wire-image patch
+        // (rewrite byte 0, recompute CRC) produced, should the frame later
+        // need encoding.
+        for f in &faults {
             if let WireFault::DropStatic { slot } = f {
                 if self.static_pending.remove(slot).is_some() {
                     self.drops_applied += 1;
                 }
             }
         }
-        for f in faults {
+        for f in &faults {
             if let WireFault::MasqueradeStatic { slot, claim } = f {
-                if let Some(bytes) = self.static_pending.get_mut(slot) {
-                    bytes[0] = claim.0;
-                    let body_len = bytes.len() - 4;
-                    let crc = crate::frame::crc32(&bytes[..body_len]).to_le_bytes();
-                    bytes[body_len..].copy_from_slice(&crc);
+                if let Some(frame) = self.static_pending.get_mut(slot) {
+                    frame.sender = *claim;
                     self.masquerades_applied += 1;
                 }
             }
         }
-        for f in faults {
-            if let WireFault::CorruptStatic { slot, byte, mask } = f {
-                if let Some(bytes) = self.static_pending.get_mut(slot) {
-                    let i = byte % bytes.len();
-                    bytes[i] ^= mask;
-                    if *mask != 0 {
-                        self.corruptions_applied += 1;
+        // Only corruption targets go through the wire image: encode into
+        // the reusable scratch buffer, XOR the staged masks, then decode
+        // like any receiver would.
+        let corrupt_slots: BTreeSet<SlotId> = faults
+            .iter()
+            .filter_map(|f| match f {
+                WireFault::CorruptStatic { slot, .. } if self.static_pending.contains_key(slot) => {
+                    Some(*slot)
+                }
+                _ => None,
+            })
+            .collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for &slot in &corrupt_slots {
+            let frame = self
+                .static_pending
+                .remove(&slot)
+                .expect("collected from pending keys above");
+            frame.encode_into(&mut scratch);
+            for f in &faults {
+                if let WireFault::CorruptStatic {
+                    slot: target,
+                    byte,
+                    mask,
+                } = f
+                {
+                    if *target == slot {
+                        let i = byte % scratch.len();
+                        scratch[i] ^= mask;
+                        if *mask != 0 {
+                            self.corruptions_applied += 1;
+                        }
                     }
                 }
             }
+            match Frame::decode(&scratch) {
+                Ok(f) => self.deliver_static(&mut delivery, slot, f),
+                Err(_) => {
+                    self.crc_rejects += 1;
+                    delivery.rejected += 1;
+                }
+            }
+        }
+        self.scratch = scratch;
+        // Untouched (and structurally masqueraded) frames skip the encode/
+        // decode round-trip entirely; the receiver-side identity check
+        // still applies to every delivered frame.
+        for (slot, frame) in std::mem::take(&mut self.static_pending) {
+            self.deliver_static(&mut delivery, slot, frame);
+        }
+
+        let mut dynamic = std::mem::take(&mut self.dynamic_pending);
+        dynamic.sort_by_key(|&(prio, _)| prio);
+        let dynamic_faulted = faults.iter().any(|f| {
+            matches!(
+                f,
+                WireFault::CorruptDynamic { .. }
+                    | WireFault::DuplicateDynamic { .. }
+                    | WireFault::ReorderDynamic
+            )
+        });
+        if dynamic_faulted {
+            // Rare path: replay the full wire behaviour on the encoded
+            // images, rejections and all.
+            let mut images: Vec<Vec<u8>> = dynamic.into_iter().map(|(_, f)| f.encode()).collect();
+            Self::apply_dynamic_faults(&faults, &mut images);
+            for bytes in images {
+                match Frame::decode(&bytes) {
+                    Ok(f) => delivery.dynamic_frames.push(f),
+                    Err(_) => {
+                        self.crc_rejects += 1;
+                        delivery.rejected += 1;
+                    }
+                }
+            }
+        } else {
+            delivery
+                .dynamic_frames
+                .extend(dynamic.into_iter().map(|(_, f)| f));
+        }
+        self.cycle += 1;
+        delivery
+    }
+
+    /// Receiver-side identity check: a well-formed frame whose sender is
+    /// not the slot owner is a masquerade and must not enter any node's
+    /// view.
+    fn deliver_static(&mut self, delivery: &mut CycleDelivery, slot: SlotId, frame: Frame) {
+        if self.config.static_slots.get(slot.0 as usize) == Some(&frame.sender) {
+            delivery.static_frames.insert(slot, frame);
+        } else {
+            self.masquerade_rejects += 1;
+            delivery.rejected += 1;
         }
     }
 
@@ -576,6 +653,104 @@ mod tests {
             0,
             "nothing on the wire to corrupt"
         );
+    }
+
+    #[test]
+    fn staged_faults_on_skip_encoded_silent_slot_are_noops() {
+        // The silent slot's frame is never encoded (it doesn't exist);
+        // every fault family staged against it must leave counters and
+        // delivery untouched.
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(2),
+            byte: 3,
+            mask: 0xFF,
+        });
+        bus.stage_wire_fault(WireFault::DropStatic { slot: SlotId(2) });
+        bus.stage_wire_fault(WireFault::MasqueradeStatic {
+            slot: SlotId(2),
+            claim: NodeId(0),
+        });
+        bus.transmit_static(NodeId(1), vec![5]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.rejected, 0);
+        assert_eq!(d.static_frames[&SlotId(1)].payload, vec![5]);
+        assert_eq!(bus.corruptions_applied(), 0);
+        assert_eq!(bus.drops_applied(), 0);
+        assert_eq!(bus.masquerades_applied(), 0);
+        assert_eq!(bus.crc_rejects(), 0);
+        assert_eq!(bus.masquerade_rejects(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_rejected_with_typed_error() {
+        let mut bus = bus3();
+        bus.start_cycle();
+        let big = vec![0u32; crate::frame::Frame::MAX_PAYLOAD_WORDS + 1];
+        assert_eq!(
+            bus.transmit_static(NodeId(0), big.clone()),
+            Err(TransmitError::PayloadTooLarge { words: big.len() })
+        );
+        assert_eq!(
+            bus.transmit_dynamic(NodeId(1), 0, big.clone()),
+            Err(TransmitError::PayloadTooLarge { words: big.len() })
+        );
+        // The slot stays free for a well-sized retry.
+        bus.transmit_static(NodeId(0), vec![1]).unwrap();
+        let d = bus.finish_cycle();
+        assert_eq!(d.static_frames[&SlotId(0)].payload, vec![1]);
+        assert_eq!(d.rejected, 0);
+    }
+
+    #[test]
+    fn masquerade_then_corruption_breaks_crc() {
+        // A masqueraded (re-sealed) frame that is then corrupted on the
+        // wire must fail CRC, not the identity check — pins the canonical
+        // fault ordering across the lazy-encode path.
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![7]).unwrap();
+        bus.stage_wire_fault(WireFault::MasqueradeStatic {
+            slot: SlotId(0),
+            claim: NodeId(2),
+        });
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(0),
+            byte: 4,
+            mask: 0x20,
+        });
+        let d = bus.finish_cycle();
+        assert!(d.static_frames.is_empty());
+        assert_eq!(d.rejected, 1);
+        assert_eq!(bus.masquerades_applied(), 1);
+        assert_eq!(bus.corruptions_applied(), 1);
+        assert_eq!(bus.crc_rejects(), 1);
+        assert_eq!(bus.masquerade_rejects(), 0);
+    }
+
+    #[test]
+    fn two_corruptions_on_same_slot_can_cancel() {
+        // Both XORs land on the same wire image; a cancelling pair leaves
+        // the frame intact (and both still count as applied corruptions).
+        let mut bus = bus3();
+        bus.start_cycle();
+        bus.transmit_static(NodeId(0), vec![9]).unwrap();
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(0),
+            byte: 8,
+            mask: 0x40,
+        });
+        bus.stage_wire_fault(WireFault::CorruptStatic {
+            slot: SlotId(0),
+            byte: 8,
+            mask: 0x40,
+        });
+        let d = bus.finish_cycle();
+        assert_eq!(d.static_frames[&SlotId(0)].payload, vec![9]);
+        assert_eq!(d.rejected, 0);
+        assert_eq!(bus.corruptions_applied(), 2);
+        assert_eq!(bus.crc_rejects(), 0);
     }
 
     #[test]

@@ -67,24 +67,30 @@ impl std::error::Error for FrameError {}
 const HEADER_BYTES: usize = 1 + 1 + 4 + 2; // sender, slot, cycle, payload len
 const CRC_BYTES: usize = 4;
 
+/// The workspace-wide table-driven CRC-32 (see `nlft_sim::crc`).
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let lsb = crc & 1;
-            crc >>= 1;
-            if lsb != 0 {
-                crc ^= 0xEDB8_8320;
-            }
-        }
-    }
-    !crc
+    nlft_sim::crc::crc32(bytes)
 }
 
 impl Frame {
+    /// Largest encodable payload: the length field on the wire is 16 bits
+    /// wide. Longer payloads must be rejected up front — truncating the
+    /// field would emit a CRC-*valid* frame whose length lies.
+    pub const MAX_PAYLOAD_WORDS: usize = u16::MAX as usize;
+
     /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`Frame::MAX_PAYLOAD_WORDS`]. The bus
+    /// transmit paths check first and return a typed error; constructing
+    /// an unencodable frame directly is a programming error.
     pub fn new(sender: NodeId, slot: SlotId, cycle: u32, payload: Vec<u32>) -> Self {
+        assert!(
+            payload.len() <= Frame::MAX_PAYLOAD_WORDS,
+            "payload of {} words exceeds the 16-bit length field",
+            payload.len()
+        );
         Frame {
             sender,
             slot,
@@ -94,8 +100,31 @@ impl Frame {
     }
 
     /// Serialises to wire bytes: header, payload words (LE), CRC.
+    ///
+    /// # Panics
+    ///
+    /// As [`Frame::new`] — the fields are public, so an oversized payload
+    /// patched in after construction is caught here.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(HEADER_BYTES + self.payload.len() * 4 + CRC_BYTES);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serialises into a caller-provided buffer (cleared first), so a hot
+    /// loop can reuse one scratch allocation across frames.
+    ///
+    /// # Panics
+    ///
+    /// As [`Frame::encode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        assert!(
+            self.payload.len() <= Frame::MAX_PAYLOAD_WORDS,
+            "payload of {} words exceeds the 16-bit length field",
+            self.payload.len()
+        );
+        buf.clear();
+        buf.reserve(HEADER_BYTES + self.payload.len() * 4 + CRC_BYTES);
         buf.push(self.sender.0);
         buf.push(self.slot.0);
         buf.extend_from_slice(&self.cycle.to_le_bytes());
@@ -103,9 +132,8 @@ impl Frame {
         for &w in &self.payload {
             buf.extend_from_slice(&w.to_le_bytes());
         }
-        let crc = crc32(&buf);
+        let crc = crc32(buf);
         buf.extend_from_slice(&crc.to_le_bytes());
-        buf
     }
 
     /// Parses and verifies wire bytes.
@@ -210,6 +238,54 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         assert_eq!(Frame::decode(&bytes), Err(FrameError::CrcMismatch));
+    }
+
+    #[test]
+    fn crc32_ieee_known_answer() {
+        // Pins the shared CRC convention at the network call site: IEEE
+        // 802.3 reflected, init/final-xor 0xFFFFFFFF.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let f = sample();
+        let mut buf = vec![0xAA; 3]; // stale contents must be discarded
+        f.encode_into(&mut buf);
+        assert_eq!(buf, f.encode());
+    }
+
+    #[test]
+    fn max_payload_round_trips() {
+        let f = Frame::new(
+            NodeId(1),
+            SlotId(0),
+            9,
+            vec![0x42; Frame::MAX_PAYLOAD_WORDS],
+        );
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit length field")]
+    fn oversized_payload_rejected_at_construction() {
+        // Regression: this used to silently truncate the length field,
+        // emitting a CRC-valid frame whose length lied.
+        let _ = Frame::new(
+            NodeId(0),
+            SlotId(0),
+            0,
+            vec![0; Frame::MAX_PAYLOAD_WORDS + 1],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit length field")]
+    fn oversized_payload_rejected_at_encode() {
+        // The fields are public, so encode must re-check.
+        let mut f = sample();
+        f.payload = vec![0; Frame::MAX_PAYLOAD_WORDS + 1];
+        let _ = f.encode();
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   dependability models need (exponential, Bernoulli, weighted choice).
 //! * [`stats`] — online moments, Wilson proportion intervals, histograms and
 //!   empirical survival curves for experiment output analysis.
+//! * [`crc`] — the one table-driven CRC-32 (IEEE 802.3) shared by the
+//!   network frames and the kernel's data-integrity seals.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod event;
 pub mod rng;
 pub mod stats;

@@ -26,4 +26,13 @@ for ex in examples/*.rs; do
     cargo run --release --offline --example "$name" -- 50 >/dev/null
 done
 
+# Bench trajectory: re-measure the groups in the committed baseline and
+# compare. Timing deltas are advisory only (hardware varies between
+# machines), so slowdowns print warnings; golden-digest drift — a
+# bit-level change to the deterministic Figure 12 results — fails hard.
+echo "== bench: substrates + fig12 vs BENCH_BASELINE.json =="
+cargo bench --offline -p nlft-bench --bench substrates -- --samples 10 >/dev/null
+cargo bench --offline -p nlft-bench --bench fig12_system_reliability -- --samples 10 >/dev/null
+cargo run --release --offline -p nlft-bench --bin bench_compare -- compare
+
 echo "verify: OK"
