@@ -412,7 +412,7 @@ impl BbwCluster {
     /// fixed sensor-noise seed. Campaigns that vary sensor noise per
     /// trial should use [`BbwCluster::with_rng`].
     pub fn new() -> Self {
-        BbwCluster::with_rng(RngStream::new(0xBB5E_50).fork("pedal-sensors"))
+        BbwCluster::with_rng(RngStream::new(0x00BB_5E50).fork("pedal-sensors"))
     }
 
     /// Builds the cluster with a dedicated stream for the pedal-sensor
@@ -790,7 +790,7 @@ impl BbwCluster {
                             .collect();
                         let mut payload = vec![0u32; 4];
                         if !serving.is_empty() {
-                            let scale_num = 4 as u32;
+                            let scale_num = 4_u32;
                             let scale_den = serving.len() as u32;
                             for &w in &serving {
                                 payload[w] = outputs[w] * scale_num / scale_den;

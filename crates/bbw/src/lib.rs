@@ -27,7 +27,13 @@
 //!   that fails a bad actuator to its safe release state;
 //! * [`value_campaign`] — the value-domain storm campaign scoring
 //!   braking-safety metrics under simultaneous sensor, actuator,
-//!   command, network and node faults.
+//!   command, network and node faults;
+//! * [`braking`] — a deterministic longitudinal braking model mapping
+//!   deadline-miss patterns to excess stopping distance;
+//! * [`weakly_hard_campaign`] — the miss-pattern storm campaign:
+//!   searches worst-case miss *patterns* per fault mix, cross-checks
+//!   them against the kernel's weakly-hard analysis bound, and scores
+//!   each pattern's braking-distance degradation.
 //!
 //! # Examples
 //!
@@ -51,6 +57,7 @@
 pub mod actuator;
 pub mod analytic;
 pub mod blackout;
+pub mod braking;
 pub mod cluster;
 pub mod cluster_campaign;
 pub mod montecarlo;
@@ -59,12 +66,14 @@ pub mod recovery;
 pub mod sensitivity;
 pub mod sensor;
 pub mod value_campaign;
+pub mod weakly_hard_campaign;
 
 pub use actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelActuator};
 pub use analytic::{
     BbwSystem, Functionality, Policy, ValueDomainParams, ValueDomainSystem, HOURS_PER_YEAR,
 };
 pub use blackout::{run_blackout_campaign, BlackoutCampaignConfig, BlackoutCampaignResult};
+pub use braking::{BrakingModel, BrakingScore, MissPolicy};
 pub use cluster::{BbwCluster, ClusterInjection, ClusterReport, ValueDomainReport};
 pub use cluster_campaign::{
     run_cluster_campaign, run_net_storm_campaign, ClusterCampaignConfig, ClusterCampaignResult,
@@ -80,4 +89,8 @@ pub use sensor::{PedalSensorArray, PedalVoterConfig, SensorFault, PEDAL_MAX};
 pub use value_campaign::{
     run_value_domain_campaign, ValueCampaignMode, ValueDomainCampaignConfig,
     ValueDomainCampaignResult, ValueDomainOutcomes,
+};
+pub use weakly_hard_campaign::{
+    run_miss_pattern_campaign, MissPatternCampaignConfig, MissPatternCampaignResult,
+    PlacementStrategy, WorstPattern,
 };

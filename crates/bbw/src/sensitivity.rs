@@ -67,7 +67,7 @@ pub fn sensitivity(
 
     // Coverage: additive, capped below 1.
     {
-        let d = ((1.0 - params.coverage) * 0.5).min(0.005).max(1e-6);
+        let d = ((1.0 - params.coverage) * 0.5).clamp(1e-6, 0.005);
         let mut up = *params;
         up.coverage = (params.coverage + d).min(1.0);
         let mut down = *params;

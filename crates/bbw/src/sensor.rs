@@ -16,8 +16,9 @@
 //!   implausible.
 //!
 //! A channel accumulating `window_misses` implausible cycles within its
-//! last `window_cycles` cycles (a weakly-hard m-in-k rule, the same shape
-//! as the membership hysteresis) is **demoted**: permanently removed from
+//! last `window_cycles` cycles (a per-channel
+//! [`nlft_sim::weakly_hard::WeaklyHard`] m-in-k monitor, the same one the
+//! membership hysteresis runs) is **demoted**: permanently removed from
 //! the vote. Short noise bursts below the m-in-k threshold are tolerated
 //! without demotion — bounded sensor noise must not cost a healthy
 //! channel its seat.
@@ -27,6 +28,7 @@
 //! dedicated [`RngStream`] fork so experiments stay bit-reproducible.
 
 use nlft_sim::rng::RngStream;
+use nlft_sim::weakly_hard::WeaklyHard;
 
 /// Full-scale pedal reading (12-bit ADC).
 pub const PEDAL_MAX: u32 = 4095;
@@ -72,8 +74,8 @@ struct PedalChannel {
     rng: RngStream,
     /// Last reading, for the rate-plausibility check.
     last: Option<u32>,
-    /// Hit/miss window, newest in bit 0 (1 = implausible cycle).
-    history: u64,
+    /// Weakly-hard m-in-k window over implausible cycles.
+    window: WeaklyHard,
     /// Implausible cycles observed in total.
     implausible: u32,
     /// Demoted channels never return to the vote.
@@ -81,12 +83,12 @@ struct PedalChannel {
 }
 
 impl PedalChannel {
-    fn new(rng: RngStream) -> Self {
+    fn new(rng: RngStream, window: WeaklyHard) -> Self {
         PedalChannel {
             fault: None,
             rng,
             last: None,
-            history: 0,
+            window,
             implausible: 0,
             demoted: false,
         }
@@ -241,8 +243,12 @@ impl PedalSensorArray {
             config.window_misses <= config.window_cycles,
             "window_misses must be at most window_cycles"
         );
-        let channels =
-            std::array::from_fn(|i| PedalChannel::new(rng.fork_indexed("pedal-channel", i as u64)));
+        let channels = std::array::from_fn(|i| {
+            PedalChannel::new(
+                rng.fork_indexed("pedal-channel", i as u64),
+                WeaklyHard::new(config.window_misses, config.window_cycles),
+            )
+        });
         PedalSensorArray {
             channels,
             config,
@@ -332,14 +338,7 @@ impl PedalSensorArray {
                 ch.implausible += 1;
                 self.stats.implausible[i] += 1;
             }
-            ch.history = (ch.history << 1) | u64::from(bad);
-            let window_mask = if self.config.window_cycles == 64 {
-                u64::MAX
-            } else {
-                (1u64 << self.config.window_cycles) - 1
-            };
-            let misses = (ch.history & window_mask).count_ones();
-            if misses >= self.config.window_misses {
+            if ch.window.record(bad).violated {
                 ch.demoted = true;
                 demoted_now = Some(i);
                 self.stats.demotions.push((cycle, i));

@@ -176,7 +176,7 @@ pub fn campaign_pedal(cycle: u32) -> u32 {
 fn clean_reference(cycles: u32) -> Vec<Option<(u32, u32)>> {
     let mut cluster = BbwCluster::new();
     let report = cluster.run(cycles, campaign_pedal);
-    report.records.iter().map(|r| force_metrics(r)).collect()
+    report.records.iter().map(force_metrics).collect()
 }
 
 /// Total force and left/right asymmetry of one cycle record, when all

@@ -155,8 +155,8 @@ fn coverage_monotonicity() {
         |(params, t, delta)| {
             prop_assume!(params.validate().is_ok());
             let t = *t;
-            let low = params.clone();
-            let mut high = params.clone();
+            let low = *params;
+            let mut high = *params;
             high.coverage = (params.coverage + delta).min(1.0);
             prop_assume!(high.validate().is_ok());
             let sys_low = BbwSystem::new(&low, Policy::Nlft, Functionality::Degraded);

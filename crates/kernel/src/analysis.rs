@@ -13,11 +13,17 @@
 //! * the TEM task transformation (one logical task becomes two executions
 //!   plus a comparison, with a third execution plus vote as recovery);
 //! * slack computation and a search for the shortest tolerable `T_F` —
-//!   "how fast may faults arrive before deadlines break".
+//!   "how fast may faults arrive before deadlines break";
+//! * a **weakly-hard** extension: given per-task (m,k) contracts
+//!   ([`crate::contract::MkContract`]), bound the worst miss *pattern*
+//!   any admissible fault placement can produce in a k-job window
+//!   ([`analyse_weakly_hard`]) — the offline certificate the
+//!   miss-pattern storm campaigns cross-check against.
 
 use nlft_sim::time::SimDuration;
 
-use crate::task::{Criticality, TaskSet, TaskSpec};
+use crate::contract::MkContract;
+use crate::task::{Criticality, TaskId, TaskSet, TaskSpec};
 
 /// Kernel overhead constants for the TEM transformation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,7 +134,7 @@ fn response_time_with_recovery(
         let mut next = task.wcet;
         for hp in set.higher_priority_than(task) {
             let releases = r.div_ceil(hp.period);
-            next = next + hp.wcet.checked_mul(releases)?;
+            next += hp.wcet.checked_mul(releases)?;
         }
         if let Some((t_f, f_max)) = fault {
             if !f_max.is_zero() {
@@ -137,7 +143,7 @@ fn response_time_with_recovery(
                 } else {
                     r.div_ceil(t_f).max(1)
                 };
-                next = next + f_max.checked_mul(hits)?;
+                next += f_max.checked_mul(hits)?;
             }
         }
         if next > task.deadline {
@@ -229,6 +235,241 @@ pub fn min_tolerable_fault_interval(
         }
     }
     Some(hi)
+}
+
+/// Fault counts at or above this are treated as "immune": killing one
+/// job would need more simultaneous recoveries than any modelled fault
+/// density can deliver (and non-critical tasks with zero recovery cost
+/// are unaffected by faults entirely).
+pub const MAX_TOLERATED_FAULTS: u32 = 64;
+
+/// FT-RTA with an explicit per-job fault *count* instead of an arrival
+/// rate: worst-case response time of `task` when exactly `faults`
+/// errors each trigger the most expensive affected recovery.
+///
+/// This is the per-job view the weakly-hard analysis needs — the
+/// interval-based [`ft_response_time`] asks "how often may faults
+/// arrive", this asks "how many faults does one job survive".
+///
+/// Returns `None` when the response exceeds the deadline.
+pub fn response_time_with_fault_count(
+    set: &TaskSet,
+    task: &TaskSpec,
+    faults: u32,
+    recovery_cost: impl Fn(&TaskSpec) -> SimDuration,
+) -> Option<SimDuration> {
+    let max_recovery = set
+        .higher_or_equal_priority(task)
+        .map(&recovery_cost)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let recovery_total = max_recovery.checked_mul(u64::from(faults))?;
+    let base = task.wcet + recovery_total;
+    let mut r = base;
+    loop {
+        let mut next = base;
+        for hp in set.higher_priority_than(task) {
+            let releases = r.div_ceil(hp.period);
+            next += hp.wcet.checked_mul(releases)?;
+        }
+        if next > task.deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+}
+
+/// The largest fault count a single job of `task` absorbs while still
+/// meeting its deadline, capped at [`MAX_TOLERATED_FAULTS`].
+///
+/// Returns `None` when the task is unschedulable even fault-free.
+pub fn faults_tolerated(
+    set: &TaskSet,
+    task: &TaskSpec,
+    recovery_cost: impl Fn(&TaskSpec) -> SimDuration,
+) -> Option<u32> {
+    response_time_with_fault_count(set, task, 0, &recovery_cost)?;
+    let mut t = 0;
+    while t < MAX_TOLERATED_FAULTS
+        && response_time_with_fault_count(set, task, t + 1, &recovery_cost).is_some()
+    {
+        t += 1;
+    }
+    Some(t)
+}
+
+/// Job-level miss model underlying the weakly-hard bound.
+///
+/// A task releases job `j` at `j·period` with absolute deadline
+/// `j·period + deadline` (deadline ≤ period, so job windows never
+/// overlap). Faults arrive at least `fault_interval` apart; a job
+/// misses exactly when **more than** `tolerated` faults land inside its
+/// window — [`faults_tolerated`] says the job's reserved slack absorbs
+/// up to that many recoveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissModel {
+    /// Release period.
+    pub period: SimDuration,
+    /// Relative deadline (≤ period).
+    pub deadline: SimDuration,
+    /// Minimum fault inter-arrival time (positive).
+    pub fault_interval: SimDuration,
+    /// Faults one job absorbs without missing.
+    pub tolerated: u32,
+}
+
+impl MissModel {
+    /// Span of a killing cluster: `tolerated + 1` faults at minimum
+    /// separation stretch over `tolerated · fault_interval`.
+    fn kill_span(&self) -> SimDuration {
+        self.fault_interval * u64::from(self.tolerated)
+    }
+
+    /// The worst miss pattern over `k` consecutive jobs (true = miss)
+    /// and a fault placement achieving it.
+    ///
+    /// Greedy earliest-finish adversary: walk the jobs in order and
+    /// kill each one whose killing cluster — started as early as the
+    /// separation constraint allows — still fits inside the job's
+    /// window. Finishing each cluster as early as possible leaves the
+    /// most room for later clusters, so no placement kills a job this
+    /// one spares without sparing an earlier kill (the exchange
+    /// argument the exhaustive cross-check test verifies).
+    pub fn worst_pattern(&self, k: u32) -> (Vec<bool>, Vec<SimDuration>) {
+        assert!(
+            !self.fault_interval.is_zero(),
+            "fault interval must be positive"
+        );
+        assert!(
+            self.deadline <= self.period,
+            "deadline must be within the period"
+        );
+        let mut pattern = Vec::with_capacity(k as usize);
+        let mut faults = Vec::new();
+        // Earliest instant the next fault may legally occur.
+        let mut next_fault = SimDuration::ZERO;
+        for j in 0..u64::from(k) {
+            let release = self.period * j;
+            let first = next_fault.max(release);
+            let last = first + self.kill_span();
+            if last < release + self.deadline {
+                pattern.push(true);
+                for i in 0..=u64::from(self.tolerated) {
+                    faults.push(first + self.fault_interval * i);
+                }
+                next_fault = last + self.fault_interval;
+            } else {
+                pattern.push(false);
+            }
+        }
+        (pattern, faults)
+    }
+
+    /// Which of the first `k` jobs miss under an explicit fault
+    /// placement (`fault_times` as offsets from the first release).
+    pub fn misses(&self, fault_times: &[SimDuration], k: u32) -> Vec<bool> {
+        (0..u64::from(k))
+            .map(|j| {
+                let release = self.period * j;
+                let deadline = release + self.deadline;
+                let hits = fault_times
+                    .iter()
+                    .filter(|&&f| f >= release && f < deadline)
+                    .count();
+                hits as u32 > self.tolerated
+            })
+            .collect()
+    }
+}
+
+/// The weakly-hard verdict for one task's contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeaklyHardBound {
+    /// Task the contract applies to.
+    pub id: TaskId,
+    /// Task name for reports.
+    pub name: String,
+    /// The contract analysed.
+    pub contract: MkContract,
+    /// Faults one job absorbs (`None` = unschedulable fault-free).
+    pub tolerated_faults: Option<u32>,
+    /// Misses in the worst window of `contract.window` jobs.
+    pub worst_misses: u32,
+    /// The worst tolerated miss pattern itself (true = miss).
+    pub worst_pattern: Vec<bool>,
+    /// `true` when even the worst pattern stays within the contract.
+    pub satisfied: bool,
+}
+
+/// Weakly-hard schedulability under fault-recovery RTA: for each
+/// `(task, contract)` pair, bound the worst miss pattern any fault
+/// placement at `fault_interval` minimum separation can produce in a
+/// window of `contract.window` jobs, and check it against the contract.
+///
+/// A certified contract (`satisfied == true`) is a guarantee: no
+/// admissible fault placement produces a window with more than
+/// `worst_misses` misses (the cross-check campaign asserts simulation
+/// never exceeds it).
+///
+/// # Panics
+///
+/// Panics when `fault_interval` is zero or a contract names an unknown
+/// task.
+pub fn analyse_weakly_hard(
+    set: &TaskSet,
+    contracts: &[(TaskId, MkContract)],
+    fault_interval: SimDuration,
+    costs: &TemCosts,
+) -> Vec<WeaklyHardBound> {
+    assert!(!fault_interval.is_zero(), "fault interval must be positive");
+    contracts
+        .iter()
+        .map(|&(id, contract)| {
+            let task = set.get(id).expect("contract for unknown task");
+            match faults_tolerated(set, task, |k| tem_recovery_cost(k, costs)) {
+                None => WeaklyHardBound {
+                    id,
+                    name: task.name.clone(),
+                    contract,
+                    tolerated_faults: None,
+                    worst_misses: contract.window,
+                    worst_pattern: vec![true; contract.window as usize],
+                    satisfied: false,
+                },
+                Some(t) if t >= MAX_TOLERATED_FAULTS => WeaklyHardBound {
+                    id,
+                    name: task.name.clone(),
+                    contract,
+                    tolerated_faults: Some(t),
+                    worst_misses: 0,
+                    worst_pattern: vec![false; contract.window as usize],
+                    satisfied: true,
+                },
+                Some(t) => {
+                    let model = MissModel {
+                        period: task.period,
+                        deadline: task.deadline,
+                        fault_interval,
+                        tolerated: t,
+                    };
+                    let (worst_pattern, _) = model.worst_pattern(contract.window);
+                    let worst_misses = worst_pattern.iter().filter(|&&m| m).count() as u32;
+                    WeaklyHardBound {
+                        id,
+                        name: task.name.clone(),
+                        contract,
+                        tolerated_faults: Some(t),
+                        worst_misses,
+                        satisfied: worst_misses <= contract.max_misses,
+                        worst_pattern,
+                    }
+                }
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -395,5 +636,146 @@ mod tests {
         assert_eq!(rep.response_times.len(), 3);
         // Non-critical recovery is zero-cost, so this equals plain RTA.
         assert!(rep.is_schedulable());
+    }
+
+    #[test]
+    fn fault_count_rta_matches_hand_iteration() {
+        let set = classic_set();
+        let t3 = set.get(TaskId(3)).unwrap();
+        // R(0) is plain RTA; each extra fault re-runs the largest hep
+        // task (40us) once.
+        assert_eq!(
+            response_time_with_fault_count(&set, t3, 0, |k| k.wcet),
+            Some(us(80))
+        );
+        // R(1): 80 → 120 → 150 → 150 ✓ (same fixpoint as the
+        // interval-based test with one recovery hit).
+        assert_eq!(
+            response_time_with_fault_count(&set, t3, 1, |k| k.wcet),
+            Some(us(150))
+        );
+        assert_eq!(
+            response_time_with_fault_count(&set, t3, 2, |k| k.wcet),
+            Some(us(200))
+        );
+        assert_eq!(
+            response_time_with_fault_count(&set, t3, 3, |k| k.wcet),
+            None
+        );
+        assert_eq!(faults_tolerated(&set, t3, |k| k.wcet), Some(2));
+    }
+
+    #[test]
+    fn zero_recovery_means_immune() {
+        let set = classic_set();
+        let t1 = set.get(TaskId(1)).unwrap();
+        assert_eq!(
+            faults_tolerated(&set, t1, |_| SimDuration::ZERO),
+            Some(MAX_TOLERATED_FAULTS)
+        );
+    }
+
+    #[test]
+    fn unschedulable_task_tolerates_nothing() {
+        let set: TaskSet = [
+            task(1, 0, 10, 6, Criticality::NonCritical),
+            task(2, 1, 20, 10, Criticality::NonCritical),
+        ]
+        .into_iter()
+        .collect();
+        let t2 = set.get(TaskId(2)).unwrap();
+        assert_eq!(faults_tolerated(&set, t2, |k| k.wcet), None);
+    }
+
+    #[test]
+    fn greedy_adversary_reuses_late_cluster_tails() {
+        // T = D = 10, T_F = 6, one tolerated fault: a cluster killing
+        // job j can start late enough that its tail constrains — but
+        // does not prevent — killing job j+1. The naive "stride" bound
+        // ceil(2·T_F/T) = 2 would predict every other job safe; the
+        // greedy adversary kills 3 of 4.
+        let m = MissModel {
+            period: us(10),
+            deadline: us(10),
+            fault_interval: us(6),
+            tolerated: 1,
+        };
+        let (pattern, faults) = m.worst_pattern(4);
+        assert_eq!(pattern, vec![true, true, false, true]);
+        // The returned placement actually achieves the pattern and
+        // respects the separation constraint.
+        assert_eq!(m.misses(&faults, 4), pattern);
+        for w in faults.windows(2) {
+            assert!(w[1] - w[0] >= us(6));
+        }
+    }
+
+    #[test]
+    fn oversized_cluster_never_kills() {
+        let m = MissModel {
+            period: us(10),
+            deadline: us(5),
+            fault_interval: us(5),
+            tolerated: 1,
+        };
+        let (pattern, faults) = m.worst_pattern(6);
+        assert!(pattern.iter().all(|&miss| !miss));
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn analyse_weakly_hard_certifies_and_rejects() {
+        let costs = TemCosts {
+            compare: SimDuration::ZERO,
+            vote: SimDuration::ZERO,
+            context_restore: SimDuration::ZERO,
+        };
+        // One critical task: R(f) = 30 + 30·f ≤ 80 ⇒ tolerates 1 fault.
+        let spec = TaskSpecBuilder::new(TaskId(1), "brake")
+            .period(us(100))
+            .deadline(us(80))
+            .wcet(us(30))
+            .priority(Priority(0))
+            .criticality(Criticality::Critical)
+            .build()
+            .unwrap();
+        let set: TaskSet = [spec].into_iter().collect();
+        // T_F = 60us: a 2-fault cluster spans 60 < 80, so a job is
+        // killable, but killing one pushes the next admissible fault
+        // past the following job's window — at most 2 of any 3 die.
+        let bounds = analyse_weakly_hard(
+            &set,
+            &[
+                (TaskId(1), MkContract::new(2, 3)),
+                (TaskId(1), MkContract::new(1, 3)),
+            ],
+            us(60),
+            &costs,
+        );
+        assert_eq!(bounds[0].tolerated_faults, Some(1));
+        assert_eq!(bounds[0].worst_misses, 2);
+        assert!(bounds[0].satisfied, "(2,3) admits the worst pattern");
+        assert!(!bounds[1].satisfied, "(1,3) does not");
+        assert_eq!(bounds[0].worst_pattern.len(), 3);
+
+        // Rare faults: the cluster no longer fits any window at all.
+        let calm = analyse_weakly_hard(&set, &[(TaskId(1), MkContract::new(0, 8))], us(90), &costs);
+        assert_eq!(calm[0].worst_misses, 0);
+        assert!(calm[0].satisfied);
+    }
+
+    #[test]
+    fn non_critical_contracts_are_fault_immune() {
+        let set = classic_set();
+        let bounds = analyse_weakly_hard(
+            &set,
+            &[(TaskId(1), MkContract::new(0, 4))],
+            us(10),
+            &TemCosts::nominal(),
+        );
+        // Non-critical recovery is free, so faults cannot break it.
+        assert!(bounds[0].satisfied);
+        assert_eq!(bounds[0].worst_misses, 0);
+        assert_eq!(bounds[0].tolerated_faults, Some(MAX_TOLERATED_FAULTS));
     }
 }

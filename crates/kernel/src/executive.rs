@@ -680,8 +680,10 @@ mod tests {
 
     #[test]
     fn without_sealing_wild_write_corrupts_silently() {
-        let mut cfg = ExecutiveConfig::default();
-        cfg.seal_task_state = false;
+        let cfg = ExecutiveConfig {
+            seal_task_state: false,
+            ..Default::default()
+        };
         let run = |cfg: ExecutiveConfig, inject: Option<InjectionSite>| {
             let exec = NodeExecutive::new(vec![bound_pid(1)], cfg);
             exec.run(6, |_, _| vec![800, 500], inject)

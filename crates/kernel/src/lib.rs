@@ -13,6 +13,8 @@
 //!   simulation used to validate the analysis empirically.
 //! * [`analysis`] — response-time analysis, its fault-tolerant extension
 //!   (slack for recovery), and the TEM task transformation.
+//! * [`contract`] — weakly-hard (m,k) deadline-miss contracts with
+//!   online monitoring and configurable degradation actions.
 //! * [`integrity`] — data-integrity and end-to-end checks (§2.6).
 //! * [`executive`] — the node-level activation loop implementing the three
 //!   strategies of §2.2 (critical / non-critical / kernel errors).
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod contract;
 pub mod escalation;
 pub mod executive;
 pub mod integrity;
@@ -54,6 +57,7 @@ pub mod task;
 pub mod tem;
 
 pub use analysis::{analyse, analyse_with_faults, TemCosts};
+pub use contract::{ContractOutcomes, DegradationAction, MkContract, TaskContract};
 pub use escalation::{
     EscalationEvent, EscalationMachine, EscalationPolicy, NodeHealth, RestartPolicy,
 };

@@ -28,6 +28,7 @@ use nlft_machine::machine::{Machine, RunExit};
 use nlft_machine::mem::WORD_BYTES;
 use nlft_machine::mmu::{MemoryMap, Perms, Region};
 
+use crate::contract::{ContractOutcomes, DegradationAction, MkContract, TaskContract};
 use crate::task::{Priority, TaskId};
 
 /// Size of one task window (code 1 KiB + data 1 KiB + stack 2 KiB).
@@ -169,6 +170,9 @@ pub struct ResidentStats {
     pub masked: u64,
     /// Jobs that ended in an omission (critical tasks only).
     pub omissions: u64,
+    /// Releases substituted by the safe job variant while the task's
+    /// weakly-hard contract was violated.
+    pub safe_substituted: u64,
     /// Last output value delivered.
     pub last_output: Option<u32>,
 }
@@ -184,6 +188,12 @@ pub struct PreemptiveReport {
     pub preemptions: u64,
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Weakly-hard contract telemetry per registered task.
+    pub contracts: BTreeMap<TaskId, ContractOutcomes>,
+    /// `(task, cycle)` of each fresh contract violation under
+    /// [`DegradationAction::Escalate`], ready to feed the node's
+    /// escalation ladder.
+    pub contract_escalations: Vec<(TaskId, u64)>,
 }
 
 impl PreemptiveReport {
@@ -199,6 +209,7 @@ pub struct PreemptiveExecutive {
     machine: Machine,
     tcbs: Vec<Tcb>,
     injection: Option<(u64, TaskId, TransientFault)>,
+    contracts: BTreeMap<TaskId, TaskContract>,
 }
 
 impl PreemptiveExecutive {
@@ -208,7 +219,30 @@ impl PreemptiveExecutive {
             machine: Machine::new(windows * WINDOW_BYTES, MemoryMap::new()),
             tcbs: Vec::new(),
             injection: None,
+            contracts: BTreeMap::new(),
         }
+    }
+
+    /// Registers a weakly-hard (m,k) contract for an already-added task.
+    /// Every job conclusion — delivery, omission, overrun or exception —
+    /// feeds the contract's window; while it is violated the executive
+    /// applies `action`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no task with `id` has been added.
+    pub fn register_contract(
+        &mut self,
+        id: TaskId,
+        contract: MkContract,
+        action: DegradationAction,
+    ) {
+        assert!(
+            self.tcbs.iter().any(|t| t.task.id == id),
+            "contract registered for unknown task"
+        );
+        self.contracts
+            .insert(id, TaskContract::new(contract, action));
     }
 
     /// Plants one transient fault, applied the first time `task` is on the
@@ -301,6 +335,20 @@ impl PreemptiveExecutive {
             for t in self.tcbs.iter_mut() {
                 if !t.shutdown && t.next_release <= now {
                     if t.state == JobState::Idle {
+                        // A degraded SkipToSafe task substitutes the
+                        // release with its safe variant: the last good
+                        // output stands, the job never occupies the CPU,
+                        // and the guaranteed hit heals the window.
+                        if let Some(c) = self.contracts.get_mut(&t.task.id) {
+                            if c.wants_safe_substitute() {
+                                c.record_safe_substitute();
+                                let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                                stats.completed += 1;
+                                stats.safe_substituted += 1;
+                                t.next_release += t.task.period_cycles;
+                                continue;
+                            }
+                        }
                         t.state = JobState::Ready {
                             released_at: t.next_release,
                         };
@@ -391,6 +439,7 @@ impl PreemptiveExecutive {
                     let output = self.machine.output(self.tcbs[idx].task.output_port);
                     let digest = self.digest_window(idx);
                     let sig = self.machine.cpu.path_sig;
+                    let cap = self.copy_cap(idx);
                     let t = &mut self.tcbs[idx];
                     let tem = t.tem.as_mut().expect("critical job has TEM state");
                     tem.results.push(CopyResultVec {
@@ -399,45 +448,51 @@ impl PreemptiveExecutive {
                         sig,
                     });
                     report.tasks.get_mut(&t.task.id).expect("known task").copies += 1;
-                    let decision = decide(tem);
+                    let decision = decide(tem, cap);
                     self.conclude_copy(idx, decision, now, released_at, &mut report);
                     running = None;
                 }
                 RunExit::Halted => {
                     // Non-critical job complete: deliver output, retire.
                     let t = &mut self.tcbs[idx];
-                    let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                    let id = t.task.id;
+                    let stats = report.tasks.get_mut(&id).expect("known task");
                     stats.completed += 1;
                     stats.last_output = self.machine.output(t.task.output_port);
                     let response = now - released_at;
                     stats.max_response_cycles = stats.max_response_cycles.max(response);
-                    if response > t.task.deadline_cycles {
+                    let miss = response > t.task.deadline_cycles;
+                    if miss {
                         stats.deadline_misses += 1;
                     }
                     t.state = JobState::Idle;
                     t.context = None;
                     running = None;
+                    self.observe_contract(id, miss, now, &mut report);
                 }
                 RunExit::BudgetExhausted => {
                     if consumed >= self.tcbs[idx].task.budget_cycles {
                         // Execution-time monitor trip.
                         if self.tcbs[idx].task.critical {
+                            let cap = self.copy_cap(idx);
                             let t = &mut self.tcbs[idx];
                             let stats = report.tasks.get_mut(&t.task.id).expect("known task");
                             stats.overruns += 1;
                             let tem = t.tem.as_mut().expect("critical job has TEM state");
                             tem.detected = true;
-                            let decision = decide(tem);
+                            let decision = decide(tem, cap);
                             self.conclude_copy(idx, decision, now, released_at, &mut report);
                             running = None;
                         } else {
                             let t = &mut self.tcbs[idx];
-                            let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                            let id = t.task.id;
+                            let stats = report.tasks.get_mut(&id).expect("known task");
                             stats.overruns += 1;
                             stats.deadline_misses += 1;
                             t.state = JobState::Idle;
                             t.context = None;
                             running = None;
+                            self.observe_contract(id, true, now, &mut report);
                         }
                     } else {
                         // Quantum expired (a release is due): suspend.
@@ -457,30 +512,62 @@ impl PreemptiveExecutive {
                     if self.tcbs[idx].task.critical {
                         // Scenario iii/iv of Fig. 3: terminate the copy,
                         // restore a clean context, run a replacement.
+                        let cap = self.copy_cap(idx);
                         let t = &mut self.tcbs[idx];
                         let stats = report.tasks.get_mut(&t.task.id).expect("known task");
                         stats.exceptions += 1;
                         let tem = t.tem.as_mut().expect("critical job has TEM state");
                         tem.detected = true;
-                        let decision = decide(tem);
+                        let decision = decide(tem, cap);
                         self.conclude_copy(idx, decision, now, released_at, &mut report);
                         running = None;
                     } else {
                         // Fault confinement: only this task is affected; it
                         // is shut down like a non-critical task (§2.2).
                         let t = &mut self.tcbs[idx];
-                        let stats = report.tasks.get_mut(&t.task.id).expect("known task");
+                        let id = t.task.id;
+                        let stats = report.tasks.get_mut(&id).expect("known task");
                         stats.exceptions += 1;
                         t.state = JobState::Idle;
                         t.context = None;
                         t.shutdown = true;
                         running = None;
+                        self.observe_contract(id, true, now, &mut report);
                     }
                 }
             }
         }
         report.cycles = now;
+        for (id, c) in &self.contracts {
+            report.contracts.insert(*id, c.outcomes().clone());
+        }
         report
+    }
+
+    /// TEM copy cap for task `idx` under its contract's current
+    /// degradation state ([`MAX_COPIES`] when unconstrained).
+    fn copy_cap(&self, idx: usize) -> u32 {
+        self.contracts
+            .get(&self.tcbs[idx].task.id)
+            .and_then(|c| c.copy_cap())
+            .unwrap_or(MAX_COPIES)
+    }
+
+    /// Feeds one concluded job into the task's contract window, logging
+    /// fresh violations under the Escalate action.
+    fn observe_contract(
+        &mut self,
+        id: TaskId,
+        miss: bool,
+        now: u64,
+        report: &mut PreemptiveReport,
+    ) {
+        if let Some(c) = self.contracts.get_mut(&id) {
+            let newly_violated = c.record(miss);
+            if newly_violated && c.action() == DegradationAction::Escalate {
+                report.contract_escalations.push((id, now));
+            }
+        }
     }
 
     /// Installs task `idx` on the CPU: MMU map, ports, and either a fresh
@@ -552,6 +639,8 @@ impl PreemptiveExecutive {
         released_at: u64,
         report: &mut PreemptiveReport,
     ) {
+        let id = self.tcbs[idx].task.id;
+        let mut concluded: Option<bool> = None;
         match decision {
             TemDecision::AnotherCopy => {
                 // Queue the next copy: the job stays Ready (fresh context
@@ -570,12 +659,14 @@ impl PreemptiveExecutive {
                 stats.last_output = output;
                 let response = now - released_at;
                 stats.max_response_cycles = stats.max_response_cycles.max(response);
-                if response > t.task.deadline_cycles {
+                let miss = response > t.task.deadline_cycles;
+                if miss {
                     stats.deadline_misses += 1;
                 }
                 t.state = JobState::Idle;
                 t.context = None;
                 t.tem = None;
+                concluded = Some(miss);
             }
             TemDecision::Omission => {
                 // Roll the state window back and deliver nothing; the task
@@ -590,7 +681,11 @@ impl PreemptiveExecutive {
                 t.state = JobState::Idle;
                 t.context = None;
                 t.tem = None;
+                concluded = Some(true);
             }
+        }
+        if let Some(miss) = concluded {
+            self.observe_contract(id, miss, now, report);
         }
     }
 }
@@ -603,8 +698,10 @@ enum TemDecision {
 }
 
 /// The TEM progression rule over the copies executed so far.
-fn decide(tem: &TemJob) -> TemDecision {
-    let out_of_copies = tem.copies >= MAX_COPIES;
+/// `max_copies` is normally [`MAX_COPIES`] but a violated ClampRecovery
+/// contract lowers it to the two scheduled copies.
+fn decide(tem: &TemJob, max_copies: u32) -> TemDecision {
+    let out_of_copies = tem.copies >= max_copies;
     match tem.results.len() {
         0 | 1 => {
             if out_of_copies {
@@ -867,7 +964,7 @@ mod tests {
         assert_eq!(s.masked, 1, "comparison + vote masked the corruption");
         assert_eq!(s.last_output, Some(40));
         // The faulted job used three copies.
-        assert!(s.copies >= s.completed * 2 + 1);
+        assert!(s.copies > s.completed * 2);
     }
 
     #[test]
@@ -945,5 +1042,116 @@ mod tests {
     #[should_panic(expected = "no resident tasks")]
     fn empty_executive_rejected() {
         PreemptiveExecutive::new(1).run(100);
+    }
+
+    #[test]
+    fn skip_to_safe_substitutes_while_degraded() {
+        let mut exec = PreemptiveExecutive::new(1);
+        // Budget far below demand: every executed job overruns (a miss).
+        exec.add_task(resident(1, 0, 1_000, 30), &counting_task_src(1, 100))
+            .unwrap();
+        exec.register_contract(
+            TaskId(1),
+            MkContract::new(1, 4),
+            DegradationAction::SkipToSafe,
+        );
+        let report = exec.run(12_000);
+        let s = &report.tasks[&TaskId(1)];
+        let c = &report.contracts[&TaskId(1)];
+        assert!(c.violations >= 1, "two misses in 4 jobs violate (1,4)");
+        assert!(
+            s.safe_substituted >= 3,
+            "degraded releases are substituted until the window heals"
+        );
+        assert_eq!(s.completed, s.safe_substituted, "real jobs always overrun");
+        assert_eq!(c.jobs, s.safe_substituted + s.overruns);
+        assert_eq!(c.min_margin, 0);
+        // Substitution heals the window, so the task re-violates in cycles
+        // rather than missing every period.
+        assert!(s.overruns < c.jobs);
+    }
+
+    #[test]
+    fn clamp_recovery_caps_tem_copies_while_degraded() {
+        let mut unclamped = PreemptiveExecutive::new(1);
+        unclamped
+            .add_task(critical(1, 0, 3_000, 30), &counting_task_src(1, 100))
+            .unwrap();
+        let free = unclamped.run(30_000);
+
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(critical(1, 0, 3_000, 30), &counting_task_src(1, 100))
+            .unwrap();
+        exec.register_contract(
+            TaskId(1),
+            MkContract::new(0, 4),
+            DegradationAction::ClampRecovery,
+        );
+        let report = exec.run(30_000);
+        let s = &report.tasks[&TaskId(1)];
+        let c = &report.contracts[&TaskId(1)];
+        assert!(c.violations >= 1, "the first omission violates (0,4)");
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.omissions, free.tasks[&TaskId(1)].omissions);
+        // Clamped jobs stop after the two scheduled copies instead of
+        // burning MAX_COPIES on a hopeless recovery: every copy overruns,
+        // so the overrun count measures copies attempted.
+        assert!(
+            s.overruns < free.tasks[&TaskId(1)].overruns,
+            "clamp must save recovery copies: {} vs {}",
+            s.overruns,
+            free.tasks[&TaskId(1)].overruns
+        );
+        assert!(c.degraded_jobs >= 1);
+    }
+
+    #[test]
+    fn escalate_reports_fresh_violations_only() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(resident(1, 0, 1_000, 30), &counting_task_src(1, 100))
+            .unwrap();
+        exec.register_contract(
+            TaskId(1),
+            MkContract::new(0, 8),
+            DegradationAction::Escalate,
+        );
+        let report = exec.run(10_000);
+        // Every period overruns, but the window never recovers within 8
+        // jobs, so only the first miss is a *fresh* violation.
+        assert_eq!(report.contract_escalations.len(), 1);
+        assert_eq!(report.contract_escalations[0].0, TaskId(1));
+        assert!(report.tasks[&TaskId(1)].overruns >= 8);
+        assert_eq!(report.contracts[&TaskId(1)].violations, 1);
+        // Escalate never alters the schedule.
+        assert_eq!(report.tasks[&TaskId(1)].safe_substituted, 0);
+    }
+
+    #[test]
+    fn healthy_task_never_degrades() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.add_task(resident(1, 0, 500, 200), &counting_task_src(2, 20))
+            .unwrap();
+        exec.register_contract(
+            TaskId(1),
+            MkContract::new(1, 8),
+            DegradationAction::SkipToSafe,
+        );
+        let report = exec.run(10_000);
+        let c = &report.contracts[&TaskId(1)];
+        assert_eq!(c.violations, 0);
+        assert_eq!(c.misses, 0);
+        assert_eq!(c.min_margin, 2, "full margin retained throughout");
+        assert_eq!(report.tasks[&TaskId(1)].safe_substituted, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn contract_for_unknown_task_rejected() {
+        let mut exec = PreemptiveExecutive::new(1);
+        exec.register_contract(
+            TaskId(9),
+            MkContract::new(1, 4),
+            DegradationAction::Escalate,
+        );
     }
 }

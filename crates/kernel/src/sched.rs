@@ -209,7 +209,7 @@ impl FpSimulator {
                 now = until;
                 if now == end && completion > end {
                     // Horizon reached with work left: account and stop.
-                    ready[0].remaining = ready[0].remaining - ran;
+                    ready[0].remaining -= ran;
                     break;
                 }
                 if until == completion {
@@ -224,7 +224,7 @@ impl FpSimulator {
                     }
                     ready.remove(0);
                 } else {
-                    ready[0].remaining = ready[0].remaining - ran;
+                    ready[0].remaining -= ran;
                     // Deliver the event at `until`.
                     let running_key = prio_key(&self.set, &ready[0]);
                     if let Some((_, ev)) = queue.pop_before(end) {

@@ -191,7 +191,7 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
 /// As [`assemble`]; additionally rejects a base that pushes any label past
 /// the 16-bit immediate range or that is not word-aligned.
 pub fn assemble_at(source: &str, base: u32) -> Result<Image, AsmError> {
-    if base % WORD_BYTES != 0 {
+    if !base.is_multiple_of(WORD_BYTES) {
         return Err(err(0, format!("base {base:#x} is not word-aligned")));
     }
     let mut labels: HashMap<String, u32> = HashMap::new();

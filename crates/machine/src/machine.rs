@@ -356,7 +356,7 @@ impl Machine {
     /// an unchanged epoch implies an unchanged outcome) and the decoder.
     #[inline]
     fn fetch_decode(&mut self, pc: u32) -> Result<Instr, Exception> {
-        if self.decode_cache_enabled && pc % WORD_BYTES == 0 {
+        if self.decode_cache_enabled && pc.is_multiple_of(WORD_BYTES) {
             let idx = (pc / WORD_BYTES) as usize;
             if idx < self.decode_cache.len() {
                 let e = self.decode_cache[idx];
@@ -375,7 +375,7 @@ impl Machine {
         let word = self.load_checked(pc, Access::Execute)?;
         let instr =
             Instr::decode(word).map_err(|e| Exception::IllegalOpcode { pc, word: e.word })?;
-        if self.decode_cache_enabled && pc % WORD_BYTES == 0 {
+        if self.decode_cache_enabled && pc.is_multiple_of(WORD_BYTES) {
             let idx = (pc / WORD_BYTES) as usize;
             if idx < (self.mem.size_bytes() / WORD_BYTES) as usize {
                 if idx >= self.decode_cache.len() {

@@ -175,7 +175,7 @@ impl EccMemory {
     }
 
     fn word_index(&self, addr: u32) -> Result<usize, MemError> {
-        if addr % WORD_BYTES != 0 {
+        if !addr.is_multiple_of(WORD_BYTES) {
             return Err(MemError::Misaligned { addr });
         }
         let idx = (addr / WORD_BYTES) as usize;

@@ -564,7 +564,7 @@ mod tests {
         let d = bus.finish_cycle();
         assert_eq!(d.static_frames[&SlotId(0)].payload, vec![1]);
         assert_eq!(d.static_frames[&SlotId(1)].payload, vec![2]);
-        assert!(d.static_frames.get(&SlotId(2)).is_none(), "silent node 2");
+        assert!(!d.static_frames.contains_key(&SlotId(2)), "silent node 2");
         assert_eq!(
             d.from_node(bus.config(), NodeId(1)).unwrap().payload,
             vec![2]
@@ -627,7 +627,7 @@ mod tests {
         bus.transmit_static(NodeId(1), vec![4]).unwrap();
         let d = bus.finish_cycle();
         assert_eq!(d.rejected, 1);
-        assert!(d.static_frames.get(&SlotId(0)).is_none());
+        assert!(!d.static_frames.contains_key(&SlotId(0)));
         assert!(
             d.static_frames.contains_key(&SlotId(1)),
             "other frames unaffected"
@@ -761,7 +761,7 @@ mod tests {
         bus.transmit_static(NodeId(1), vec![2]).unwrap();
         bus.stage_wire_fault(WireFault::DropStatic { slot: SlotId(1) });
         let d = bus.finish_cycle();
-        assert!(d.static_frames.get(&SlotId(1)).is_none());
+        assert!(!d.static_frames.contains_key(&SlotId(1)));
         assert_eq!(
             d.rejected, 0,
             "an omission is silence, not a rejected frame"
@@ -782,7 +782,7 @@ mod tests {
         let d = bus.finish_cycle();
         // The frame is well-formed (CRC valid) but claims the wrong
         // sender, so the receiver-side identity check discards it.
-        assert!(d.static_frames.get(&SlotId(0)).is_none());
+        assert!(!d.static_frames.contains_key(&SlotId(0)));
         assert_eq!(d.rejected, 1);
         assert_eq!(bus.crc_rejects(), 0, "CRC cannot see a masquerade");
         assert_eq!(bus.masquerade_rejects(), 1);

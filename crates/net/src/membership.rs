@@ -11,6 +11,8 @@
 
 use std::collections::BTreeMap;
 
+use nlft_sim::weakly_hard::WeaklyHard;
+
 use crate::bus::{BusConfig, CycleDelivery};
 use crate::frame::NodeId;
 
@@ -64,17 +66,12 @@ pub enum MembershipEvent {
 #[derive(Debug, Clone)]
 pub struct Membership {
     states: BTreeMap<NodeId, MemberState>,
-    /// Per-node hit/miss history of the last cycles while Active, newest in
-    /// bit 0 (1 = miss). Only consulted when the m-in-k window rule is on.
-    history: BTreeMap<NodeId, u64>,
+    /// Per-node weakly-hard m-in-k window over slot hits/misses while
+    /// Active. Empty when the window rule is off (`Membership::new`).
+    windows: BTreeMap<NodeId, WeaklyHard>,
     config: BusConfig,
     exclude_after: u32,
     reintegrate_after: u32,
-    /// Misses within the window that trigger exclusion (`m`); 0 disables
-    /// the window rule.
-    window_misses: u32,
-    /// Window length in cycles (`k`), at most 64.
-    window_cycles: u32,
 }
 
 impl Membership {
@@ -92,18 +89,20 @@ impl Membership {
     }
 
     /// Creates a monitor that additionally enforces a weakly-hard **m-in-k
-    /// window**: a node accumulating `window_misses` missed slots within
-    /// its last `window_cycles` cycles is excluded even if no single run of
-    /// misses reaches `exclude_after`. Combined with the
-    /// `reintegrate_after` consecutive-clean readmission requirement this
-    /// gives hysteresis: an intermittently faulty node is taken out once
-    /// and must prove itself stable before coming back, instead of
-    /// flapping in and out of the membership.
+    /// window** (a per-node [`WeaklyHard`] monitor): a node accumulating
+    /// `window_misses` missed slots within its last `window_cycles` cycles
+    /// is excluded even if no single run of misses reaches
+    /// `exclude_after`. Combined with the `reintegrate_after`
+    /// consecutive-clean readmission requirement this gives hysteresis: an
+    /// intermittently faulty node is taken out once and must prove itself
+    /// stable before coming back, instead of flapping in and out of the
+    /// membership.
     ///
     /// # Panics
     ///
-    /// Panics if any threshold is zero, `window_cycles > 64`, or
-    /// `window_misses > window_cycles`.
+    /// Panics if any threshold is zero, `window_cycles > 64` (the
+    /// membership keeps the historical one-word bound so per-node views
+    /// stay cheap to clone), or `window_misses > window_cycles`.
     pub fn with_hysteresis(
         config: &BusConfig,
         exclude_after: u32,
@@ -135,18 +134,25 @@ impl Membership {
     ) -> Self {
         assert!(exclude_after > 0, "exclude_after must be positive");
         assert!(reintegrate_after > 0, "reintegrate_after must be positive");
+        let windows = if window_misses > 0 {
+            config
+                .static_slots
+                .iter()
+                .map(|&n| (n, WeaklyHard::new(window_misses, window_cycles)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         Membership {
             states: config
                 .static_slots
                 .iter()
                 .map(|&n| (n, MemberState::Active { missed: 0 }))
                 .collect(),
-            history: config.static_slots.iter().map(|&n| (n, 0)).collect(),
+            windows,
             config: config.clone(),
             exclude_after,
             reintegrate_after,
-            window_misses,
-            window_cycles,
         }
     }
 
@@ -180,10 +186,10 @@ impl Membership {
                 .is_some_and(|s| delivery.static_frames.contains_key(&s));
             match state {
                 MemberState::Active { missed } => {
-                    let history = self.history.entry(node).or_insert(0);
-                    *history = (*history << 1) | u64::from(!transmitted);
-                    let window_violated = self.window_cycles > 0
-                        && (*history & mask(self.window_cycles)).count_ones() >= self.window_misses;
+                    let window_violated = self
+                        .windows
+                        .get_mut(&node)
+                        .is_some_and(|w| w.record(!transmitted).violated);
                     if transmitted {
                         *missed = 0;
                     } else {
@@ -191,7 +197,9 @@ impl Membership {
                     }
                     if *missed >= self.exclude_after || window_violated {
                         *state = MemberState::Excluded { seen: 0 };
-                        *history = 0;
+                        if let Some(w) = self.windows.get_mut(&node) {
+                            w.reset();
+                        }
                         events.push(MembershipEvent::Excluded(node));
                     }
                 }
@@ -202,7 +210,9 @@ impl Membership {
                             // Readmitted with a clean slate: old misses must
                             // not count against the fresh membership.
                             *state = MemberState::Active { missed: 0 };
-                            self.history.insert(node, 0);
+                            if let Some(w) = self.windows.get_mut(&node) {
+                                w.reset();
+                            }
                             events.push(MembershipEvent::Reintegrated(node));
                         }
                     } else {
@@ -271,15 +281,6 @@ pub enum CliqueVerdict {
 /// itself in the majority clique: `n/2 + 1` of `n` slot owners.
 pub fn clique_majority_threshold(n: usize) -> usize {
     n / 2 + 1
-}
-
-/// Bitmask selecting the `k` most recent history bits (`k ≤ 64`).
-fn mask(k: u32) -> u64 {
-    if k >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << k) - 1
-    }
 }
 
 #[cfg(test)]

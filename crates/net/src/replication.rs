@@ -367,16 +367,15 @@ impl StateResync {
                         events.push(ResyncEvent::ServedPartner(our_state.to_vec()));
                     }
                 }
-                Some((&RESYNC_RESPONSE, rest)) => {
+                Some((&RESYNC_RESPONSE, rest))
                     if self.outstanding
                         && frame.sender == partner
-                        && rest.first() == Some(&u32::from(self.node.0))
-                    {
-                        self.outstanding = false;
-                        self.resyncing = false;
-                        self.wait = 0;
-                        events.push(ResyncEvent::StateReceived(rest[1..].to_vec()));
-                    }
+                        && rest.first() == Some(&u32::from(self.node.0)) =>
+                {
+                    self.outstanding = false;
+                    self.resyncing = false;
+                    self.wait = 0;
+                    events.push(ResyncEvent::StateReceived(rest[1..].to_vec()));
                 }
                 _ => {}
             }

@@ -149,7 +149,7 @@ pub fn run(
         .filter(|c| matches!(c, ClockBehaviour::Byzantine))
         .count();
     assert!(
-        n >= 3 * config.tolerate + 1,
+        n > 3 * config.tolerate,
         "fault-tolerant midpoint needs n >= 3k+1 (n={n}, k={})",
         config.tolerate
     );

@@ -148,7 +148,7 @@ fn staged_corruption_always_rejected() {
             }
             let d = bus.finish_cycle();
             prop_assert!(
-                d.static_frames.get(&SlotId(*victim)).is_none(),
+                !d.static_frames.contains_key(&SlotId(*victim)),
                 "corrupted frame (byte {byte:?}, mask {mask:#04x}) survived"
             );
             prop_assert_eq!(d.rejected, 1);

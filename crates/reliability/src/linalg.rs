@@ -151,8 +151,8 @@ impl Matrix {
             if vi == 0.0 {
                 continue;
             }
-            for j in 0..self.cols {
-                out[j] += vi * self.get(i, j);
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += vi * self.get(i, j);
             }
         }
         out
@@ -257,8 +257,8 @@ impl Matrix {
             let mut y = vec![0.0; n];
             for i in 0..n {
                 let mut v = b.get(perm[i], rhs);
-                for j in 0..i {
-                    v -= lu.get(i, j) * y[j];
+                for (j, &yj) in y.iter().enumerate().take(i) {
+                    v -= lu.get(i, j) * yj;
                 }
                 y[i] = v;
             }

@@ -217,7 +217,7 @@ fn faulttree_matches_enumeration() {
                     3 => {
                         assign[..n / 2 + 1].iter().all(|&x| x) || assign[n / 2..].iter().any(|&x| x)
                     }
-                    4 => (assign[0] && assign[n - 1]) || (assign[0] && assign[n / 2]),
+                    4 => assign[0] && (assign[n - 1] || assign[n / 2]),
                     _ => assign.iter().filter(|&&x| x).count() >= 1.max(n - 1) || assign[0],
                 }
             };

@@ -17,6 +17,8 @@
 //!   empirical survival curves for experiment output analysis.
 //! * [`crc`] — the one table-driven CRC-32 (IEEE 802.3) shared by the
 //!   network frames and the kernel's data-integrity seals.
+//! * [`weakly_hard`] — the shared (m,k) weakly-hard window monitor used by
+//!   membership hysteresis, sensor demotion and kernel task contracts.
 //!
 //! # Examples
 //!
@@ -51,8 +53,10 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod weakly_hard;
 
 pub use event::{EventId, EventQueue, ScheduleError};
 pub use rng::RngStream;
 pub use stats::{Confidence, Histogram, OnlineStats, Proportion, SurvivalCurve};
 pub use time::{SimDuration, SimTime};
+pub use weakly_hard::{WeaklyHard, WindowVerdict};

@@ -142,7 +142,7 @@ impl RngStream {
     ///
     /// `p` is clamped to `[0, 1]`; NaN counts as 0.
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        if !(p > 0.0) {
+        if p.is_nan() || p <= 0.0 {
             return false;
         }
         if p >= 1.0 {

@@ -1,0 +1,223 @@
+//! Property suite for the weakly-hard (m,k) window monitor.
+//!
+//! The monitor's O(1) ring-bitset update is checked against a naive
+//! O(k) reference window on ten thousand random streams, plus the edge
+//! cases a shift-register implementation classically gets wrong: k = 1,
+//! m = k, all-miss streams, alternating streams, and outcome counters
+//! far past 2³² (ring wraparound with a 64-bit counter).
+
+use nlft_sim::weakly_hard::{WeaklyHard, WindowVerdict};
+use nlft_testkit::prop::Suite;
+use nlft_testkit::prop_assert_eq;
+use nlft_testkit::rng::TkRng;
+use std::collections::VecDeque;
+
+const SUITE: Suite = Suite::new(0x5EED_A11D).cases(10_000);
+
+/// The trusted O(k) reference: keep the last `k` outcomes verbatim and
+/// recount on every record.
+struct NaiveWindow {
+    m: u32,
+    k: usize,
+    window: VecDeque<bool>,
+    consecutive: u32,
+    observed: u64,
+}
+
+impl NaiveWindow {
+    fn new(m: u32, k: u32) -> Self {
+        NaiveWindow {
+            m,
+            k: k as usize,
+            window: VecDeque::new(),
+            consecutive: 0,
+            observed: 0,
+        }
+    }
+
+    fn record(&mut self, miss: bool) -> WindowVerdict {
+        if self.window.len() == self.k {
+            self.window.pop_front();
+        }
+        self.window.push_back(miss);
+        self.consecutive = if miss { self.consecutive + 1 } else { 0 };
+        self.observed += 1;
+        let misses = self.window.iter().filter(|&&b| b).count() as u32;
+        WindowVerdict {
+            violated: misses >= self.m,
+            misses_in_window: misses,
+            margin: self.m.saturating_sub(misses),
+            consecutive_misses: self.consecutive,
+        }
+    }
+}
+
+/// Ten thousand random (m, k, stream) triples: the ring bitset agrees
+/// with the naive reference on every single outcome. Window lengths
+/// cross the 64-bit word boundary so multi-word rings are exercised.
+#[test]
+fn monitor_matches_naive_reference_on_random_streams() {
+    SUITE.check(
+        "monitor_matches_naive_reference_on_random_streams",
+        |r: &mut TkRng| {
+            let k = r.range(1, 131) as u32;
+            let m = r.range(1, u64::from(k) + 1) as u32;
+            let len = r.usize_range(0, 300);
+            // Mix stream densities: mostly-hit, mostly-miss and fair.
+            let miss_bias = [0.05, 0.5, 0.95][r.usize_range(0, 3)];
+            let stream: Vec<bool> = (0..len).map(|_| r.f64() < miss_bias).collect();
+            (m, k, stream)
+        },
+        |(m, k, stream)| {
+            let mut fast = WeaklyHard::new(*m, *k);
+            let mut naive = NaiveWindow::new(*m, *k);
+            for &miss in stream {
+                let got = fast.record(miss);
+                let want = naive.record(miss);
+                prop_assert_eq!(got, want);
+                prop_assert_eq!(fast.verdict(), want);
+                prop_assert_eq!(fast.observed(), naive.observed);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `record_hits(n)` is indistinguishable from `n` explicit hits, for
+/// `n` below, at and above the window length.
+#[test]
+fn record_hits_is_equivalent_to_explicit_hits() {
+    SUITE.check(
+        "record_hits_is_equivalent_to_explicit_hits",
+        |r: &mut TkRng| {
+            let k = r.range(1, 100) as u32;
+            let m = r.range(1, u64::from(k) + 1) as u32;
+            let prefix = r.usize_range(0, 150);
+            let hits = r.range(0, 2 * u64::from(k) + 3);
+            let seed = r.next_u64();
+            (m, k, prefix, hits, seed)
+        },
+        |&(m, k, prefix, hits, seed)| {
+            let mut r = TkRng::new(seed);
+            let mut fast = WeaklyHard::new(m, k);
+            for _ in 0..prefix {
+                fast.record(r.bool());
+            }
+            let mut explicit = fast.clone();
+            fast.record_hits(hits);
+            for _ in 0..hits {
+                explicit.record(false);
+            }
+            prop_assert_eq!(&fast, &explicit);
+            // Behaviour stays identical after the fast-forward.
+            for _ in 0..k {
+                let miss = r.bool();
+                prop_assert_eq!(fast.record(miss), explicit.record(miss));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// k = 1: the window is a single outcome — violated exactly on misses.
+#[test]
+fn window_of_one_tracks_the_latest_outcome() {
+    let mut w = WeaklyHard::new(1, 1);
+    for i in 0..100 {
+        let miss = i % 3 != 0;
+        let v = w.record(miss);
+        assert_eq!(v.violated, miss);
+        assert_eq!(v.misses_in_window, u32::from(miss));
+        assert_eq!(v.margin, u32::from(!miss));
+    }
+}
+
+/// m = k: only a fully missed window violates, and a single hit heals.
+#[test]
+fn m_equals_k_requires_an_all_miss_window() {
+    for k in [1u32, 2, 7, 64, 65, 130] {
+        let mut w = WeaklyHard::new(k, k);
+        for i in 0..k {
+            let v = w.record(true);
+            assert_eq!(
+                v.violated,
+                i + 1 == k,
+                "k={k}: violation only once every slot is a miss"
+            );
+            assert_eq!(v.consecutive_misses, i + 1);
+        }
+        assert!(
+            w.record(false).margin == 1,
+            "k={k}: one hit restores margin"
+        );
+        assert!(!w.is_violated());
+    }
+}
+
+/// All-miss streams: the window fills, saturates at k misses and stays
+/// violated forever after the m-th outcome.
+#[test]
+fn all_miss_stream_saturates_and_stays_violated() {
+    let (m, k) = (3u32, 70u32);
+    let mut w = WeaklyHard::new(m, k);
+    for i in 1..=(3 * k) {
+        let v = w.record(true);
+        assert_eq!(v.misses_in_window, i.min(k));
+        assert_eq!(v.violated, i >= m);
+        assert_eq!(v.consecutive_misses, i);
+    }
+}
+
+/// Alternating streams: a steady-state window holds exactly half its
+/// slots as misses (rounded by phase), never more.
+#[test]
+fn alternating_stream_holds_half_the_window() {
+    let k = 12u32;
+    let mut w = WeaklyHard::new(7, k);
+    for i in 0..1_000u32 {
+        w.record(i % 2 == 0);
+        if i >= k {
+            assert_eq!(w.misses_in_window(), k / 2);
+            assert!(!w.is_violated(), "6 of 12 never reaches the threshold 7");
+        }
+        assert!(w.consecutive_misses() <= 1);
+    }
+}
+
+/// Streams far past 2³² outcomes: `record_hits` fast-forwards the
+/// 64-bit counter beyond the 32-bit boundary and the ring arithmetic
+/// keeps agreeing with the naive reference afterwards.
+#[test]
+fn wraparound_past_two_to_the_32_stays_exact() {
+    for k in [1u32, 5, 64, 127] {
+        let m = (k / 2).max(1);
+        let mut fast = WeaklyHard::new(m, k);
+        // A dirty prefix so the ring is mid-phase before the jump.
+        let mut r = TkRng::new(0xB16_u64 ^ u64::from(k));
+        for _ in 0..(k + 3) {
+            fast.record(r.bool());
+        }
+        fast.record_hits(u64::from(u32::MAX) + 10);
+        assert!(fast.observed() > u64::from(u32::MAX));
+        assert_eq!(fast.misses_in_window(), 0, "window is clean after the jump");
+        // From here the naive reference starts from an all-hit window.
+        let mut naive = NaiveWindow::new(m, k);
+        for _ in 0..k {
+            naive.record(false);
+        }
+        for _ in 0..(4 * k) {
+            let miss = r.bool();
+            let got = fast.record(miss);
+            let want = naive.record(miss);
+            assert_eq!(
+                (got.violated, got.misses_in_window, got.consecutive_misses),
+                (
+                    want.violated,
+                    want.misses_in_window,
+                    want.consecutive_misses
+                ),
+                "k={k}: divergence after the 2^32 wrap"
+            );
+        }
+    }
+}

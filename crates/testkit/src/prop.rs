@@ -316,11 +316,12 @@ pub mod gens {
         move |r| options[r.usize_range(0, options.len())].clone()
     }
 
+    /// A boxed generator, as accepted by [`one_of`].
+    pub type BoxedGen<T> = Box<dyn FnMut(&mut TkRng) -> T>;
+
     /// A value from one of the given generators, uniformly (the port of
     /// `prop_oneof!`).
-    pub fn one_of<T>(
-        mut variants: Vec<Box<dyn FnMut(&mut TkRng) -> T>>,
-    ) -> impl FnMut(&mut TkRng) -> T {
+    pub fn one_of<T>(mut variants: Vec<BoxedGen<T>>) -> impl FnMut(&mut TkRng) -> T {
         assert!(!variants.is_empty(), "one_of needs variants");
         move |r| {
             let i = r.usize_range(0, variants.len());

@@ -33,7 +33,7 @@ fn act_one() {
         down_cycles: 2,
         stagger: 0,
     });
-    cluster.attach_net_faults(plan, RngStream::new(0xB1AC_0a11).fork("net-injector"));
+    cluster.attach_net_faults(plan, RngStream::new(0xB1AC_0A11).fork("net-injector"));
 
     let report = cluster.run(20, |_| 1200);
     for r in &report.records {

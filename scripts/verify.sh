@@ -12,6 +12,10 @@ cargo fmt --all --check
 RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 
+# Lints are part of tier 1: clippy must be warning-clean across the
+# workspace (library, tests, examples and benches alike).
+cargo clippy -q --workspace --all-targets --offline -- -D warnings
+
 # Documentation is part of tier 1: every public item is documented
 # (missing_docs) and rustdoc itself must be warning-clean (broken intra-doc
 # links, bad code fences).
@@ -30,9 +34,12 @@ done
 # compare. Timing deltas are advisory only (hardware varies between
 # machines), so slowdowns print warnings; golden-digest drift — a
 # bit-level change to the deterministic Figure 12 results — fails hard.
-echo "== bench: substrates + fig12 vs BENCH_BASELINE.json =="
+echo "== bench: substrates + fig12 + campaigns vs BENCH_BASELINE.json =="
 cargo bench --offline -p nlft-bench --bench substrates -- --samples 10 >/dev/null
 cargo bench --offline -p nlft-bench --bench fig12_system_reliability -- --samples 10 >/dev/null
+for group in net_storm startup diagnosis value_domain weakly_hard; do
+    cargo bench --offline -p nlft-bench --bench "$group" -- --samples 10 >/dev/null
+done
 cargo run --release --offline -p nlft-bench --bin bench_compare -- compare
 
 echo "verify: OK"

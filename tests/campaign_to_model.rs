@@ -12,7 +12,7 @@ use nlft::reliability::model::ReliabilityModel;
 
 /// Runs a campaign and converts its estimates into model parameters.
 fn measured_params(trials: u64) -> BbwParams {
-    let mut config = CampaignConfig::new(trials, 0x2005_D5A, NodePolicy::LightweightNlft);
+    let mut config = CampaignConfig::new(trials, 0x0200_5D5A, NodePolicy::LightweightNlft);
     config.threads = 4;
     let result = run_campaign(&config);
 
