@@ -28,14 +28,24 @@
 //!   actuator to its safe release state — the wheel then goes
 //!   fail-silent, so the failure reports into membership and the CU
 //!   redistributes force exactly as for a crashed node.
+//!
+//! Since PR 8 the wheels carry heterogeneous weakly-hard *(m,k) service
+//! contracts* (the front axle tighter than the rear), and any node can be
+//! modelled as a *dual-core* station: a core-death fault then plays out
+//! against the node's resource-sharing protocol — LEFT-RS rides the death
+//! out on the remaining core, a lock-based substrate wedges and the node
+//! drops fail-silent for good.
 
 use std::collections::BTreeMap;
 
 use nlft_core::diagnosis::{AlphaCountConfig, NodeSupervisor};
+use nlft_kernel::contract::MkContract;
 use nlft_kernel::escalation::{EscalationEvent, EscalationPolicy, NodeHealth};
 use nlft_kernel::integrity::{CommandAcceptor, CommandReject, FreshSealedMessage};
+use nlft_kernel::multicore::MulticoreExecutive;
+use nlft_kernel::resources::ProtocolKind;
 use nlft_kernel::tem::{InjectionPlan, JobFault, JobOutcome, TemConfig, TemExecutor};
-use nlft_machine::fault::{IntermittentFault, StuckAtFault, TransientFault};
+use nlft_machine::fault::{CoreDeathFault, IntermittentFault, StuckAtFault, TransientFault};
 use nlft_machine::machine::Machine;
 use nlft_machine::workloads::{self, Workload};
 use nlft_net::bus::{Bus, BusConfig, CycleDelivery, WireFault};
@@ -48,6 +58,7 @@ use nlft_net::startup::{
     COLD_START_MARKER,
 };
 use nlft_sim::rng::RngStream;
+use nlft_sim::weakly_hard::WeaklyHard;
 
 use crate::actuator::{ActuatorFault, ActuatorMonitor, ActuatorMonitorConfig, WheelActuator};
 use crate::sensor::{PedalSensorArray, PedalStats, PedalVoterConfig, SensorFault};
@@ -191,6 +202,20 @@ pub struct ClusterReport {
     pub startup_events: Vec<(u32, StartupEvent)>,
     /// Value-domain observability for this run.
     pub value: ValueDomainReport,
+    /// Per-wheel weakly-hard (m,k) service contracts in force this run
+    /// (index order: front-left, front-right, rear-left, rear-right).
+    pub wheel_contracts: [MkContract; 4],
+    /// Service misses charged against each wheel's contract: cycles (past
+    /// bus warm-up) in which the wheel delivered no brake force.
+    pub wheel_contract_misses: [u32; 4],
+    /// Contract-violation episodes per wheel, edge-triggered: one per
+    /// excursion past the tolerated miss count, however long it lasts.
+    pub wheel_contract_violations: [u32; 4],
+    /// Core-death faults fired this run: `(cycle, node, survived)`.
+    /// Survival is decided by a deterministic multicore simulation of the
+    /// node's substrate — only a dual-core node whose resource protocol
+    /// tolerates a mid-critical-section core loss rides the death out.
+    pub core_deaths: Vec<(u32, NodeId, bool)>,
 }
 
 impl ClusterReport {
@@ -228,6 +253,13 @@ struct StationRuntime {
     stuck_at: Option<StuckAtFault>,
     /// A recurring (intermittent) fault attached to this node.
     intermittent: Option<IntermittentRuntime>,
+    /// `Some(protocol)` when this node is modelled as a dual-core station
+    /// sharing its wheel/brake state between two cores through the given
+    /// resource protocol.
+    dual_core: Option<ProtocolKind>,
+    /// Whether one of the node's cores has already died (a second death,
+    /// or any death on a single-core node, is fatal).
+    core_dead: bool,
 }
 
 impl StationRuntime {
@@ -242,6 +274,8 @@ impl StationRuntime {
             supervisor: None,
             stuck_at: None,
             intermittent: None,
+            dual_core: None,
+            core_dead: false,
         }
     }
 
@@ -405,6 +439,16 @@ pub struct BbwCluster {
     command_corruptions: Vec<(u32, usize, usize, u32)>,
     /// Scheduled wheel-local command replays: `(cycle, wheel)`.
     command_replays: Vec<(u32, usize)>,
+    /// Per-wheel (m,k) service contracts (front axle tighter than rear)
+    /// and their online monitors; like the rest of the wheel state, the
+    /// monitors persist across `run` calls.
+    wheel_contracts: [MkContract; 4],
+    wheel_monitors: [WeaklyHard; 4],
+    /// Whether each wheel's contract was violated after the last recorded
+    /// cycle (for edge-triggered episode counting).
+    wheel_violated: [bool; 4],
+    /// Scheduled core-death faults: `(cycle, node, escalated)`.
+    core_deaths: Vec<(u32, NodeId, bool)>,
 }
 
 impl BbwCluster {
@@ -439,6 +483,15 @@ impl BbwCluster {
             wheels.insert(id, StationRuntime::new(pid.clone(), pid_cycles));
         }
         let cu_pair = DuplexPair::new(CU_A, CU_B);
+        // The front axle carries most of the braking load, so its service
+        // contracts are tighter: at most 1 missed cycle in any 8, against
+        // 2-in-8 for the rear wheels.
+        let wheel_contracts = [
+            MkContract::new(1, 8),
+            MkContract::new(1, 8),
+            MkContract::new(2, 8),
+            MkContract::new(2, 8),
+        ];
         BbwCluster {
             bus,
             membership,
@@ -470,6 +523,10 @@ impl BbwCluster {
             hold_left: [0; 4],
             command_corruptions: Vec::new(),
             command_replays: Vec::new(),
+            wheel_monitors: std::array::from_fn(|w| wheel_contracts[w].monitor()),
+            wheel_contracts,
+            wheel_violated: [false; 4],
+            core_deaths: Vec::new(),
         }
     }
 
@@ -592,6 +649,80 @@ impl BbwCluster {
             .or_else(|| self.wheels.get_mut(&node))
     }
 
+    /// Replaces the per-wheel (m,k) service contracts (index order:
+    /// front-left, front-right, rear-left, rear-right) and resets their
+    /// monitors. The defaults hold the front axle to at most 1 missed
+    /// cycle in any 8 and the rear axle to 2-in-8.
+    pub fn set_wheel_contracts(&mut self, contracts: [MkContract; 4]) {
+        self.wheel_contracts = contracts;
+        self.wheel_monitors = std::array::from_fn(|w| contracts[w].monitor());
+        self.wheel_violated = [false; 4];
+    }
+
+    /// The per-wheel service contracts currently in force.
+    pub fn wheel_contracts(&self) -> [MkContract; 4] {
+        self.wheel_contracts
+    }
+
+    /// Models `node` as a dual-core station whose two cores share their
+    /// wheel/brake state through `protocol`. A scheduled core-death fault
+    /// (see [`BbwCluster::attach_core_death`]) then becomes survivable:
+    /// the node rides it out on the remaining core iff the protocol keeps
+    /// the shared state reachable when a core dies mid-critical-section.
+    pub fn enable_dual_core(&mut self, node: NodeId, protocol: ProtocolKind) {
+        if let Some(s) = self.station_mut(node) {
+            s.dual_core = Some(protocol);
+        }
+    }
+
+    /// Schedules a core-death fault on `node` in the given cycle.
+    /// `escalated` means the dying core is walked down the escalation
+    /// ladder to fail-silence (orderly — held resources are revoked)
+    /// instead of crashing mid-instruction. Whether the node survives is
+    /// decided by a deterministic [`MulticoreExecutive`] replay of its
+    /// substrate; any death on a single-core node, and a second death on
+    /// a dual-core one, is always fatal.
+    pub fn attach_core_death(&mut self, cycle: u32, node: NodeId, escalated: bool) {
+        self.core_deaths.push((cycle, node, escalated));
+    }
+
+    /// Fires one core-death fault on `node`; returns whether it survived.
+    fn fire_core_death(&mut self, node: NodeId, escalated: bool) -> bool {
+        let Some(station) = self.station_mut(node) else {
+            return false;
+        };
+        let survived = match station.dual_core {
+            Some(kind) if !station.core_dead => {
+                // Replay the death against the node's substrate: the
+                // reference 2-core workload with the fault placed
+                // mid-critical-section on core 0, exactly as in
+                // `nlft_core::run_multicore_campaign`. The node lives iff
+                // the surviving core's tasks stay clean — LEFT-RS ignores
+                // the dead snapshot holder, a leaked spin lock wedges the
+                // lock-based substrate.
+                let mut exec = MulticoreExecutive::reference(2, kind);
+                if escalated {
+                    exec.supervise(0, EscalationPolicy::default());
+                }
+                exec.inject(CoreDeathFault {
+                    core: 0,
+                    at_tick: 100,
+                    in_section: true,
+                    escalated,
+                });
+                exec.run(2_000).clean()
+            }
+            _ => false,
+        };
+        station.core_dead = true;
+        if !survived {
+            // The node is gone for good: it never transmits again, so
+            // membership reports the loss from here on.
+            station.silent_for = u32::MAX;
+        }
+        survived
+    }
+
     /// Puts `node` under a diagnosis supervisor: its TEM error stream
     /// feeds an α-count, and the escalation ladder silences, restarts,
     /// reintegrates or retires the node. The resulting
@@ -664,6 +795,9 @@ impl BbwCluster {
         let mut restarts = 0;
         let mut retired_nodes: Vec<NodeId> = Vec::new();
         let mut startup_events: Vec<(u32, StartupEvent)> = Vec::new();
+        let mut wheel_contract_misses = [0u32; 4];
+        let mut wheel_contract_violations = [0u32; 4];
+        let mut core_death_records: Vec<(u32, NodeId, bool)> = Vec::new();
         let crc_rejects_0 = self.bus.crc_rejects();
         let guardian_blocks_0 = self.bus.guardian_blocks();
         let masquerade_rejects_0 = self.bus.masquerade_rejects();
@@ -703,6 +837,21 @@ impl BbwCluster {
                     self.last_good[w] = None;
                     self.hold_left[w] = 0;
                 }
+            }
+
+            // Core-death faults scheduled for this cycle, fired before
+            // the nodes execute: a dual-core node survives iff the
+            // deterministic replay of its substrate stays clean under its
+            // resource protocol; anything else drops fail-silent for good.
+            let deaths_now: Vec<(NodeId, bool)> = self
+                .core_deaths
+                .iter()
+                .filter(|&&(c, _, _)| c == bus_cycle)
+                .map(|&(_, n, e)| (n, e))
+                .collect();
+            for (node, escalated) in deaths_now {
+                let survived = self.fire_core_death(node, escalated);
+                core_death_records.push((bus_cycle, node, survived));
             }
 
             // Read the pedal through the triplicated sensor array: the
@@ -1101,6 +1250,25 @@ impl BbwCluster {
                     .and_then(|f| f.payload.first().copied());
             }
 
+            // Per-wheel weakly-hard service contracts: once the bus has
+            // warmed up, a wheel delivering no brake force this cycle is
+            // charged one service miss against its (m,k) contract.
+            // Violation episodes are edge-triggered so a long outage
+            // counts once per excursion, not once per cycle.
+            if bus_cycle > 0 {
+                for w in 0..4 {
+                    let miss = wheel_force[w].is_none();
+                    if miss {
+                        wheel_contract_misses[w] += 1;
+                    }
+                    let verdict = self.wheel_monitors[w].record(miss);
+                    if verdict.violated && !self.wheel_violated[w] {
+                        wheel_contract_violations[w] += 1;
+                    }
+                    self.wheel_violated[w] = verdict.violated;
+                }
+            }
+
             let members = self.membership.members().len();
             min_members = min_members.min(members);
             if members <= 3 {
@@ -1141,6 +1309,10 @@ impl BbwCluster {
                     - undetected_sensor_base,
                 ..value
             },
+            wheel_contracts: self.wheel_contracts,
+            wheel_contract_misses,
+            wheel_contract_violations,
+            core_deaths: core_death_records,
         }
     }
 }
@@ -1528,5 +1700,132 @@ mod tests {
         assert!(excluded
             .iter()
             .any(|e| matches!(e, MembershipEvent::Reintegrated(n) if *n == WHEELS[2])));
+    }
+
+    #[test]
+    fn default_wheel_contracts_are_heterogeneous_and_clean() {
+        let mut cluster = BbwCluster::new();
+        let report = cluster.run(20, constant_pedal);
+        // Front axle tighter than rear, same window.
+        assert!(
+            report.wheel_contracts[0].max_misses < report.wheel_contracts[2].max_misses,
+            "front contracts must be stricter than rear"
+        );
+        assert_eq!(report.wheel_contracts[0], MkContract::new(1, 8));
+        assert_eq!(report.wheel_contracts[3], MkContract::new(2, 8));
+        // A clean run charges no misses and trips nothing.
+        assert_eq!(report.wheel_contract_misses, [0; 4]);
+        assert_eq!(report.wheel_contract_violations, [0; 4]);
+        assert!(report.core_deaths.is_empty());
+    }
+
+    #[test]
+    fn front_contract_trips_where_rear_rides_through() {
+        // The same 2-cycle outage lands differently per axle: 2 misses in
+        // an 8-window break the front (1,8) contract but not the rear
+        // (2,8) one — the heterogeneous-contract point of satellite 1.
+        let mut front = BbwCluster::new();
+        front.silence_node(WHEELS[0], 2);
+        let fr = front.run(14, constant_pedal);
+        assert!(fr.wheel_contract_misses[0] >= 2);
+        assert!(
+            fr.wheel_contract_violations[0] >= 1,
+            "front (1,8) contract must trip on a 2-cycle outage"
+        );
+
+        let mut rear = BbwCluster::new();
+        rear.silence_node(WHEELS[2], 2);
+        let rr = rear.run(14, constant_pedal);
+        assert!(rr.wheel_contract_misses[2] >= 2);
+        assert_eq!(
+            rr.wheel_contract_violations[2], 0,
+            "rear (2,8) contract must absorb the same outage"
+        );
+    }
+
+    #[test]
+    fn set_wheel_contracts_replaces_monitors() {
+        let mut cluster = BbwCluster::new();
+        // Loosen the front axle to (3,8): the 2-cycle outage that trips
+        // the default front contract is now absorbed.
+        cluster.set_wheel_contracts([MkContract::new(3, 8); 4]);
+        cluster.silence_node(WHEELS[0], 2);
+        let report = cluster.run(14, constant_pedal);
+        assert_eq!(report.wheel_contracts[0], MkContract::new(3, 8));
+        assert!(report.wheel_contract_misses[0] >= 2);
+        assert_eq!(report.wheel_contract_violations, [0; 4]);
+    }
+
+    #[test]
+    fn dual_core_left_rs_wheel_rides_through_core_death() {
+        let mut cluster = BbwCluster::new();
+        cluster.enable_dual_core(WHEELS[1], ProtocolKind::LeftRs);
+        cluster.attach_core_death(5, WHEELS[1], false);
+        let report = cluster.run(16, constant_pedal);
+        assert_eq!(report.core_deaths, vec![(5, WHEELS[1], true)]);
+        // The node never misses a slot: no omissions, no degradation, and
+        // its contract stays clean.
+        assert_eq!(report.omissions, 0);
+        assert_eq!(report.degraded_cycles, 0);
+        assert_eq!(report.wheel_contract_violations, [0; 4]);
+        assert!(!report.service_lost);
+    }
+
+    #[test]
+    fn dual_core_lock_based_wheel_dies_on_core_death() {
+        let mut cluster = BbwCluster::new();
+        cluster.enable_dual_core(WHEELS[1], ProtocolKind::LockBased);
+        cluster.attach_core_death(5, WHEELS[1], false);
+        let report = cluster.run(16, constant_pedal);
+        assert_eq!(report.core_deaths, vec![(5, WHEELS[1], false)]);
+        // The crashed core leaks its spin lock mid-section; the substrate
+        // wedges and the node drops fail-silent for good.
+        assert!(report.omissions > 0);
+        assert!(report.degraded_cycles > 0);
+        assert!(
+            report.wheel_contract_violations[1] >= 1,
+            "a permanently silent front wheel must break its contract"
+        );
+        assert!(!report.service_lost, "3-of-4 wheels keep braking");
+    }
+
+    #[test]
+    fn escalated_core_death_spares_even_the_lock_based_wheel() {
+        // Satellite 2 at cluster level: the escalation ladder silences
+        // the dying core in an orderly way, revoking its held lock, so
+        // even the lock-based substrate survives the very placement that
+        // kills it under a crash.
+        let mut cluster = BbwCluster::new();
+        cluster.enable_dual_core(WHEELS[1], ProtocolKind::LockBased);
+        cluster.attach_core_death(5, WHEELS[1], true);
+        let report = cluster.run(16, constant_pedal);
+        assert_eq!(report.core_deaths, vec![(5, WHEELS[1], true)]);
+        assert_eq!(report.omissions, 0);
+        assert_eq!(report.degraded_cycles, 0);
+    }
+
+    #[test]
+    fn single_core_node_dies_on_any_core_death() {
+        let mut cluster = BbwCluster::new();
+        cluster.attach_core_death(4, WHEELS[3], false);
+        let report = cluster.run(16, constant_pedal);
+        assert_eq!(report.core_deaths, vec![(4, WHEELS[3], false)]);
+        assert!(report.omissions > 0);
+        assert!(report.degraded_cycles > 0);
+    }
+
+    #[test]
+    fn second_core_death_kills_a_surviving_dual_core_node() {
+        let mut cluster = BbwCluster::new();
+        cluster.enable_dual_core(WHEELS[2], ProtocolKind::LeftRs);
+        cluster.attach_core_death(3, WHEELS[2], false);
+        cluster.attach_core_death(8, WHEELS[2], false);
+        let report = cluster.run(18, constant_pedal);
+        assert_eq!(
+            report.core_deaths,
+            vec![(3, WHEELS[2], true), (8, WHEELS[2], false)],
+            "the first death is survivable, the second exhausts the cores"
+        );
+        assert!(report.omissions > 0);
     }
 }

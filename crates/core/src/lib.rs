@@ -15,6 +15,9 @@
 //! * [`diagnosis`] — α-count fault discrimination (transient /
 //!   intermittent / permanent) and the per-node supervisor that drives
 //!   the kernel's recovery-escalation ladder.
+//! * [`multicore_campaign`] — the core-death campaign: lock-based vs
+//!   LEFT-RS resource sharing on a multicore node under adversarial
+//!   in-critical-section core-death placement.
 //!
 //! # Examples
 //!
@@ -36,12 +39,17 @@
 
 pub mod campaign;
 pub mod diagnosis;
+pub mod multicore_campaign;
 pub mod policy;
 
 pub use campaign::{
     run_campaign, run_recovery_campaign, CampaignConfig, CampaignResult, RecoveryCampaignConfig,
     RecoveryCampaignResult, RecoveryVerdict, Verdict,
 };
+pub use multicore_campaign::{
+    run_multicore_campaign, MulticoreCampaignConfig, MulticoreCampaignResult,
+};
+
 pub use diagnosis::{
     escalation_chain, AlphaCount, AlphaCountConfig, Diagnosis, EscalationChain, NodeSupervisor,
     FALSE_RETIREMENT_BOUND,

@@ -1,0 +1,337 @@
+//! The core-death campaign: lock-based vs LEFT-RS resource sharing on a
+//! multicore NLFT node, under adversarial in-section core-death placement.
+//!
+//! Every trial forks its own labelled RNG stream, samples one
+//! [`CoreDeathFault`] (victim core, arming tick, crash vs escalated
+//! fail-silence), and runs the *same* placement through two otherwise
+//! identical 2-core executives — one sharing state through per-resource
+//! locks, one through LEFT-RS lock-free retry-bounded sections. The
+//! campaign demonstrates the robustness claim end to end:
+//!
+//! * every hard crash inside a critical section leaves the lock-based
+//!   node with at least one deadlocked or deadline-missed peer job, while
+//!   the LEFT-RS node records zero misses and zero deadlocks;
+//! * an *escalated* death (the PR 3 ladder silences the core, revoking
+//!   held resources) is survivable even by the lock-based node — the
+//!   escalation/resource fix in action;
+//! * the worst observed CAS retry re-execution cost never exceeds the
+//!   retry term certified offline by
+//!   [`nlft_kernel::analysis::response_time_with_blocking`].
+//!
+//! Results are bit-identical at any thread count (golden-pinned at
+//! 1/2/5 threads alongside the other campaign families).
+
+use nlft_kernel::multicore::MulticoreExecutive;
+use nlft_kernel::resources::{certify, left_rs_retry_term, ProtocolKind};
+use nlft_kernel::EscalationPolicy;
+use nlft_machine::fault::CoreDeathFault;
+use nlft_sim::rng::RngStream;
+
+/// Configuration of [`run_multicore_campaign`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticoreCampaignConfig {
+    /// Monte Carlo trials.
+    pub trials: u64,
+    /// Root RNG seed; each trial forks `("multicore-trial", index)`.
+    pub seed: u64,
+    /// Cores per node (≥ 2 so sections actually contend).
+    pub cores: u32,
+    /// Executive horizon in ticks (µs).
+    pub horizon: u64,
+    /// Probability a sampled death is escalated fail-silence rather than
+    /// a hard crash.
+    pub escalated_p: f64,
+    /// Worker threads (results identical regardless).
+    pub threads: usize,
+}
+
+impl MulticoreCampaignConfig {
+    /// The nominal campaign: 2-core reference node, 4 ms horizon, one
+    /// quarter of deaths escalated.
+    pub fn new(trials: u64, seed: u64) -> Self {
+        MulticoreCampaignConfig {
+            trials,
+            seed,
+            cores: 2,
+            horizon: 4_000,
+            escalated_p: 0.25,
+            threads: 1,
+        }
+    }
+}
+
+/// Aggregated campaign outcome. All counters are integers so golden pins
+/// are bit-exact across platforms and thread counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MulticoreCampaignResult {
+    /// Trials executed.
+    pub trials: u64,
+    /// Trials whose death was a hard crash.
+    pub crash_trials: u64,
+    /// Trials whose death was escalated fail-silence.
+    pub escalated_trials: u64,
+    /// Crash trials where the lock-based node recorded ≥ 1 deadlock or
+    /// deadline miss — the claim requires this to equal `crash_trials`.
+    pub lock_failed_crash_trials: u64,
+    /// Crash trials the lock-based node survived clean (claim: zero).
+    pub lock_clean_crash_trials: u64,
+    /// Escalated trials the lock-based node survived clean (claim: all —
+    /// the ladder's revocation saves it).
+    pub lock_clean_escalated_trials: u64,
+    /// Total deadlocked jobs across all lock-based runs.
+    pub lock_deadlocks: u64,
+    /// Total missed deadlines across all lock-based runs.
+    pub lock_misses: u64,
+    /// Total missed deadlines across all LEFT-RS runs (claim: zero).
+    pub leftrs_misses: u64,
+    /// Total deadlocks across all LEFT-RS runs (claim: zero).
+    pub leftrs_deadlocks: u64,
+    /// Trials the LEFT-RS node survived clean (claim: all).
+    pub leftrs_clean_trials: u64,
+    /// Worst per-job CAS retry count observed in any LEFT-RS run.
+    pub leftrs_max_retries: u32,
+    /// Worst per-job retry re-execution cost observed, in µs.
+    pub leftrs_max_retry_cost_us: u64,
+    /// Trials whose observed retry cost exceeded the certified retry
+    /// term (claim: zero — the certification is sound).
+    pub retry_bound_breaches: u64,
+    /// Escalation-ladder events recorded across both executives.
+    pub escalation_events: u64,
+    /// Tasks of the reference node that certify under LEFT-RS
+    /// (`response_time_with_blocking` returns a bound). Filled once
+    /// after merging, not per shard.
+    pub certified_tasks: u64,
+    /// Tasks that fail certification (claim: zero on the 2-core node).
+    pub uncertified_tasks: u64,
+    /// The certified worst-case retry term, in µs.
+    pub certified_retry_term_us: u64,
+}
+
+impl MulticoreCampaignResult {
+    fn merge(&mut self, other: &MulticoreCampaignResult) {
+        self.trials += other.trials;
+        self.crash_trials += other.crash_trials;
+        self.escalated_trials += other.escalated_trials;
+        self.lock_failed_crash_trials += other.lock_failed_crash_trials;
+        self.lock_clean_crash_trials += other.lock_clean_crash_trials;
+        self.lock_clean_escalated_trials += other.lock_clean_escalated_trials;
+        self.lock_deadlocks += other.lock_deadlocks;
+        self.lock_misses += other.lock_misses;
+        self.leftrs_misses += other.leftrs_misses;
+        self.leftrs_deadlocks += other.leftrs_deadlocks;
+        self.leftrs_clean_trials += other.leftrs_clean_trials;
+        self.leftrs_max_retries = self.leftrs_max_retries.max(other.leftrs_max_retries);
+        self.leftrs_max_retry_cost_us = self
+            .leftrs_max_retry_cost_us
+            .max(other.leftrs_max_retry_cost_us);
+        self.retry_bound_breaches += other.retry_bound_breaches;
+        self.escalation_events += other.escalation_events;
+    }
+
+    /// `true` when every robustness claim held: all crashes broke the
+    /// lock-based node, nothing broke LEFT-RS, the ladder saved the
+    /// escalated lock-based runs, and the retry bound was never
+    /// breached.
+    pub fn claims_hold(&self) -> bool {
+        self.lock_failed_crash_trials == self.crash_trials
+            && self.lock_clean_crash_trials == 0
+            && self.lock_clean_escalated_trials == self.escalated_trials
+            && self.leftrs_clean_trials == self.trials
+            && self.leftrs_misses == 0
+            && self.leftrs_deadlocks == 0
+            && self.retry_bound_breaches == 0
+            && self.uncertified_tasks == 0
+    }
+}
+
+/// The certified worst-case LEFT-RS retry term for the reference node,
+/// in µs: the maximum over tasks of `longest section × (cores − 1)`.
+fn certified_retry_term_us(cores: u32) -> u64 {
+    let (set, map) = MulticoreExecutive::reference_workload(cores as usize);
+    set.iter()
+        .map(|t| left_rs_retry_term(&map, t, cores).as_micros())
+        .max()
+        .unwrap_or(0)
+}
+
+fn run_shard(config: &MulticoreCampaignConfig, start: u64, end: u64) -> MulticoreCampaignResult {
+    let root = RngStream::new(config.seed);
+    let certified_term = certified_retry_term_us(config.cores);
+    let mut result = MulticoreCampaignResult::default();
+    for trial in start..end {
+        let mut rng = root.fork_indexed("multicore-trial", trial);
+        let death = CoreDeathFault::sample(
+            &mut rng,
+            config.cores,
+            (config.horizon / 2).max(2),
+            config.escalated_p,
+        );
+        result.trials += 1;
+        if death.escalated {
+            result.escalated_trials += 1;
+        } else {
+            result.crash_trials += 1;
+        }
+
+        let run = |kind: ProtocolKind| {
+            let mut exec = MulticoreExecutive::reference(config.cores as usize, kind);
+            if death.escalated {
+                exec.supervise(death.core as usize, EscalationPolicy::default());
+            }
+            exec.inject(death);
+            exec.run(config.horizon)
+        };
+
+        let lock = run(ProtocolKind::LockBased);
+        result.lock_deadlocks += lock.deadlocks;
+        result.lock_misses += lock.missed;
+        result.escalation_events += lock.escalations.len() as u64;
+        if death.escalated {
+            if lock.clean() {
+                result.lock_clean_escalated_trials += 1;
+            }
+        } else if lock.clean() {
+            result.lock_clean_crash_trials += 1;
+        } else {
+            result.lock_failed_crash_trials += 1;
+        }
+
+        let cas = run(ProtocolKind::LeftRs);
+        result.leftrs_misses += cas.missed;
+        result.leftrs_deadlocks += cas.deadlocks;
+        result.escalation_events += cas.escalations.len() as u64;
+        if cas.clean() {
+            result.leftrs_clean_trials += 1;
+        }
+        result.leftrs_max_retries = result.leftrs_max_retries.max(cas.max_retries);
+        let cost = cas.max_retry_cost.as_micros();
+        result.leftrs_max_retry_cost_us = result.leftrs_max_retry_cost_us.max(cost);
+        if cost > certified_term {
+            result.retry_bound_breaches += 1;
+        }
+    }
+    result
+}
+
+/// Runs the campaign, sharded over `config.threads` workers; results are
+/// a pure function of the seed and invariant under the thread count.
+pub fn run_multicore_campaign(config: &MulticoreCampaignConfig) -> MulticoreCampaignResult {
+    assert!(config.trials > 0, "campaign needs trials");
+    assert!(config.cores >= 2, "core-death needs a surviving peer core");
+    assert!(config.horizon >= 4, "horizon too short to arm a death");
+    let threads = config.threads.max(1);
+    let mut total = if threads == 1 {
+        run_shard(config, 0, config.trials)
+    } else {
+        let chunk = config.trials.div_ceil(threads as u64);
+        // Every trial forks its own stream from (seed, trial index), so
+        // shard boundaries cannot perturb any drawn value; parallelism
+        // only decides which worker runs a trial.
+        let mut shards: Vec<MulticoreCampaignResult> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|i| {
+                    let start = i * chunk;
+                    let end = ((i + 1) * chunk).min(config.trials);
+                    scope.spawn(move || {
+                        if start < end {
+                            run_shard(config, start, end)
+                        } else {
+                            MulticoreCampaignResult::default()
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("campaign shard panicked"));
+            }
+        });
+        let mut total = MulticoreCampaignResult::default();
+        for s in &shards {
+            total.merge(s);
+        }
+        total
+    };
+    let (set, map) = MulticoreExecutive::reference_workload(config.cores as usize);
+    for c in certify(&set, &map, ProtocolKind::LeftRs, config.cores, 1) {
+        if c.response.is_some() {
+            total.certified_tasks += 1;
+        } else {
+            total.uncertified_tasks += 1;
+        }
+    }
+    total.certified_retry_term_us = certified_retry_term_us(config.cores);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_claims_hold_on_the_nominal_config() {
+        let result = run_multicore_campaign(&MulticoreCampaignConfig::new(40, 0x2005_0a01));
+        assert_eq!(result.trials, 40);
+        assert!(result.crash_trials > 0, "{result:?}");
+        assert!(result.escalated_trials > 0, "{result:?}");
+        assert!(result.claims_hold(), "{result:?}");
+        assert!(result.lock_deadlocks > 0);
+        assert!(result.escalation_events > 0);
+        assert_eq!(result.certified_tasks, 4);
+        assert_eq!(result.certified_retry_term_us, 40);
+        assert!(result.leftrs_max_retry_cost_us <= result.certified_retry_term_us);
+    }
+
+    #[test]
+    fn campaign_golden_pin_identical_at_1_2_5_threads() {
+        let mut config = MulticoreCampaignConfig::new(24, 0x5708_c0de);
+        let one = run_multicore_campaign(&config);
+        config.threads = 2;
+        let two = run_multicore_campaign(&config);
+        config.threads = 5;
+        let five = run_multicore_campaign(&config);
+        assert_eq!(one, two, "thread count must not change results");
+        assert_eq!(one, five, "thread count must not change results");
+        // Golden pin: any drift in the RNG stream, the fault sampler, or
+        // the executive's tick semantics moves these exact counts.
+        assert_eq!(
+            (
+                one.crash_trials,
+                one.escalated_trials,
+                one.lock_failed_crash_trials,
+                one.lock_deadlocks,
+                one.lock_misses,
+                one.escalation_events,
+            ),
+            (18, 6, 18, 122, 142, 24),
+            "{one:?}"
+        );
+        assert_eq!(
+            (
+                one.leftrs_clean_trials,
+                one.leftrs_max_retries,
+                one.leftrs_max_retry_cost_us,
+                one.retry_bound_breaches,
+            ),
+            (24, 1, 40, 0),
+            "{one:?}"
+        );
+    }
+
+    #[test]
+    fn claims_hold_rejects_any_breach() {
+        let mut r = MulticoreCampaignResult {
+            trials: 2,
+            crash_trials: 1,
+            escalated_trials: 1,
+            lock_failed_crash_trials: 1,
+            lock_clean_escalated_trials: 1,
+            leftrs_clean_trials: 2,
+            certified_tasks: 4,
+            ..MulticoreCampaignResult::default()
+        };
+        assert!(r.claims_hold());
+        r.retry_bound_breaches = 1;
+        assert!(!r.claims_hold());
+    }
+}

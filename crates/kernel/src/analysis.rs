@@ -258,13 +258,32 @@ pub fn response_time_with_fault_count(
     faults: u32,
     recovery_cost: impl Fn(&TaskSpec) -> SimDuration,
 ) -> Option<SimDuration> {
+    response_time_with_blocking(set, task, SimDuration::ZERO, faults, recovery_cost)
+}
+
+/// [`response_time_with_fault_count`] with an additional one-shot
+/// `blocking` term — the SRP bound from
+/// [`crate::resources::ResourceMap::blocking_bound`], charged once before
+/// the task starts (SRP blocks a task at most once). With
+/// `blocking == 0` this is exactly `response_time_with_fault_count`; with
+/// the LEFT-RS retry term as `recovery_cost` it is the multicore
+/// certification: `R(f) = C + B + f·max_recovery + interference`.
+///
+/// Returns `None` when the response exceeds the deadline.
+pub fn response_time_with_blocking(
+    set: &TaskSet,
+    task: &TaskSpec,
+    blocking: SimDuration,
+    faults: u32,
+    recovery_cost: impl Fn(&TaskSpec) -> SimDuration,
+) -> Option<SimDuration> {
     let max_recovery = set
         .higher_or_equal_priority(task)
         .map(&recovery_cost)
         .max()
         .unwrap_or(SimDuration::ZERO);
     let recovery_total = max_recovery.checked_mul(u64::from(faults))?;
-    let base = task.wcet + recovery_total;
+    let base = task.wcet + blocking + recovery_total;
     let mut r = base;
     loop {
         let mut next = base;
@@ -663,6 +682,34 @@ mod tests {
             None
         );
         assert_eq!(faults_tolerated(&set, t3, |k| k.wcet), Some(2));
+    }
+
+    #[test]
+    fn blocking_rta_reduces_to_fault_count_rta_at_zero() {
+        let set = classic_set();
+        let t3 = set.get(TaskId(3)).unwrap();
+        for faults in 0..3 {
+            assert_eq!(
+                response_time_with_blocking(&set, t3, SimDuration::ZERO, faults, |k| k.wcet),
+                response_time_with_fault_count(&set, t3, faults, |k| k.wcet)
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_rta_charges_the_term_once() {
+        let set = classic_set();
+        let t2 = set.get(TaskId(2)).unwrap();
+        // R2 = 30 plain; +15us blocking → 20+15=35 → 35+10=45 → 45 ✓
+        assert_eq!(
+            response_time_with_blocking(&set, t2, us(15), 0, |_| SimDuration::ZERO),
+            Some(us(45))
+        );
+        // Blocking past the deadline is unschedulable.
+        assert_eq!(
+            response_time_with_blocking(&set, t2, us(200), 0, |_| SimDuration::ZERO),
+            None
+        );
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   strategies of §2.2 (critical / non-critical / kernel errors).
 //! * [`escalation`] — the recovery-escalation ladder: suspect → fail-silent
 //!   → restart with capped exponential backoff → reintegrate or retire.
+//! * [`resources`] — SRP ceiling analysis over declared resource-access
+//!   sets, the SRP blocking bound, and fault-tolerant resource-sharing
+//!   protocols (lock-based baseline vs LEFT-RS lock-free retry-bounded).
+//! * [`multicore`] — an N-core partitioned fixed-priority executive with
+//!   ceiling-boosted critical sections and core-death fault injection.
 //!
 //! # Examples
 //!
@@ -51,7 +56,9 @@ pub mod contract;
 pub mod escalation;
 pub mod executive;
 pub mod integrity;
+pub mod multicore;
 pub mod preemptive;
+pub mod resources;
 pub mod sched;
 pub mod task;
 pub mod tem;
@@ -62,6 +69,11 @@ pub use escalation::{
     EscalationEvent, EscalationMachine, EscalationPolicy, NodeHealth, RestartPolicy,
 };
 pub use executive::{BoundTask, ExecutiveConfig, NodeExecutive, NodeState};
+pub use multicore::{MulticoreExecutive, MulticoreReport, TaskCoreOutcome};
 pub use preemptive::{PreemptiveExecutive, PreemptiveReport, ResidentTask};
+pub use resources::{
+    certify, left_rs_retry_term, CertifiedTask, CsAccess, LeftRs, LockBased, ProtocolKind,
+    ResourceId, ResourceMap, ResourceProtocol, SectionCommit, SectionEntry,
+};
 pub use task::{Criticality, Priority, TaskId, TaskSet, TaskSpec, TaskSpecBuilder};
 pub use tem::{InjectionPlan, JobFault, JobOutcome, JobReport, TemConfig, TemExecutor};

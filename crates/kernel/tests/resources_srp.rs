@@ -1,0 +1,224 @@
+//! Property and exhaustive validation of the SRP ceiling analysis.
+//!
+//! * a 10 000-case suite asserting the computed ceilings equal a
+//!   brute-force max-over-accessors on random task/resource sets, and
+//!   that the SRP blocking bound matches an independent brute force;
+//! * an exhaustive small-N check that feeding the blocking bound into
+//!   `kernel::analysis` (`response_time_with_blocking`) agrees with an
+//!   independently-written fixpoint for every configuration in the grid.
+
+use nlft_kernel::analysis::{response_time, response_time_with_blocking};
+use nlft_kernel::resources::{ResourceId, ResourceMap};
+use nlft_kernel::task::{Criticality, Priority, TaskId, TaskSet, TaskSpecBuilder};
+use nlft_sim::time::SimDuration;
+use nlft_testkit::prop::Suite;
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq};
+
+const SUITE: Suite = Suite::new(0x5EED_C3A1).cases(10_000);
+
+fn us(v: u64) -> SimDuration {
+    SimDuration::from_micros(v)
+}
+
+/// One random configuration: tasks as `(period, wcet, priority)` and
+/// access declarations as `(task index, resource, section µs)`.
+#[derive(Debug, Clone)]
+struct Case {
+    tasks: Vec<(u64, u64, u32)>,
+    accesses: Vec<(usize, u32, u64)>,
+}
+
+fn arb_case(r: &mut TkRng) -> Case {
+    let n = r.usize_range(1, 6);
+    let tasks = (0..n)
+        .map(|_| {
+            let period = r.range(50, 2_000);
+            let wcet = r.range(1, (period / 4).max(2));
+            // Priorities may tie: ties are broken by TaskId everywhere.
+            let prio = r.range(0, n as u64) as u32;
+            (period, wcet, prio)
+        })
+        .collect();
+    let resources = r.usize_range(1, 4);
+    let mut accesses = Vec::new();
+    for task in 0..n {
+        for resource in 0..resources {
+            if r.bool() {
+                accesses.push((task, resource as u32, r.range(1, 15)));
+            }
+        }
+    }
+    Case { tasks, accesses }
+}
+
+fn build(case: &Case) -> (TaskSet, ResourceMap) {
+    let set: TaskSet = case
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, &(period, wcet, prio))| {
+            TaskSpecBuilder::new(TaskId(i as u32), format!("t{i}"))
+                .period(us(period))
+                .wcet(us(wcet))
+                .priority(Priority(prio))
+                .criticality(Criticality::NonCritical)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let mut map = ResourceMap::new();
+    for &(task, resource, section) in &case.accesses {
+        map.declare(TaskId(task as u32), ResourceId(resource), us(section));
+    }
+    (set, map)
+}
+
+/// Ceilings: the highest (numerically smallest) accessor priority,
+/// recomputed here the obvious way — walk every task, keep the best.
+#[test]
+fn ceilings_match_brute_force_over_10k_sets() {
+    SUITE.check("ceilings_match_brute_force", arb_case, |case| {
+        let (set, map) = build(case);
+        for resource in 0..4u32 {
+            let mut brute: Option<Priority> = None;
+            for (i, &(_, _, prio)) in case.tasks.iter().enumerate() {
+                let declares = case
+                    .accesses
+                    .iter()
+                    .any(|&(t, r, _)| t == i && r == resource);
+                if declares && brute.is_none_or(|b| Priority(prio) < b) {
+                    brute = Some(Priority(prio));
+                }
+            }
+            prop_assert_eq!(map.ceiling(&set, ResourceId(resource)), brute);
+        }
+        Ok(())
+    });
+}
+
+/// Blocking bound: brute force over every (victim, section) pair using
+/// the ceilings already cross-checked above.
+#[test]
+fn blocking_bound_matches_brute_force_over_10k_sets() {
+    SUITE.check("blocking_bound_matches_brute_force", arb_case, |case| {
+        let (set, map) = build(case);
+        for victim in set.iter() {
+            let mut brute = SimDuration::ZERO;
+            for &(task, resource, section) in &case.accesses {
+                let holder = set.get(TaskId(task as u32)).unwrap();
+                let lower = (holder.priority, holder.id) > (victim.priority, victim.id);
+                let ceiling = map.ceiling(&set, ResourceId(resource)).unwrap();
+                if lower && ceiling <= victim.priority {
+                    brute = brute.max(us(section));
+                }
+            }
+            prop_assert_eq!(map.blocking_bound(&set, victim), brute);
+            // Sanity: the bound is one critical section, never a sum —
+            // it cannot exceed the longest declared section anywhere.
+            let longest = case
+                .accesses
+                .iter()
+                .map(|&(_, _, s)| us(s))
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            prop_assert!(brute <= longest);
+        }
+        Ok(())
+    });
+}
+
+/// The lowest-priority task is never blocked (nothing runs below it),
+/// and a task sharing nothing on a ceiling-free map is never blocked.
+#[test]
+fn lowest_task_and_empty_map_are_block_free() {
+    SUITE.check("lowest_task_is_block_free", arb_case, |case| {
+        let (set, map) = build(case);
+        let lowest = set.iter().max_by_key(|t| (t.priority, t.id)).unwrap();
+        prop_assert_eq!(map.blocking_bound(&set, lowest), SimDuration::ZERO);
+        let empty = ResourceMap::new();
+        for t in set.iter() {
+            prop_assert_eq!(empty.blocking_bound(&set, t), SimDuration::ZERO);
+        }
+        Ok(())
+    });
+}
+
+/// An independent RTA fixpoint with a one-shot blocking term, written
+/// directly from the textbook recurrence for the exhaustive cross-check.
+fn textbook_rta(set: &TaskSet, task_id: TaskId, blocking: SimDuration) -> Option<SimDuration> {
+    let task = set.get(task_id).unwrap();
+    let mut r = task.wcet + blocking;
+    for _ in 0..10_000 {
+        let interference: SimDuration = set
+            .higher_priority_than(task)
+            .map(|hp| hp.wcet * r.div_ceil(hp.period))
+            .sum();
+        let next = task.wcet + blocking + interference;
+        if next > task.deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+    unreachable!("fixpoint must converge within the deadline cap");
+}
+
+/// Exhaustive small-N grid: two fixed tasks plus one low-priority
+/// blocker; every section length in 1..=12 µs on every accessor subset.
+/// The SRP bound fed into `response_time_with_blocking` must agree with
+/// the independent textbook fixpoint, and reduce to plain RTA at zero.
+#[test]
+fn exhaustive_small_n_blocking_against_analysis() {
+    let mk = |id: u32, prio: u32, period: u64, wcet: u64| {
+        TaskSpecBuilder::new(TaskId(id), format!("t{id}"))
+            .period(us(period))
+            .wcet(us(wcet))
+            .priority(Priority(prio))
+            .criticality(Criticality::NonCritical)
+            .build()
+            .unwrap()
+    };
+    let set: TaskSet = [mk(0, 0, 100, 10), mk(1, 1, 200, 30), mk(2, 2, 400, 50)]
+        .into_iter()
+        .collect();
+    let mut checked = 0u32;
+    // Accessor subsets: which of t0/t1 share the blocker's resource.
+    for accessors in [&[0u32][..], &[1], &[0, 1]] {
+        for section in 1..=12u64 {
+            let mut map = ResourceMap::new();
+            map.declare(TaskId(2), ResourceId(1), us(section));
+            for &a in accessors {
+                map.declare(TaskId(a), ResourceId(1), us(1));
+            }
+            for t in set.iter() {
+                let bound = map.blocking_bound(&set, t);
+                let via_analysis =
+                    response_time_with_blocking(&set, t, bound, 0, |_| SimDuration::ZERO);
+                assert_eq!(via_analysis, textbook_rta(&set, t.id, bound), "{}", t.name);
+                // Zero blocking reduces to the PR 7 plain RTA.
+                assert_eq!(
+                    response_time_with_blocking(&set, t, SimDuration::ZERO, 0, |_| {
+                        SimDuration::ZERO
+                    }),
+                    response_time(&set, t)
+                );
+                // The ceiling rule decides who the blocker reaches: t0 is
+                // blocked iff it (or a higher-or-equal task) accesses R1.
+                let ceiling = map.ceiling(&set, ResourceId(1)).unwrap();
+                if t.id == TaskId(0) {
+                    let expected = if ceiling <= Priority(0) {
+                        us(section)
+                    } else {
+                        us(0)
+                    };
+                    assert_eq!(bound, expected);
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 3 * 12 * 3, "the grid must be fully enumerated");
+}

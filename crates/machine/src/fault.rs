@@ -198,6 +198,53 @@ impl IntermittentFault {
     }
 }
 
+/// A core-level fault for multicore NLFT nodes: one core of the node
+/// stops executing, either as a hard crash (no cleanup code runs — a lock
+/// held at that instant leaks forever) or escalated through the kernel's
+/// fail-silence ladder (an orderly silence whose release hook revokes any
+/// held resource).
+///
+/// Consumed by the multicore executive in `nlft-kernel`; deliberately not
+/// part of [`FaultSpace::sample`]'s draw sequence so every existing
+/// campaign's RNG stream stays bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreDeathFault {
+    /// The core that dies (executive core index).
+    pub core: u32,
+    /// Earliest tick at which the fault strikes.
+    pub at_tick: u64,
+    /// Defer the strike until the core is executing *inside* a critical
+    /// section (the adversarial placement the lock-based baseline cannot
+    /// survive); when `false` the core dies exactly at `at_tick`.
+    pub in_section: bool,
+    /// Escalated fail-silence (orderly, resources revoked) instead of a
+    /// hard crash.
+    pub escalated: bool,
+}
+
+impl CoreDeathFault {
+    /// Samples an in-section core death: uniform victim core, uniform
+    /// arming tick in `[1, horizon)`, escalated with probability
+    /// `escalated_p`. Three draws, in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero or `horizon < 2`.
+    pub fn sample(rng: &mut RngStream, cores: u32, horizon: u64, escalated_p: f64) -> Self {
+        assert!(cores > 0, "a node has at least one core");
+        assert!(horizon >= 2, "horizon too short to arm a death");
+        let core = rng.uniform_range(0, u64::from(cores)) as u32;
+        let at_tick = rng.uniform_range(1, horizon);
+        let escalated = rng.bernoulli(escalated_p);
+        CoreDeathFault {
+            core,
+            at_tick,
+            in_section: true,
+            escalated,
+        }
+    }
+}
+
 /// A sampled fault of any persistence class (see [`FaultSpace::sample_model`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultModel {
@@ -795,6 +842,23 @@ mod tests {
             (0..100).map(|_| space.sample_model(&mut rng)).collect()
         };
         assert_eq!(draw(11), draw(11));
+    }
+
+    #[test]
+    fn core_death_sample_is_in_range_and_deterministic() {
+        let draw = |seed: u64| {
+            let mut rng = RngStream::new(seed).fork("core-death");
+            (0..200)
+                .map(|_| CoreDeathFault::sample(&mut rng, 2, 4000, 0.25))
+                .collect::<Vec<_>>()
+        };
+        let deaths = draw(7);
+        assert_eq!(deaths, draw(7), "sampling must be seed-deterministic");
+        assert!(deaths.iter().all(|d| d.core < 2));
+        assert!(deaths.iter().all(|d| d.at_tick >= 1 && d.at_tick < 4000));
+        assert!(deaths.iter().all(|d| d.in_section));
+        assert!(deaths.iter().any(|d| d.escalated));
+        assert!(deaths.iter().any(|d| !d.escalated));
     }
 
     #[test]

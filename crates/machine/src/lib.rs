@@ -55,7 +55,7 @@ pub mod workloads;
 
 pub use cpu::{CpuContext, CpuState};
 pub use edm::{DetectionMatrix, Edm};
-pub use fault::{FaultSpace, FaultTarget, TransientFault};
+pub use fault::{CoreDeathFault, FaultSpace, FaultTarget, TransientFault};
 pub use isa::{Instr, Reg};
 pub use machine::{Exception, Machine, RunExit, RunOutcome};
 pub use mem::EccMemory;

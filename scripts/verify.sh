@@ -37,7 +37,7 @@ done
 echo "== bench: substrates + fig12 + campaigns vs BENCH_BASELINE.json =="
 cargo bench --offline -p nlft-bench --bench substrates -- --samples 10 >/dev/null
 cargo bench --offline -p nlft-bench --bench fig12_system_reliability -- --samples 10 >/dev/null
-for group in net_storm startup diagnosis value_domain weakly_hard; do
+for group in net_storm startup diagnosis value_domain weakly_hard multicore; do
     cargo bench --offline -p nlft-bench --bench "$group" -- --samples 10 >/dev/null
 done
 cargo run --release --offline -p nlft-bench --bin bench_compare -- compare
