@@ -63,6 +63,7 @@ pub mod cluster_campaign;
 pub mod montecarlo;
 pub mod params;
 pub mod recovery;
+pub mod scenario;
 pub mod sensitivity;
 pub mod sensor;
 pub mod value_campaign;
@@ -84,6 +85,10 @@ pub use params::BbwParams;
 pub use recovery::{
     intermittent_wheel_scenario, permanent_cu_scenario, run_recovery_cluster_campaign,
     transient_storm_scenario, RecoveryClusterCampaignConfig, RecoveryClusterOutcomes,
+};
+pub use scenario::{
+    check_accept, compile, run_compiled, run_scenario, ClusterScenarioConfig, CompileError,
+    CompiledScenario, ScenarioOutcome,
 };
 pub use sensor::{PedalSensorArray, PedalVoterConfig, SensorFault, PEDAL_MAX};
 pub use value_campaign::{

@@ -1,0 +1,110 @@
+//! Scenario-DSL pipeline benchmarked end to end: parsing a zoo file,
+//! compiling + running a small storm scenario single- and multi-threaded,
+//! and a full-zoo sweep; full mode re-runs every zoo scenario against its
+//! golden pin and writes `SCENARIO.json` (per-scenario digests) under
+//! `<target>/testkit/`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use nlft_bbw::scenario::{check_accept, run_scenario, ScenarioOutcome};
+use nlft_reliability::scenario::{parse_scenario, ScenarioSpec};
+use nlft_testkit::bench::{artifact_path, Bench};
+use nlft_testkit::json::Json;
+
+fn zoo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("scenarios")
+}
+
+/// Every zoo scenario source, sorted by file name for determinism.
+fn zoo_sources() -> Vec<String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(zoo_dir())
+        .expect("scenarios/ exists at the workspace root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| std::fs::read_to_string(p).expect("zoo file readable"))
+        .collect()
+}
+
+fn by_name(specs: &[ScenarioSpec], name: &str) -> ScenarioSpec {
+    specs
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario `{name}` in the zoo"))
+        .clone()
+}
+
+fn report(outcomes: &[ScenarioOutcome]) -> Json {
+    Json::obj(vec![
+        ("scenarios", Json::from(outcomes.len() as u64)),
+        (
+            "digests",
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::obj(vec![
+                            ("name", Json::Str(o.name.clone())),
+                            ("trials", Json::UInt(o.trials)),
+                            ("digest", Json::UInt(u64::from(o.digest))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut b = Bench::new("scenario");
+    let sources = zoo_sources();
+    let specs: Vec<ScenarioSpec> = sources
+        .iter()
+        .map(|s| parse_scenario(s).expect("zoo scenario parses"))
+        .collect();
+    let storm = by_name(&specs, "net-storm-nominal");
+    let cluster = by_name(&specs, "emi-burst-under-braking");
+
+    b.bench("parse_whole_zoo", || {
+        let parsed: Vec<ScenarioSpec> = sources
+            .iter()
+            .map(|s| parse_scenario(black_box(s)).expect("parses"))
+            .collect();
+        black_box(parsed.len())
+    });
+    b.bench("net_storm_nominal_1_thread", || {
+        black_box(run_scenario(black_box(&storm), 1).expect("runs"))
+    });
+    b.bench("net_storm_nominal_5_threads", || {
+        black_box(run_scenario(black_box(&storm), 5).expect("runs"))
+    });
+    b.bench("cluster_emi_burst_1_thread", || {
+        black_box(run_scenario(black_box(&cluster), 1).expect("runs"))
+    });
+
+    if b.is_full() {
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let outcome = run_scenario(spec, 2).expect("zoo scenario runs");
+            let failures = check_accept(spec, &outcome);
+            assert!(failures.is_empty(), "{}: {failures:?}", spec.name);
+            outcomes.push(outcome);
+        }
+        let path = artifact_path("SCENARIO.json");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, report(&outcomes).to_string()) {
+            Ok(()) => println!("scenario report written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+    b.finish();
+}

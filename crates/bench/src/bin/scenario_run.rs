@@ -1,0 +1,219 @@
+//! Scenario-zoo runner: list, run and verify the declarative fault
+//! campaigns under `scenarios/`.
+//!
+//! ```text
+//! cargo run --release --bin scenario_run -- list [filter]
+//! cargo run --release --bin scenario_run -- run [filter] [--threads N]
+//! cargo run --release --bin scenario_run -- verify [filter]
+//! cargo run --release --bin scenario_run -- pin [filter]
+//! ```
+//!
+//! * `list` — names, families and trial counts, optionally filtered by
+//!   substring.
+//! * `run` — run matching scenarios, print their verdict/metric
+//!   counters and digests, and check each acceptance clause; exits
+//!   non-zero if any clause fails.
+//! * `verify` — the CI gate: every matching scenario runs at 1, 2 and
+//!   5 threads; the three outcomes must be bit-identical and match the
+//!   scenario's `pin`. Fails hard on drift or a missing pin.
+//! * `pin` — print the `pin 0x…` line for each scenario (for authoring
+//!   new zoo entries).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use nlft_bbw::scenario::{check_accept, run_scenario, ScenarioOutcome};
+use nlft_reliability::scenario::{parse_scenario, ScenarioSpec};
+
+/// The `scenarios/` directory at the workspace root.
+fn zoo_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("scenarios")
+}
+
+/// Loads every `*.scn` file, sorted by file name for a stable order.
+fn load_zoo(filter: Option<&str>) -> Result<Vec<(PathBuf, ScenarioSpec)>, String> {
+    let dir = zoo_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    paths.sort();
+    let mut zoo = Vec::new();
+    for path in paths {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let spec = parse_scenario(&source).map_err(|e| format!("{}: {e}", path.display()))?;
+        if filter.is_none_or(|f| spec.name.contains(f)) {
+            zoo.push((path, spec));
+        }
+    }
+    Ok(zoo)
+}
+
+fn print_outcome(outcome: &ScenarioOutcome) {
+    println!(
+        "  trials {}  digest 0x{:08x}",
+        outcome.trials, outcome.digest
+    );
+    let verdicts: Vec<String> = outcome
+        .verdicts
+        .iter()
+        .filter(|&&(_, v)| v > 0)
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    println!("  verdicts: {}", verdicts.join("  "));
+}
+
+fn cmd_list(zoo: &[(PathBuf, ScenarioSpec)]) {
+    for (path, spec) in zoo {
+        println!(
+            "{:<32} {:<12} trials {:<6} {}",
+            spec.name,
+            spec.params.family(),
+            spec.trials,
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+        );
+    }
+    println!("{} scenarios", zoo.len());
+}
+
+fn cmd_run(zoo: &[(PathBuf, ScenarioSpec)], threads: usize) -> bool {
+    let mut ok = true;
+    for (_, spec) in zoo {
+        println!("== {} ({})", spec.name, spec.params.family());
+        match run_scenario(spec, threads) {
+            Ok(outcome) => {
+                print_outcome(&outcome);
+                let failures = check_accept(spec, &outcome);
+                if failures.is_empty() {
+                    println!("  accept: ok");
+                } else {
+                    ok = false;
+                    for f in &failures {
+                        println!("  accept FAILED: {f}");
+                    }
+                }
+            }
+            Err(e) => {
+                ok = false;
+                println!("  compile FAILED: {e}");
+            }
+        }
+    }
+    ok
+}
+
+/// The CI gate: bit-identical at 1/2/5 threads and equal to the pin.
+fn cmd_verify(zoo: &[(PathBuf, ScenarioSpec)]) -> bool {
+    let mut ok = true;
+    for (path, spec) in zoo {
+        let outcomes: Vec<ScenarioOutcome> = match [1usize, 2, 5]
+            .iter()
+            .map(|&t| run_scenario(spec, t))
+            .collect::<Result<_, _>>()
+        {
+            Ok(v) => v,
+            Err(e) => {
+                println!("FAIL {:<32} compile error: {e}", spec.name);
+                ok = false;
+                continue;
+            }
+        };
+        if outcomes[0] != outcomes[1] || outcomes[0] != outcomes[2] {
+            println!(
+                "FAIL {:<32} thread-count drift: 0x{:08x} / 0x{:08x} / 0x{:08x}",
+                spec.name, outcomes[0].digest, outcomes[1].digest, outcomes[2].digest
+            );
+            ok = false;
+            continue;
+        }
+        let outcome = &outcomes[0];
+        let failures = check_accept(spec, outcome);
+        match spec.accept.pin {
+            None => {
+                println!(
+                    "FAIL {:<32} unpinned (add `pin 0x{:08x}` to {})",
+                    spec.name,
+                    outcome.digest,
+                    path.display()
+                );
+                ok = false;
+            }
+            Some(_) if failures.is_empty() => {
+                println!("ok   {:<32} 0x{:08x}", spec.name, outcome.digest);
+            }
+            Some(_) => {
+                for f in &failures {
+                    println!("FAIL {:<32} {f}", spec.name);
+                }
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn cmd_pin(zoo: &[(PathBuf, ScenarioSpec)]) -> bool {
+    for (_, spec) in zoo {
+        match run_scenario(spec, 1) {
+            Ok(outcome) => println!("{:<32} pin 0x{:08x}", spec.name, outcome.digest),
+            Err(e) => {
+                println!("{:<32} compile FAILED: {e}", spec.name);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("list");
+    let mut filter = None;
+    let mut threads = 1usize;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            threads = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or(1);
+        } else {
+            filter = Some(arg.as_str());
+        }
+    }
+    let zoo = match load_zoo(filter) {
+        Ok(zoo) => zoo,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if zoo.is_empty() {
+        eprintln!("no scenarios match");
+        return ExitCode::FAILURE;
+    }
+    let ok = match command {
+        "list" => {
+            cmd_list(&zoo);
+            true
+        }
+        "run" => cmd_run(&zoo, threads),
+        "verify" => cmd_verify(&zoo),
+        "pin" => cmd_pin(&zoo),
+        other => {
+            eprintln!("unknown command `{other}` (expected list, run, verify, pin)");
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -25,7 +25,38 @@
 //! fault-recovery response-time analysis at all — lives in
 //! [`crate::analysis::analyse_weakly_hard`].
 
+use std::fmt;
+
 use nlft_sim::weakly_hard::WeaklyHard;
+
+/// Why an (m,k) contract was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractError {
+    /// `window` (k) was zero — there is no window to constrain.
+    ZeroWindow,
+    /// `max_misses >= window` — every pattern satisfies the contract,
+    /// so it constrains nothing.
+    Vacuous {
+        /// Tolerated misses per window (`m`).
+        max_misses: u32,
+        /// Window length in jobs (`k`).
+        window: u32,
+    },
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::ZeroWindow => write!(f, "contract window must be positive"),
+            ContractError::Vacuous { max_misses, window } => write!(
+                f,
+                "({max_misses},{window}) contract must forbid at least one miss pattern"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
 
 /// A weakly-hard constraint on a task: at most `max_misses` deadline
 /// misses within any window of `window` consecutive jobs.
@@ -46,12 +77,22 @@ impl MkContract {
     /// Panics when `window` is zero or `max_misses >= window` (a
     /// contract every pattern satisfies constrains nothing).
     pub fn new(max_misses: u32, window: u32) -> Self {
-        assert!(window > 0, "contract window must be positive");
-        assert!(
-            max_misses < window,
-            "contract must forbid at least one miss pattern"
-        );
-        MkContract { max_misses, window }
+        match MkContract::try_new(max_misses, window) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`MkContract::new`]: rejects a zero window
+    /// and vacuous (`max_misses >= window`) contracts with a typed error.
+    pub fn try_new(max_misses: u32, window: u32) -> Result<Self, ContractError> {
+        if window == 0 {
+            return Err(ContractError::ZeroWindow);
+        }
+        if max_misses >= window {
+            return Err(ContractError::Vacuous { max_misses, window });
+        }
+        Ok(MkContract { max_misses, window })
     }
 
     /// The online monitor for this contract: violated at

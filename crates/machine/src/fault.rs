@@ -6,12 +6,50 @@
 //! memory words. Transient faults are single XOR events; permanent faults
 //! are stuck-at bits re-asserted before every instruction.
 
+use std::fmt;
+
 use nlft_sim::rng::RngStream;
 
 use crate::cpu::StatusFlags;
 use crate::isa::{Reg, NUM_REGS};
 use crate::machine::{Machine, RunExit, RunOutcome};
 use crate::mem::WORD_BYTES;
+
+/// Why a fault specification was rejected at construction. Fractions and
+/// recurrence probabilities must be real numbers in `[0, 1]`; NaN and
+/// out-of-range values are rejected here with the offending field named,
+/// never clamped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpecError {
+    /// A fraction or probability was NaN or outside `[0, 1]`.
+    NotAProbability {
+        /// Which field was rejected (e.g. `"stuck_at_fraction"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::NotAProbability { field, value } => {
+                write!(f, "{field} {value} must be a probability in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// Checks one probability field, rejecting NaN and out-of-range values.
+fn probability(field: &'static str, value: f64) -> Result<(), FaultSpecError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(FaultSpecError::NotAProbability { field, value })
+    }
+}
 
 /// The architectural resource a fault lands in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,6 +225,12 @@ pub struct IntermittentFault {
 }
 
 impl IntermittentFault {
+    /// Validates the spec: the recurrence must be a real probability in
+    /// `[0, 1]` (NaN rejected).
+    pub fn check(&self) -> Result<(), FaultSpecError> {
+        probability("recurrence", self.recurrence)
+    }
+
     /// Whether the fault manifests in the job `jobs_since_onset` jobs after
     /// onset (0-based). The onset job always manifests; later jobs inside
     /// the burst manifest with probability [`IntermittentFault::recurrence`].
@@ -355,13 +399,19 @@ impl FaultSpace {
     /// # Panics
     ///
     /// Panics unless `0.0 <= fraction <= 1.0`.
-    pub fn with_stuck_at(mut self, fraction: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "stuck-at fraction must be a probability"
-        );
+    pub fn with_stuck_at(self, fraction: f64) -> Self {
+        match self.try_with_stuck_at(fraction) {
+            Ok(space) => space,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`FaultSpace::with_stuck_at`]: rejects NaN
+    /// and out-of-`[0, 1]` fractions with a typed error.
+    pub fn try_with_stuck_at(mut self, fraction: f64) -> Result<Self, FaultSpecError> {
+        probability("stuck_at_fraction", fraction)?;
         self.stuck_at_fraction = fraction;
-        self
+        Ok(self)
     }
 
     /// Opts intermittent (recurring-burst) faults into the space: `fraction`
@@ -372,15 +422,27 @@ impl FaultSpace {
     /// # Panics
     ///
     /// Panics unless `fraction` and `recurrence` are probabilities.
-    pub fn with_intermittent(mut self, fraction: f64, recurrence: f64, burst_jobs: u32) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&fraction) && (0.0..=1.0).contains(&recurrence),
-            "intermittent fraction and recurrence must be probabilities"
-        );
+    pub fn with_intermittent(self, fraction: f64, recurrence: f64, burst_jobs: u32) -> Self {
+        match self.try_with_intermittent(fraction, recurrence, burst_jobs) {
+            Ok(space) => space,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`FaultSpace::with_intermittent`]: rejects
+    /// NaN and out-of-`[0, 1]` fractions with a typed error.
+    pub fn try_with_intermittent(
+        mut self,
+        fraction: f64,
+        recurrence: f64,
+        burst_jobs: u32,
+    ) -> Result<Self, FaultSpecError> {
+        probability("intermittent_fraction", fraction)?;
+        probability("recurrence", recurrence)?;
         self.intermittent_fraction = fraction;
         self.recurrence = recurrence;
         self.burst_jobs = burst_jobs;
-        self
+        Ok(self)
     }
 
     /// Draws a random fault from the space.
@@ -874,5 +936,60 @@ mod tests {
         for c in TargetClass::ALL {
             assert!(!c.name().is_empty());
         }
+    }
+
+    /// Every fraction builder rejects NaN and out-of-`[0, 1]` values with
+    /// a typed error naming the field — no clamping, no silent misuse.
+    #[test]
+    fn typed_rejection_of_bad_fractions() {
+        for bad in [f64::NAN, -0.25, 1.5, f64::INFINITY] {
+            let err = FaultSpace::cpu_only().try_with_stuck_at(bad).unwrap_err();
+            assert!(matches!(
+                err,
+                FaultSpecError::NotAProbability {
+                    field: "stuck_at_fraction",
+                    ..
+                }
+            ));
+            let err = FaultSpace::cpu_only()
+                .try_with_intermittent(bad, 0.5, 4)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                FaultSpecError::NotAProbability {
+                    field: "intermittent_fraction",
+                    ..
+                }
+            ));
+            let err = FaultSpace::cpu_only()
+                .try_with_intermittent(0.5, bad, 4)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                FaultSpecError::NotAProbability {
+                    field: "recurrence",
+                    ..
+                }
+            ));
+            let fault = IntermittentFault {
+                fault: TransientFault {
+                    target: FaultTarget::Pc,
+                    mask: 1,
+                },
+                recurrence: bad,
+                burst_jobs: 4,
+            };
+            assert!(fault.check().is_err(), "recurrence {bad} must be rejected");
+        }
+        assert!(FaultSpace::cpu_only().try_with_stuck_at(1.0).is_ok());
+        assert!(FaultSpace::cpu_only()
+            .try_with_intermittent(0.0, 1.0, 0)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck_at_fraction")]
+    fn panicking_builder_delegates_to_typed_check() {
+        FaultSpace::cpu_only().with_stuck_at(f64::NAN);
     }
 }

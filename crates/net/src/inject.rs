@@ -54,11 +54,54 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use nlft_sim::rng::RngStream;
 
 use crate::bus::{Bus, WireFault};
 use crate::frame::{NodeId, SlotId};
+
+/// Why a fault-plan ingredient was rejected at construction. Every rate
+/// and probability in a plan must be a real number in `[0, 1]`; NaN and
+/// out-of-range values are rejected here instead of silently clamped or
+/// left to misbehave deep inside an injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// A rate or probability was NaN or outside `[0, 1]`.
+    NotAProbability {
+        /// Which field was rejected (e.g. `"corruption"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A blackout listed no victim nodes.
+    BlackoutWithoutVictims,
+    /// A blackout with `down_cycles == 0` would be a no-op.
+    BlackoutZeroDown,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotAProbability { field, value } => {
+                write!(f, "{field} rate {value} outside [0, 1]")
+            }
+            PlanError::BlackoutWithoutVictims => write!(f, "blackout without victims"),
+            PlanError::BlackoutZeroDown => write!(f, "blackout must last at least 1 cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Checks one probability field, rejecting NaN and out-of-range values.
+fn probability(field: &'static str, value: f64) -> Result<(), PlanError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(PlanError::NotAProbability { field, value })
+    }
+}
 
 /// Per-cycle fault probabilities for one node. All rates are per
 /// node-cycle and must lie in `[0, 1]`.
@@ -111,7 +154,9 @@ impl NetFaultRates {
         *self == NetFaultRates::QUIET
     }
 
-    fn validate(&self) {
+    /// Validates every rate: each must be a real number in `[0, 1]`.
+    /// NaN is rejected like any out-of-range value.
+    pub fn check(&self) -> Result<(), PlanError> {
         for (name, r) in [
             ("corruption", self.corruption),
             ("omission", self.omission),
@@ -120,7 +165,14 @@ impl NetFaultRates {
             ("masquerade", self.masquerade),
             ("clock_glitch", self.clock_glitch),
         ] {
-            assert!((0.0..=1.0).contains(&r), "{name} rate {r} outside [0, 1]");
+            probability(name, r)?;
+        }
+        Ok(())
+    }
+
+    fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -142,6 +194,20 @@ pub struct BlackoutSpec {
     pub down_cycles: u32,
     /// Upper bound of the per-node additional power-up stagger.
     pub stagger: u32,
+}
+
+impl BlackoutSpec {
+    /// Validates the spec: it must reset at least one node for at least
+    /// one cycle.
+    pub fn check(&self) -> Result<(), PlanError> {
+        if self.nodes.is_empty() {
+            return Err(PlanError::BlackoutWithoutVictims);
+        }
+        if self.down_cycles == 0 {
+            return Err(PlanError::BlackoutZeroDown);
+        }
+        Ok(())
+    }
 }
 
 /// A full injection plan: per-node rates, outage geometry, dynamic-segment
@@ -186,47 +252,95 @@ impl NetFaultPlan {
     }
 
     /// Sets the rates for one node.
-    pub fn with_node(mut self, node: NodeId, rates: NetFaultRates) -> Self {
-        rates.validate();
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid rates; see [`NetFaultPlan::try_with_node`] for
+    /// the non-panicking form.
+    pub fn with_node(self, node: NodeId, rates: NetFaultRates) -> Self {
+        match self.try_with_node(node, rates) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sets the rates for one node, rejecting NaN or out-of-`[0, 1]`
+    /// rates with a typed error.
+    pub fn try_with_node(mut self, node: NodeId, rates: NetFaultRates) -> Result<Self, PlanError> {
+        rates.check()?;
         self.node_rates.insert(node, rates);
-        self
+        Ok(self)
     }
 
     /// Sets the same rates for several nodes.
-    pub fn with_nodes(mut self, nodes: &[NodeId], rates: NetFaultRates) -> Self {
-        rates.validate();
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid rates; see [`NetFaultPlan::try_with_nodes`] for
+    /// the non-panicking form.
+    pub fn with_nodes(self, nodes: &[NodeId], rates: NetFaultRates) -> Self {
+        match self.try_with_nodes(nodes, rates) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sets the same rates for several nodes, rejecting NaN or
+    /// out-of-`[0, 1]` rates with a typed error.
+    pub fn try_with_nodes(
+        mut self,
+        nodes: &[NodeId],
+        rates: NetFaultRates,
+    ) -> Result<Self, PlanError> {
+        rates.check()?;
         for &n in nodes {
             self.node_rates.insert(n, rates);
         }
-        self
+        Ok(self)
     }
 
     /// Sets dynamic-segment duplication/reorder rates.
     ///
     /// # Panics
     ///
-    /// Panics if either rate is outside `[0, 1]`.
-    pub fn with_dynamic(mut self, duplicate: f64, reorder: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&duplicate),
-            "duplicate rate {duplicate}"
-        );
-        assert!((0.0..=1.0).contains(&reorder), "reorder rate {reorder}");
+    /// Panics if either rate is NaN or outside `[0, 1]`; see
+    /// [`NetFaultPlan::try_with_dynamic`] for the non-panicking form.
+    pub fn with_dynamic(self, duplicate: f64, reorder: f64) -> Self {
+        match self.try_with_dynamic(duplicate, reorder) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sets dynamic-segment duplication/reorder rates, rejecting NaN or
+    /// out-of-`[0, 1]` rates with a typed error.
+    pub fn try_with_dynamic(mut self, duplicate: f64, reorder: f64) -> Result<Self, PlanError> {
+        probability("duplicate", duplicate)?;
+        probability("reorder", reorder)?;
         self.duplicate_dynamic = duplicate;
         self.reorder_dynamic = reorder;
-        self
+        Ok(self)
     }
 
     /// Schedules a correlated blackout.
     ///
     /// # Panics
     ///
-    /// Panics if the spec lists no nodes or has `down_cycles == 0`.
-    pub fn with_blackout(mut self, spec: BlackoutSpec) -> Self {
-        assert!(!spec.nodes.is_empty(), "blackout without victims");
-        assert!(spec.down_cycles > 0, "blackout must last at least 1 cycle");
+    /// Panics if the spec lists no nodes or has `down_cycles == 0`; see
+    /// [`NetFaultPlan::try_with_blackout`] for the non-panicking form.
+    pub fn with_blackout(self, spec: BlackoutSpec) -> Self {
+        match self.try_with_blackout(spec) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Schedules a correlated blackout, rejecting an empty victim list or
+    /// a zero-cycle outage with a typed error.
+    pub fn try_with_blackout(mut self, spec: BlackoutSpec) -> Result<Self, PlanError> {
+        spec.check()?;
         self.blackouts.push(spec);
-        self
+        Ok(self)
     }
 
     /// Restricts the plan to cycles `[from, until)`.
@@ -800,5 +914,101 @@ mod tests {
             down_cycles: 0,
             stagger: 0,
         });
+    }
+
+    /// Every rate field rejects NaN, negative and > 1 values with a typed
+    /// error naming the offending field — no clamping, no silent misuse.
+    #[test]
+    fn typed_rejection_per_rate_field() {
+        type RateCtor = fn(f64) -> NetFaultRates;
+        let fields: [(&str, RateCtor); 6] = [
+            ("corruption", |v| NetFaultRates {
+                corruption: v,
+                ..NetFaultRates::QUIET
+            }),
+            ("omission", |v| NetFaultRates {
+                omission: v,
+                ..NetFaultRates::QUIET
+            }),
+            ("crash", |v| NetFaultRates {
+                crash: v,
+                ..NetFaultRates::QUIET
+            }),
+            ("babble", |v| NetFaultRates {
+                babble: v,
+                ..NetFaultRates::QUIET
+            }),
+            ("masquerade", |v| NetFaultRates {
+                masquerade: v,
+                ..NetFaultRates::QUIET
+            }),
+            ("clock_glitch", |v| NetFaultRates {
+                clock_glitch: v,
+                ..NetFaultRates::QUIET
+            }),
+        ];
+        for (name, make) in fields {
+            for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+                let err = make(bad).check().unwrap_err();
+                match err {
+                    PlanError::NotAProbability { field, value } => {
+                        assert_eq!(field, name);
+                        assert!(value.is_nan() == bad.is_nan() && (bad.is_nan() || value == bad));
+                    }
+                    other => panic!("wrong error for {name}={bad}: {other:?}"),
+                }
+                let plan = NetFaultPlan::quiet().try_with_node(NodeId(0), make(bad));
+                assert!(plan.is_err(), "{name}={bad} must be rejected by the plan");
+            }
+            assert!(make(0.0).check().is_ok());
+            assert!(make(1.0).check().is_ok());
+        }
+    }
+
+    #[test]
+    fn typed_rejection_of_dynamic_rates() {
+        for bad in [f64::NAN, -0.2, 1.01] {
+            let err = NetFaultPlan::quiet()
+                .try_with_dynamic(bad, 0.0)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                PlanError::NotAProbability {
+                    field: "duplicate",
+                    ..
+                }
+            ));
+            let err = NetFaultPlan::quiet()
+                .try_with_dynamic(0.0, bad)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                PlanError::NotAProbability {
+                    field: "reorder",
+                    ..
+                }
+            ));
+        }
+        assert!(NetFaultPlan::quiet().try_with_dynamic(1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn typed_rejection_of_bad_blackouts() {
+        let empty = BlackoutSpec {
+            at_cycle: 1,
+            nodes: Vec::new(),
+            down_cycles: 2,
+            stagger: 0,
+        };
+        assert_eq!(empty.check(), Err(PlanError::BlackoutWithoutVictims));
+        assert!(NetFaultPlan::quiet().try_with_blackout(empty).is_err());
+        let zero = BlackoutSpec {
+            at_cycle: 1,
+            nodes: vec![NodeId(2)],
+            down_cycles: 0,
+            stagger: 0,
+        };
+        assert_eq!(zero.check(), Err(PlanError::BlackoutZeroDown));
+        assert!(NetFaultPlan::quiet().try_with_blackout(zero).is_err());
     }
 }

@@ -17,7 +17,10 @@
 //!   CTMC adapters, plus numeric MTTF integration;
 //! * [`rbd`] — series / parallel / k-of-n reliability block diagrams;
 //! * [`faulttree`] — AND/OR/k-of-n fault trees with exact BDD evaluation
-//!   (shared events handled correctly) and hierarchical composition.
+//!   (shared events handled correctly) and hierarchical composition;
+//! * [`scenario`] — the declarative fault-campaign DSL: one plain-text
+//!   file per scenario (topology, fault plan, contracts, acceptance
+//!   clause), parsed into a typed [`scenario::ScenarioSpec`].
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ pub mod lang;
 pub mod linalg;
 pub mod model;
 pub mod rbd;
+pub mod scenario;
 
 pub use ctmc::{Ctmc, CtmcBuilder, CtmcError, StateId};
 pub use dtmc::{AbsorbingDtmc, DtmcError};

@@ -1,0 +1,98 @@
+//! The zoo-wide format→parse property: every scenario file under
+//! `scenarios/` parses, and re-parsing its canonical rendering yields
+//! an identical AST. Also pins the parser's diagnostic quality on a
+//! few representative misspellings.
+
+use std::path::PathBuf;
+
+use nlft_reliability::scenario::{format_scenario, parse_scenario};
+
+fn zoo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("scenarios")
+}
+
+fn zoo_sources() -> Vec<(String, String)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(zoo_dir())
+        .expect("scenarios/ exists at the workspace root")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(&p).expect("zoo file readable");
+            (name, source)
+        })
+        .collect()
+}
+
+#[test]
+fn zoo_is_big_enough() {
+    assert!(
+        zoo_sources().len() >= 15,
+        "the scenario zoo must hold at least 15 scenarios"
+    );
+}
+
+#[test]
+fn every_zoo_scenario_parses() {
+    for (file, source) in zoo_sources() {
+        if let Err(e) = parse_scenario(&source) {
+            panic!("{file}: {e}");
+        }
+    }
+}
+
+#[test]
+fn format_parse_round_trips_every_zoo_scenario() {
+    for (file, source) in zoo_sources() {
+        let spec = parse_scenario(&source).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let formatted = format_scenario(&spec);
+        let reparsed = parse_scenario(&formatted)
+            .unwrap_or_else(|e| panic!("{file}: canonical form failed to re-parse: {e}"));
+        assert_eq!(spec, reparsed, "{file}: format → parse must round-trip");
+        // The canonical form is a fixed point: formatting it again is a
+        // no-op, so the formatter itself is deterministic.
+        assert_eq!(
+            formatted,
+            format_scenario(&reparsed),
+            "{file}: canonical form must be a fixed point"
+        );
+    }
+}
+
+#[test]
+fn every_zoo_scenario_is_pinned() {
+    for (file, source) in zoo_sources() {
+        let spec = parse_scenario(&source).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert!(
+            spec.accept.pin.is_some(),
+            "{file}: zoo scenarios must carry a golden `pin`"
+        );
+    }
+}
+
+#[test]
+fn misspelled_zoo_keyword_gets_a_hint() {
+    // Take a real zoo file and corrupt one keyword; the error must carry
+    // the line and a did-you-mean suggestion.
+    let (_, source) = zoo_sources()
+        .into_iter()
+        .find(|(f, _)| f == "net-storm-nominal.scn")
+        .expect("net-storm-nominal.scn in the zoo");
+    let corrupted = source.replace("intensity", "intensty");
+    let e = parse_scenario(&corrupted).unwrap_err();
+    assert!(
+        e.message.contains("did you mean `intensity`?"),
+        "expected a hint, got: {e}"
+    );
+    assert!(
+        e.line > 0 && e.col > 0,
+        "diagnostic carries a position: {e}"
+    );
+}

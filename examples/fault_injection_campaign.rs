@@ -1,17 +1,21 @@
 //! Fault-injection campaign: estimating the paper's parameters.
 //!
-//! Injects thousands of single-bit transients into the CPU of a node
-//! running the brake workloads — once under a fail-silent policy, once
-//! under light-weight NLFT — and reports the Table-1 detection matrix and
-//! the parameter estimates (`C_D`, `P_T`, `P_OM`, `P_FS`) with Wilson
-//! confidence intervals.
+//! Loads the two Table-1 reference scenarios from the zoo
+//! (`scenarios/node-failsilent-reference.scn` and
+//! `scenarios/node-nlft-reference.scn`), compiles each through the
+//! scenario DSL onto the node-level campaign runner, and reports the
+//! Table-1 detection matrix and the parameter estimates (`C_D`, `P_T`,
+//! `P_OM`, `P_FS`) with Wilson confidence intervals. The trial count on
+//! the command line overrides the scenario's declared count, so the same
+//! declarative files drive both the quick smoke run and the full
+//! estimation campaign.
 //!
 //! ```text
 //! cargo run --release --example fault_injection_campaign [trials]
 //! ```
 
-use nlft::core::campaign::{run_campaign, CampaignConfig};
-use nlft::core::policy::NodePolicy;
+use nlft::bbw::{compile, CompiledScenario};
+use nlft::reliability::scenario::parse_scenario;
 use nlft::sim::stats::Confidence;
 
 fn main() {
@@ -19,15 +23,29 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    for policy in [NodePolicy::FailSilent, NodePolicy::LightweightNlft] {
-        let mut config = CampaignConfig::new(trials, 0xD5A_2005, policy);
-        config.threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let result = run_campaign(&config);
+    for file in ["node-failsilent-reference", "node-nlft-reference"] {
+        let path = format!("{}/scenarios/{file}.scn", env!("CARGO_MANIFEST_DIR"));
+        let source =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("could not read {path}: {e}"));
+        let spec = parse_scenario(&source).unwrap_or_else(|e| panic!("{file}.scn: {e}"));
+        let mut config = match compile(&spec, threads) {
+            Ok(CompiledScenario::Node(config)) => config,
+            Ok(_) => panic!("{file}.scn: expected a `family node` scenario"),
+            Err(e) => panic!("{e}"),
+        };
+        // The zoo pins the scenario at its declared trial count; here we
+        // scale the same experiment up (or down) for estimation quality.
+        config.trials = trials;
+        let result = nlft::core::campaign::run_campaign(&config);
 
-        println!("\n================ policy: {policy} ================");
+        println!(
+            "\n================ scenario: {} (policy {}) ================",
+            spec.name, config.policy
+        );
         println!("{result}\n");
         println!("detection matrix (fault class x mechanism):");
         print!("{}", result.matrix.render_table());

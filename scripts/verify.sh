@@ -30,6 +30,12 @@ for ex in examples/*.rs; do
     cargo run --release --offline --example "$name" -- 50 >/dev/null
 done
 
+# Scenario zoo: every declarative campaign under scenarios/ must run
+# bit-identically at 1, 2 and 5 threads, match its golden pin, and
+# satisfy its acceptance clause. Any drift fails hard.
+echo "== scenario zoo: golden pins at 1/2/5 threads =="
+cargo run --release --offline -p nlft-bench --bin scenario_run -- verify
+
 # Bench trajectory: re-measure the groups in the committed baseline and
 # compare. Timing deltas are advisory only (hardware varies between
 # machines), so slowdowns print warnings; golden-digest drift — a
@@ -37,7 +43,7 @@ done
 echo "== bench: substrates + fig12 + campaigns vs BENCH_BASELINE.json =="
 cargo bench --offline -p nlft-bench --bench substrates -- --samples 10 >/dev/null
 cargo bench --offline -p nlft-bench --bench fig12_system_reliability -- --samples 10 >/dev/null
-for group in net_storm startup diagnosis value_domain weakly_hard multicore; do
+for group in net_storm startup diagnosis value_domain weakly_hard multicore scenario; do
     cargo bench --offline -p nlft-bench --bench "$group" -- --samples 10 >/dev/null
 done
 cargo run --release --offline -p nlft-bench --bin bench_compare -- compare
