@@ -199,36 +199,19 @@ pub fn run_blackout_campaign(config: &BlackoutCampaignConfig) -> BlackoutCampaig
         (1..=pool_size).contains(&config.min_reset),
         "min_reset must be in 1..={pool_size}"
     );
-    let threads = config.threads.max(1);
-    let mut result = if threads == 1 {
-        run_blackout_shard(config, 0, config.trials)
-    } else {
-        let chunk = config.trials.div_ceil(threads as u64);
-        let mut shards: Vec<BlackoutCampaignResult> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads as u64)
-                .map(|i| {
-                    let start = i * chunk;
-                    let end = ((i + 1) * chunk).min(config.trials);
-                    scope.spawn(move || {
-                        if start < end {
-                            run_blackout_shard(config, start, end)
-                        } else {
-                            BlackoutCampaignResult::default()
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("blackout shard panicked"));
-            }
-        });
-        let mut total = BlackoutCampaignResult::default();
-        for shard in shards {
-            total.merge(shard);
-        }
-        total
-    };
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-blackout",
+        "blackout-trial",
+        config.trials,
+        BlackoutCampaignResult::default,
+        move |trial, _ctx, result: &mut BlackoutCampaignResult| {
+            result.merge(run_blackout_shard(&c, trial, trial + 1));
+        },
+        |into, from| into.merge(from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    let mut result = nlft_engine::run_trials(campaign, &engine).acc;
     result.time_to_cold_start.sort_unstable();
     result.time_to_full_membership.sort_unstable();
     result.unavailability_cycles.sort_unstable();

@@ -255,36 +255,19 @@ pub fn run_net_storm_campaign(config: &NetStormCampaignConfig) -> NetStormCampai
         (0.0..=1.0).contains(&config.intensity),
         "intensity must be in [0, 1]"
     );
-    let threads = config.threads.max(1);
-    let mut result = if threads == 1 {
-        run_storm_shard(config, 0, config.trials)
-    } else {
-        let chunk = config.trials.div_ceil(threads as u64);
-        let mut shards: Vec<NetStormCampaignResult> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads as u64)
-                .map(|i| {
-                    let start = i * chunk;
-                    let end = ((i + 1) * chunk).min(config.trials);
-                    scope.spawn(move || {
-                        if start < end {
-                            run_storm_shard(config, start, end)
-                        } else {
-                            NetStormCampaignResult::default()
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("storm shard panicked"));
-            }
-        });
-        let mut total = NetStormCampaignResult::default();
-        for shard in shards {
-            total.merge(shard);
-        }
-        total
-    };
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-net-storm",
+        "net-storm-trial",
+        config.trials,
+        NetStormCampaignResult::default,
+        move |trial, _ctx, result: &mut NetStormCampaignResult| {
+            result.merge(run_storm_shard(&c, trial, trial + 1));
+        },
+        |into, from| into.merge(from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    let mut result = nlft_engine::run_trials(campaign, &engine).acc;
     result.reintegration_latencies.sort_unstable();
     result
 }

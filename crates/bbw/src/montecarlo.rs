@@ -8,6 +8,10 @@
 //! the joint system — agreement between the two validates both the chain
 //! construction and the independence assumption.
 
+use nlft_engine::checkpoint::{self, Checkpoint, TokenReader};
+use nlft_engine::{
+    run_trials_with, CampaignOptions, CampaignRun, EngineConfig, TrialCampaign, TrialCtx,
+};
 use nlft_sim::event::EventQueue;
 use nlft_sim::rng::RngStream;
 use nlft_sim::stats::{OnlineStats, SurvivalCurve};
@@ -83,6 +87,80 @@ impl MonteCarloResult {
     }
 }
 
+impl Checkpoint for MonteCarloResult {
+    fn encode(&self) -> String {
+        let mut out = String::from("mc");
+        out.push(' ');
+        out.push_str(&self.curve.encode());
+        checkpoint::push_u64(&mut out, self.failures);
+        out.push(' ');
+        out.push_str(&self.failure_times.encode());
+        out
+    }
+
+    fn decode(reader: &mut TokenReader<'_>) -> Result<Self, String> {
+        reader.expect_tag("mc")?;
+        let curve = SurvivalCurve::decode(reader)?;
+        let failures = reader.next_u64()?;
+        let failure_times = OnlineStats::decode(reader)?;
+        Ok(MonteCarloResult {
+            curve,
+            failures,
+            failure_times,
+        })
+    }
+}
+
+/// The Monte-Carlo experiment as an engine campaign: one replication per
+/// trial, each forking its labelled stream from `(seed, "replication",
+/// trial)` exactly as the original sharded runner did.
+#[derive(Debug, Clone)]
+struct McCampaign {
+    config: MonteCarloConfig,
+}
+
+impl TrialCampaign for McCampaign {
+    type Acc = MonteCarloResult;
+
+    fn trials(&self) -> u64 {
+        self.config.replications
+    }
+
+    fn label(&self) -> String {
+        "bbw-montecarlo".to_string()
+    }
+
+    fn rng_label(&self) -> String {
+        "replication".to_string()
+    }
+
+    fn empty(&self) -> MonteCarloResult {
+        MonteCarloResult {
+            curve: SurvivalCurve::new(self.config.grid_hours.clone()),
+            failures: 0,
+            failure_times: OnlineStats::new(),
+        }
+    }
+
+    fn run_trial(&self, trial: u64, _ctx: &TrialCtx<'_>, acc: &mut MonteCarloResult) {
+        let mut rng = RngStream::new(self.config.seed).fork_indexed("replication", trial);
+        match simulate_once(&self.config, &mut rng) {
+            Some(t) => {
+                acc.curve.record_failure(t);
+                acc.failures += 1;
+                acc.failure_times.record(t);
+            }
+            None => acc.curve.record_survivor(),
+        }
+    }
+
+    fn merge(&self, into: &mut MonteCarloResult, from: MonteCarloResult) {
+        into.curve.merge(&from.curve);
+        into.failures += from.failures;
+        into.failure_times.merge(&from.failure_times);
+    }
+}
+
 /// Estimates the system MTTF by simulating replications to failure
 /// (horizon capped at `max_years` to bound pathological runs; replications
 /// still alive then are censored and reported).
@@ -123,61 +201,35 @@ enum Event {
 ///
 /// Panics on invalid configuration (no replications, bad grid, bad params).
 pub fn run_monte_carlo(config: &MonteCarloConfig) -> MonteCarloResult {
+    let engine = EngineConfig::with_workers(config.threads.max(1));
+    run_monte_carlo_with(config, &engine, CampaignOptions::default()).acc
+}
+
+/// Runs the Monte-Carlo experiment on the campaign engine with explicit
+/// engine configuration and resume / checkpoint options.
+///
+/// Each replication forks its own stream from `(seed, index)`, and the
+/// engine folds block partials in block order regardless of worker
+/// count, so neither the thread count nor a checkpoint/resume split can
+/// change any drawn value or any merged bit. At one worker (or below)
+/// this runs on the in-thread sequential reference executor.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (no replications, bad grid, bad
+/// params).
+pub fn run_monte_carlo_with(
+    config: &MonteCarloConfig,
+    engine: &EngineConfig,
+    opts: CampaignOptions<'_, MonteCarloResult>,
+) -> CampaignRun<MonteCarloResult> {
     config.params.validate().expect("valid parameters");
     assert!(config.replications > 0, "need replications");
     assert!(config.horizon_hours > 0.0, "need a positive horizon");
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_range(config, 0, config.replications);
-    }
-    let chunk = config.replications.div_ceil(threads as u64);
-    // Each replication forks its own stream from (seed, index), so the
-    // split into shards — and hence the thread count — cannot change any
-    // drawn value; it only changes which worker evaluates it.
-    let mut parts: Vec<MonteCarloResult> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.replications);
-                scope.spawn(move || run_range(config, start, end))
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("monte-carlo shard panicked"));
-        }
-    });
-    let mut iter = parts.into_iter();
-    let mut total = iter.next().expect("at least one shard");
-    for p in iter {
-        total.curve.merge(&p.curve);
-        total.failures += p.failures;
-        total.failure_times.merge(&p.failure_times);
-    }
-    total
-}
-
-fn run_range(config: &MonteCarloConfig, start: u64, end: u64) -> MonteCarloResult {
-    let root = RngStream::new(config.seed);
-    let mut curve = SurvivalCurve::new(config.grid_hours.clone());
-    let mut failures = 0u64;
-    let mut failure_times = OnlineStats::new();
-    for rep in start..end {
-        let mut rng = root.fork_indexed("replication", rep);
-        match simulate_once(config, &mut rng) {
-            Some(t) => {
-                curve.record_failure(t);
-                failures += 1;
-                failure_times.record(t);
-            }
-            None => curve.record_survivor(),
-        }
-    }
-    MonteCarloResult {
-        curve,
-        failures,
-        failure_times,
-    }
+    let campaign = McCampaign {
+        config: config.clone(),
+    };
+    run_trials_with(campaign, engine, opts)
 }
 
 /// Simulates one replication; returns the failure time in hours, or `None`

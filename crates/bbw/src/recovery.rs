@@ -176,35 +176,19 @@ pub fn run_recovery_cluster_campaign(
         config.cycles >= 30,
         "the escalation ladder needs >= 30 cycles"
     );
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_recovery_shard(config, 0, config.trials);
-    }
-    let chunk = config.trials.div_ceil(threads as u64);
-    let mut shards: Vec<RecoveryClusterOutcomes> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    if start < end {
-                        run_recovery_shard(config, start, end)
-                    } else {
-                        RecoveryClusterOutcomes::default()
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            shards.push(h.join().expect("recovery shard panicked"));
-        }
-    });
-    let mut total = RecoveryClusterOutcomes::default();
-    for s in &shards {
-        total.merge(s);
-    }
-    total
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-recovery-cluster",
+        "recovery-cluster-trial",
+        config.trials,
+        RecoveryClusterOutcomes::default,
+        move |trial, _ctx, result: &mut RecoveryClusterOutcomes| {
+            result.merge(&run_recovery_shard(&c, trial, trial + 1));
+        },
+        |into, from| into.merge(&from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    nlft_engine::run_trials(campaign, &engine).acc
 }
 
 fn run_recovery_shard(

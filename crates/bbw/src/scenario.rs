@@ -14,10 +14,14 @@
 //! bit-identical [`ScenarioOutcome`] — including its CRC-32 `digest`,
 //! which the zoo's `accept … pin` clauses golden-pin in CI.
 
+use std::time::Duration;
+
 use nlft_core::campaign::{run_campaign, CampaignConfig};
 use nlft_core::diagnosis::AlphaCountConfig;
 use nlft_core::multicore_campaign::{run_multicore_campaign, MulticoreCampaignConfig};
 use nlft_core::policy::NodePolicy;
+use nlft_engine::checkpoint::{self, Checkpoint, TokenReader};
+use nlft_engine::{CampaignOptions, EngineConfig, ResumePoint};
 use nlft_kernel::contract::MkContract;
 use nlft_kernel::escalation::EscalationPolicy;
 use nlft_kernel::resources::ProtocolKind;
@@ -671,18 +675,90 @@ pub fn run_compiled(name: &str, compiled: &CompiledScenario) -> ScenarioOutcome 
                 ],
             )
         }
-        CompiledScenario::Cluster(config) => run_cluster_scenario(name, config, 1),
+        CompiledScenario::Cluster(config) => {
+            run_cluster_scenario(name, config, 1, &ScenarioEngineOptions::default())
+                .expect("default engine options cannot fail")
+        }
     }
 }
 
 /// Parses nothing, compiles nothing: runs an already-parsed scenario
 /// end to end at the given thread count.
 pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<ScenarioOutcome, CompileError> {
+    run_scenario_with(spec, threads, &ScenarioEngineOptions::default())
+}
+
+/// Engine options for the cluster-family scenario path.
+///
+/// Only the free-form `cluster` family honours these (the other
+/// families run on the engine through their own campaign runners);
+/// passing non-default options with any other family is a
+/// [`CompileError`].
+#[derive(Default)]
+pub struct ScenarioEngineOptions<'a> {
+    /// Run the work-stealing executor even at one worker (the default
+    /// dispatches to the in-thread sequential reference below two
+    /// workers). The outcome is bit-identical either way — this exists
+    /// so differential gates can pit the two paths against each other.
+    pub force_engine: bool,
+    /// Per-trial wall-clock budget enforced by the engine watchdog.
+    pub trial_budget: Option<Duration>,
+    /// Resume from a checkpoint string previously handed to
+    /// `on_checkpoint`.
+    pub resume: Option<String>,
+    /// Checkpoint cadence in trials (0 = never).
+    pub checkpoint_every: u64,
+    /// Called with `(trials_done, encoded_checkpoint)` at each cadence.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'a dyn Fn(u64, String)>,
+}
+
+impl ScenarioEngineOptions<'_> {
+    fn is_default(&self) -> bool {
+        !self.force_engine
+            && self.trial_budget.is_none()
+            && self.resume.is_none()
+            && self.checkpoint_every == 0
+            && self.on_checkpoint.is_none()
+    }
+}
+
+impl std::fmt::Debug for ScenarioEngineOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioEngineOptions")
+            .field("force_engine", &self.force_engine)
+            .field("trial_budget", &self.trial_budget)
+            .field("resume", &self.resume.is_some())
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .finish()
+    }
+}
+
+/// [`run_scenario`] with explicit engine options for the cluster
+/// family.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    threads: usize,
+    opts: &ScenarioEngineOptions<'_>,
+) -> Result<ScenarioOutcome, CompileError> {
     let compiled = compile(spec, threads)?;
-    Ok(match &compiled {
-        CompiledScenario::Cluster(config) => run_cluster_scenario(&spec.name, config, threads),
-        other => run_compiled(&spec.name, other),
-    })
+    match &compiled {
+        CompiledScenario::Cluster(config) => {
+            run_cluster_scenario(&spec.name, config, threads, opts)
+        }
+        other => {
+            if !opts.is_default() {
+                return Err(CompileError {
+                    scenario: spec.name.clone(),
+                    message: "engine options (--engine / --trial-budget-ms / --resume) \
+                              require a cluster-family scenario"
+                        .to_string(),
+                });
+            }
+            Ok(run_compiled(&spec.name, other))
+        }
+    }
 }
 
 /// Per-trial tallies of the free-form cluster engine.
@@ -924,46 +1000,65 @@ fn run_cluster_trial(config: &ClusterScenarioConfig, trial: u64) -> (ClusterRepo
     (report, injected)
 }
 
-/// Runs a cluster scenario across `threads` workers. Every trial forks
-/// its own labelled stream off the scenario seed, so the outcome —
-/// digest included — is identical for any thread count.
+/// Runs a cluster scenario on the campaign engine. Every trial forks
+/// its own labelled stream off the scenario seed and block partials are
+/// folded in block order, so the outcome — digest included — is
+/// identical for any thread count, with or without `force_engine`.
 fn run_cluster_scenario(
     name: &str,
     config: &ClusterScenarioConfig,
     threads: usize,
-) -> ScenarioOutcome {
-    let threads = threads.max(1);
-    let tallies = if threads == 1 {
-        run_cluster_shard(config, 0, config.trials)
-    } else {
-        let chunk = config.trials.div_ceil(threads as u64);
-        let mut total = ClusterTallies::default();
-        let mut shards = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads as u64)
-                .map(|i| {
-                    let start = i * chunk;
-                    let end = ((i + 1) * chunk).min(config.trials);
-                    scope.spawn(move || {
-                        if start < end {
-                            run_cluster_shard(config, start, end)
-                        } else {
-                            ClusterTallies::default()
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("scenario shard panicked"));
-            }
-        });
-        for shard in &shards {
-            total.merge(shard);
-        }
-        total
+    opts: &ScenarioEngineOptions<'_>,
+) -> Result<ScenarioOutcome, CompileError> {
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-cluster-scenario",
+        "scenario-trial",
+        config.trials,
+        ClusterTallies::default,
+        move |trial, _ctx, tallies: &mut ClusterTallies| {
+            let (report, injected) = run_cluster_trial(&c, trial);
+            tallies.absorb(&report, injected);
+        },
+        |into: &mut ClusterTallies, from| into.merge(&from),
+    );
+    let engine = EngineConfig {
+        workers: threads.max(1),
+        trial_budget: opts.trial_budget,
+        checkpoint_every: opts.checkpoint_every,
+        ..EngineConfig::default()
     };
+    let resume = opts
+        .resume
+        .as_deref()
+        .map(checkpoint::decode::<ResumePoint<ClusterTallies>>)
+        .transpose()
+        .map_err(|e| CompileError {
+            scenario: name.to_string(),
+            message: format!("bad resume checkpoint: {e}"),
+        })?;
+    #[allow(clippy::type_complexity)]
+    let encode_cb: Option<Box<dyn Fn(u64, &ClusterTallies)>> = opts.on_checkpoint.map(|f| {
+        Box::new(move |done: u64, acc: &ClusterTallies| {
+            let point = ResumePoint {
+                trials_done: done,
+                acc: *acc,
+            };
+            f(done, checkpoint::encode(&point));
+        }) as _
+    });
+    let options = CampaignOptions {
+        resume,
+        on_checkpoint: encode_cb.as_deref(),
+    };
+    let run = if opts.force_engine {
+        nlft_engine::run_campaign_with(campaign, &engine, options)
+    } else {
+        nlft_engine::run_trials_with(campaign, &engine, options)
+    };
+    let tallies = run.acc;
     let t = &tallies;
-    ScenarioOutcome::new(
+    Ok(ScenarioOutcome::new(
         name,
         t.trials,
         vec![
@@ -999,16 +1094,93 @@ fn run_cluster_scenario(
             ("reintegrations".into(), t.reintegrations),
             ("reintegration_cycles".into(), t.reintegration_cycles),
         ],
-    )
+    ))
 }
 
-fn run_cluster_shard(config: &ClusterScenarioConfig, start: u64, end: u64) -> ClusterTallies {
-    let mut tallies = ClusterTallies::default();
-    for trial in start..end {
-        let (report, injected) = run_cluster_trial(config, trial);
-        tallies.absorb(&report, injected);
+impl ClusterTallies {
+    fn to_array(self) -> [u64; 26] {
+        [
+            self.trials,
+            self.undetected,
+            self.split_membership,
+            self.service_lost,
+            self.degraded_episode,
+            self.omission_only,
+            self.unaffected,
+            self.omissions,
+            self.degraded_cycles,
+            self.injected,
+            self.crc_rejects,
+            self.guardian_blocks,
+            self.masquerade_rejects,
+            self.corruptions_applied,
+            self.masquerades_applied,
+            self.restarts,
+            self.retired_nodes,
+            self.escalations,
+            self.contract_misses,
+            self.contract_violations,
+            self.held_setpoint_cycles,
+            self.sensor_demotions,
+            self.actuator_trips,
+            self.undetected_value_failures,
+            self.core_deaths,
+            self.reintegrations,
+        ]
     }
-    tallies
+
+    fn from_array(a: [u64; 26], reintegration_cycles: u64) -> Self {
+        ClusterTallies {
+            trials: a[0],
+            undetected: a[1],
+            split_membership: a[2],
+            service_lost: a[3],
+            degraded_episode: a[4],
+            omission_only: a[5],
+            unaffected: a[6],
+            omissions: a[7],
+            degraded_cycles: a[8],
+            injected: a[9],
+            crc_rejects: a[10],
+            guardian_blocks: a[11],
+            masquerade_rejects: a[12],
+            corruptions_applied: a[13],
+            masquerades_applied: a[14],
+            restarts: a[15],
+            retired_nodes: a[16],
+            escalations: a[17],
+            contract_misses: a[18],
+            contract_violations: a[19],
+            held_setpoint_cycles: a[20],
+            sensor_demotions: a[21],
+            actuator_trips: a[22],
+            undetected_value_failures: a[23],
+            core_deaths: a[24],
+            reintegrations: a[25],
+            reintegration_cycles,
+        }
+    }
+}
+
+impl Checkpoint for ClusterTallies {
+    fn encode(&self) -> String {
+        let mut out = String::from("cluster-tallies");
+        for x in self.to_array() {
+            checkpoint::push_u64(&mut out, x);
+        }
+        checkpoint::push_u64(&mut out, self.reintegration_cycles);
+        out
+    }
+
+    fn decode(reader: &mut TokenReader<'_>) -> Result<Self, String> {
+        reader.expect_tag("cluster-tallies")?;
+        let mut a = [0u64; 26];
+        for slot in &mut a {
+            *slot = reader.next_u64()?;
+        }
+        let reintegration_cycles = reader.next_u64()?;
+        Ok(ClusterTallies::from_array(a, reintegration_cycles))
+    }
 }
 
 #[cfg(test)]

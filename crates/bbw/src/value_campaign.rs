@@ -264,36 +264,19 @@ pub fn run_value_domain_campaign(config: &ValueDomainCampaignConfig) -> ValueDom
         "net_intensity must be in [0, 1]"
     );
     let clean = clean_reference(config.cycles);
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_value_shard(config, &clean, 0, config.trials);
-    }
-    let chunk = config.trials.div_ceil(threads as u64);
-    let mut shards: Vec<ValueDomainCampaignResult> = Vec::new();
-    std::thread::scope(|scope| {
-        let clean = &clean;
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    if start < end {
-                        run_value_shard(config, clean, start, end)
-                    } else {
-                        ValueDomainCampaignResult::default()
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            shards.push(h.join().expect("value shard panicked"));
-        }
-    });
-    let mut total = ValueDomainCampaignResult::default();
-    for shard in shards {
-        total.merge(shard);
-    }
-    total
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-value-domain",
+        "value-trial",
+        config.trials,
+        ValueDomainCampaignResult::default,
+        move |trial, _ctx, result: &mut ValueDomainCampaignResult| {
+            result.merge(run_value_shard(&c, &clean, trial, trial + 1));
+        },
+        |into, from| into.merge(from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    nlft_engine::run_trials(campaign, &engine).acc
 }
 
 fn run_value_shard(

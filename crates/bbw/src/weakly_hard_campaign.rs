@@ -254,35 +254,19 @@ pub fn run_miss_pattern_campaign(config: &MissPatternCampaignConfig) -> MissPatt
     );
     let (lo, hi) = config.fault_interval_us;
     assert!(lo > 0 && lo < hi, "fault-interval range must be non-empty");
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_shard(config, 0, config.trials);
-    }
-    let chunk = config.trials.div_ceil(threads as u64);
-    let mut shards: Vec<MissPatternCampaignResult> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    if start < end {
-                        run_shard(config, start, end)
-                    } else {
-                        MissPatternCampaignResult::default()
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            shards.push(h.join().expect("miss-pattern shard panicked"));
-        }
-    });
-    let mut total = MissPatternCampaignResult::default();
-    for shard in shards {
-        total.merge(shard);
-    }
-    total
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "bbw-miss-pattern",
+        "miss-pattern-trial",
+        config.trials,
+        MissPatternCampaignResult::default,
+        move |trial, _ctx, result: &mut MissPatternCampaignResult| {
+            result.merge(run_shard(&c, trial, trial + 1));
+        },
+        |into, from| into.merge(from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    nlft_engine::run_trials(campaign, &engine).acc
 }
 
 fn run_shard(

@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run --release --bin scenario_run -- list [filter]
 //! cargo run --release --bin scenario_run -- run [filter] [--threads N]
+//!     [--engine] [--trial-budget-ms N]
+//!     [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]
 //! cargo run --release --bin scenario_run -- verify [filter]
 //! cargo run --release --bin scenario_run -- pin [filter]
 //! ```
@@ -12,17 +14,27 @@
 //!   substring.
 //! * `run` — run matching scenarios, print their verdict/metric
 //!   counters and digests, and check each acceptance clause; exits
-//!   non-zero if any clause fails.
+//!   non-zero if any clause fails. Engine flags (cluster family only):
+//!   `--engine` forces the work-stealing executor even at one worker
+//!   (the digest must not change — CI uses this as a differential gate
+//!   against the sequential reference), `--trial-budget-ms` arms the
+//!   per-trial watchdog, `--checkpoint FILE` streams resumable
+//!   checkpoints to a file every `--checkpoint-every` trials, and
+//!   `--resume FILE` continues a previously checkpointed run.
 //! * `verify` — the CI gate: every matching scenario runs at 1, 2 and
 //!   5 threads; the three outcomes must be bit-identical and match the
 //!   scenario's `pin`. Fails hard on drift or a missing pin.
 //! * `pin` — print the `pin 0x…` line for each scenario (for authoring
 //!   new zoo entries).
 
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use nlft_bbw::scenario::{check_accept, run_scenario, ScenarioOutcome};
+use nlft_bbw::scenario::{
+    check_accept, run_scenario, run_scenario_with, ScenarioEngineOptions, ScenarioOutcome,
+};
 use nlft_reliability::scenario::{parse_scenario, ScenarioSpec};
 
 /// The `scenarios/` directory at the workspace root.
@@ -81,13 +93,80 @@ fn cmd_list(zoo: &[(PathBuf, ScenarioSpec)]) {
     println!("{} scenarios", zoo.len());
 }
 
-fn cmd_run(zoo: &[(PathBuf, ScenarioSpec)], threads: usize) -> bool {
+/// Engine flags collected from the command line (cluster family only).
+#[derive(Default)]
+struct EngineFlags {
+    engine: bool,
+    trial_budget_ms: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: Option<PathBuf>,
+}
+
+impl EngineFlags {
+    fn active(&self) -> bool {
+        self.engine
+            || self.trial_budget_ms.is_some()
+            || self.checkpoint.is_some()
+            || self.resume.is_some()
+    }
+}
+
+fn cmd_run(zoo: &[(PathBuf, ScenarioSpec)], threads: usize, flags: &EngineFlags) -> bool {
     let mut ok = true;
     for (_, spec) in zoo {
         println!("== {} ({})", spec.name, spec.params.family());
-        match run_scenario(spec, threads) {
+        if flags.active() && spec.params.family() != "cluster" {
+            println!("  skipped: engine flags apply to cluster-family scenarios only");
+            continue;
+        }
+        let resume = match &flags.resume {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => Some(text),
+                Err(e) => {
+                    ok = false;
+                    println!("  resume FAILED: cannot read {}: {e}", path.display());
+                    continue;
+                }
+            },
+            None => None,
+        };
+        let sink = flags.checkpoint.clone();
+        let written = RefCell::new(0u64);
+        let save = |done: u64, encoded: String| {
+            let path = sink.as_ref().expect("callback only wired with a sink");
+            if let Err(e) = std::fs::write(path, encoded) {
+                eprintln!("  checkpoint write FAILED at trial {done}: {e}");
+            } else {
+                *written.borrow_mut() += 1;
+            }
+        };
+        let opts = ScenarioEngineOptions {
+            force_engine: flags.engine,
+            trial_budget: flags.trial_budget_ms.map(Duration::from_millis),
+            resume,
+            checkpoint_every: if flags.checkpoint.is_some() {
+                // A handful of snapshots per run unless the user pinned a cadence.
+                if flags.checkpoint_every > 0 {
+                    flags.checkpoint_every
+                } else {
+                    (spec.trials / 8).max(1)
+                }
+            } else {
+                0
+            },
+            on_checkpoint: flags.checkpoint.is_some().then_some(&save as _),
+        };
+        match run_scenario_with(spec, threads, &opts) {
             Ok(outcome) => {
                 print_outcome(&outcome);
+                if let Some(path) = &flags.checkpoint {
+                    println!(
+                        "  checkpoints: {} written to {}",
+                        written.borrow(),
+                        path.display()
+                    );
+                }
                 let failures = check_accept(spec, &outcome);
                 if failures.is_empty() {
                     println!("  accept: ok");
@@ -175,16 +254,31 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str).unwrap_or("list");
     let mut filter = None;
     let mut threads = 1usize;
+    let mut flags = EngineFlags::default();
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
-        if arg == "--threads" {
-            threads = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or(1);
-        } else {
-            filter = Some(arg.as_str());
+        match arg.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or(1);
+            }
+            "--engine" => flags.engine = true,
+            "--trial-budget-ms" => {
+                flags.trial_budget_ms = it.next().and_then(|v| v.parse().ok());
+            }
+            "--checkpoint" => {
+                flags.checkpoint = it.next().map(PathBuf::from);
+            }
+            "--checkpoint-every" => {
+                flags.checkpoint_every = it.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            }
+            "--resume" => {
+                flags.resume = it.next().map(PathBuf::from);
+            }
+            _ => filter = Some(arg.as_str()),
         }
     }
     let zoo = match load_zoo(filter) {
@@ -203,7 +297,7 @@ fn main() -> ExitCode {
             cmd_list(&zoo);
             true
         }
-        "run" => cmd_run(&zoo, threads),
+        "run" => cmd_run(&zoo, threads, &flags),
         "verify" => cmd_verify(&zoo),
         "pin" => cmd_pin(&zoo),
         other => {

@@ -240,58 +240,25 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         (0.0..=1.0).contains(&config.tight_deadline_fraction),
         "tight-deadline fraction must be in [0,1]"
     );
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_shard(config, 0, config.trials);
-    }
-    let chunk = config.trials.div_ceil(threads as u64);
-    // Every trial forks its own stream from (seed, trial index), so the
-    // shard boundaries — and hence the thread count — cannot perturb any
-    // drawn value; parallelism only decides which worker runs a trial.
-    let mut shards: Vec<CampaignResult> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    if start < end {
-                        run_shard(config, start, end)
-                    } else {
-                        CampaignResult::default()
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            shards.push(h.join().expect("campaign shard panicked"));
-        }
-    });
-    let mut total = CampaignResult::default();
-    for s in &shards {
-        total.merge(s);
-    }
-    total
-}
-
-fn run_shard(config: &CampaignConfig, start: u64, end: u64) -> CampaignResult {
-    let root = RngStream::new(config.seed);
-    let mut result = CampaignResult::default();
-    // Pre-compute goldens per workload per canonical input set.
-    for trial in start..end {
-        let mut rng = root.fork_indexed("trial", trial);
-        let workload = &config.workloads[(trial % config.workloads.len() as u64) as usize];
-        let verdict = run_trial(config, workload, &mut rng);
-        record(
-            &mut result,
-            config.policy,
-            verdict,
-            &mut rng,
-            workload,
-            config,
-        );
-    }
-    result
+    // Every trial forks its own stream from (seed, trial index) and the
+    // engine folds block partials in block order regardless of worker
+    // count, so parallelism only decides which worker runs a trial.
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "core-fault-injection",
+        "trial",
+        config.trials,
+        CampaignResult::default,
+        move |trial, _ctx, result: &mut CampaignResult| {
+            let mut rng = RngStream::new(c.seed).fork_indexed("trial", trial);
+            let workload = &c.workloads[(trial % c.workloads.len() as u64) as usize];
+            let verdict = run_trial(&c, workload, &mut rng);
+            record(result, c.policy, verdict, &mut rng, workload, &c);
+        },
+        |into, from| into.merge(&from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    nlft_engine::run_trials(campaign, &engine).acc
 }
 
 fn run_trial(config: &CampaignConfig, workload: &Workload, rng: &mut RngStream) -> TrialOutcome {
@@ -687,50 +654,21 @@ pub fn run_recovery_campaign(config: &RecoveryCampaignConfig) -> RecoveryCampaig
         config.jobs_per_trial >= 8,
         "recovery trials need room for the ladder"
     );
-    let threads = config.threads.max(1);
-    if threads == 1 {
-        return run_recovery_shard(config, 0, config.trials);
-    }
-    let chunk = config.trials.div_ceil(threads as u64);
-    let mut shards: Vec<RecoveryCampaignResult> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|i| {
-                let start = i * chunk;
-                let end = ((i + 1) * chunk).min(config.trials);
-                scope.spawn(move || {
-                    if start < end {
-                        run_recovery_shard(config, start, end)
-                    } else {
-                        RecoveryCampaignResult::default()
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            shards.push(h.join().expect("recovery shard panicked"));
-        }
-    });
-    let mut total = RecoveryCampaignResult::default();
-    for s in &shards {
-        total.merge(s);
-    }
-    total
-}
-
-fn run_recovery_shard(
-    config: &RecoveryCampaignConfig,
-    start: u64,
-    end: u64,
-) -> RecoveryCampaignResult {
-    let root = RngStream::new(config.seed);
-    let mut result = RecoveryCampaignResult::default();
-    for trial in start..end {
-        let mut rng = root.fork_indexed("recovery-trial", trial);
-        let workload = &config.workloads[(trial % config.workloads.len() as u64) as usize];
-        run_recovery_trial(config, workload, &mut rng, &mut result);
-    }
-    result
+    let c = config.clone();
+    let campaign = nlft_engine::indexed_campaign(
+        "core-recovery",
+        "recovery-trial",
+        config.trials,
+        RecoveryCampaignResult::default,
+        move |trial, _ctx, result: &mut RecoveryCampaignResult| {
+            let mut rng = RngStream::new(c.seed).fork_indexed("recovery-trial", trial);
+            let workload = &c.workloads[(trial % c.workloads.len() as u64) as usize];
+            run_recovery_trial(&c, workload, &mut rng, result);
+        },
+        |into, from| into.merge(&from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    nlft_engine::run_trials(campaign, &engine).acc
 }
 
 fn run_recovery_trial(

@@ -154,63 +154,62 @@ fn certified_retry_term_us(cores: u32) -> u64 {
         .unwrap_or(0)
 }
 
-fn run_shard(config: &MulticoreCampaignConfig, start: u64, end: u64) -> MulticoreCampaignResult {
-    let root = RngStream::new(config.seed);
-    let certified_term = certified_retry_term_us(config.cores);
-    let mut result = MulticoreCampaignResult::default();
-    for trial in start..end {
-        let mut rng = root.fork_indexed("multicore-trial", trial);
-        let death = CoreDeathFault::sample(
-            &mut rng,
-            config.cores,
-            (config.horizon / 2).max(2),
-            config.escalated_p,
-        );
-        result.trials += 1;
-        if death.escalated {
-            result.escalated_trials += 1;
-        } else {
-            result.crash_trials += 1;
-        }
-
-        let run = |kind: ProtocolKind| {
-            let mut exec = MulticoreExecutive::reference(config.cores as usize, kind);
-            if death.escalated {
-                exec.supervise(death.core as usize, EscalationPolicy::default());
-            }
-            exec.inject(death);
-            exec.run(config.horizon)
-        };
-
-        let lock = run(ProtocolKind::LockBased);
-        result.lock_deadlocks += lock.deadlocks;
-        result.lock_misses += lock.missed;
-        result.escalation_events += lock.escalations.len() as u64;
-        if death.escalated {
-            if lock.clean() {
-                result.lock_clean_escalated_trials += 1;
-            }
-        } else if lock.clean() {
-            result.lock_clean_crash_trials += 1;
-        } else {
-            result.lock_failed_crash_trials += 1;
-        }
-
-        let cas = run(ProtocolKind::LeftRs);
-        result.leftrs_misses += cas.missed;
-        result.leftrs_deadlocks += cas.deadlocks;
-        result.escalation_events += cas.escalations.len() as u64;
-        if cas.clean() {
-            result.leftrs_clean_trials += 1;
-        }
-        result.leftrs_max_retries = result.leftrs_max_retries.max(cas.max_retries);
-        let cost = cas.max_retry_cost.as_micros();
-        result.leftrs_max_retry_cost_us = result.leftrs_max_retry_cost_us.max(cost);
-        if cost > certified_term {
-            result.retry_bound_breaches += 1;
-        }
+fn run_multicore_trial(
+    config: &MulticoreCampaignConfig,
+    certified_term: u64,
+    trial: u64,
+    result: &mut MulticoreCampaignResult,
+) {
+    let mut rng = RngStream::new(config.seed).fork_indexed("multicore-trial", trial);
+    let death = CoreDeathFault::sample(
+        &mut rng,
+        config.cores,
+        (config.horizon / 2).max(2),
+        config.escalated_p,
+    );
+    result.trials += 1;
+    if death.escalated {
+        result.escalated_trials += 1;
+    } else {
+        result.crash_trials += 1;
     }
-    result
+
+    let run = |kind: ProtocolKind| {
+        let mut exec = MulticoreExecutive::reference(config.cores as usize, kind);
+        if death.escalated {
+            exec.supervise(death.core as usize, EscalationPolicy::default());
+        }
+        exec.inject(death);
+        exec.run(config.horizon)
+    };
+
+    let lock = run(ProtocolKind::LockBased);
+    result.lock_deadlocks += lock.deadlocks;
+    result.lock_misses += lock.missed;
+    result.escalation_events += lock.escalations.len() as u64;
+    if death.escalated {
+        if lock.clean() {
+            result.lock_clean_escalated_trials += 1;
+        }
+    } else if lock.clean() {
+        result.lock_clean_crash_trials += 1;
+    } else {
+        result.lock_failed_crash_trials += 1;
+    }
+
+    let cas = run(ProtocolKind::LeftRs);
+    result.leftrs_misses += cas.missed;
+    result.leftrs_deadlocks += cas.deadlocks;
+    result.escalation_events += cas.escalations.len() as u64;
+    if cas.clean() {
+        result.leftrs_clean_trials += 1;
+    }
+    result.leftrs_max_retries = result.leftrs_max_retries.max(cas.max_retries);
+    let cost = cas.max_retry_cost.as_micros();
+    result.leftrs_max_retry_cost_us = result.leftrs_max_retry_cost_us.max(cost);
+    if cost > certified_term {
+        result.retry_bound_breaches += 1;
+    }
 }
 
 /// Runs the campaign, sharded over `config.threads` workers; results are
@@ -219,39 +218,23 @@ pub fn run_multicore_campaign(config: &MulticoreCampaignConfig) -> MulticoreCamp
     assert!(config.trials > 0, "campaign needs trials");
     assert!(config.cores >= 2, "core-death needs a surviving peer core");
     assert!(config.horizon >= 4, "horizon too short to arm a death");
-    let threads = config.threads.max(1);
-    let mut total = if threads == 1 {
-        run_shard(config, 0, config.trials)
-    } else {
-        let chunk = config.trials.div_ceil(threads as u64);
-        // Every trial forks its own stream from (seed, trial index), so
-        // shard boundaries cannot perturb any drawn value; parallelism
-        // only decides which worker runs a trial.
-        let mut shards: Vec<MulticoreCampaignResult> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads as u64)
-                .map(|i| {
-                    let start = i * chunk;
-                    let end = ((i + 1) * chunk).min(config.trials);
-                    scope.spawn(move || {
-                        if start < end {
-                            run_shard(config, start, end)
-                        } else {
-                            MulticoreCampaignResult::default()
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                shards.push(h.join().expect("campaign shard panicked"));
-            }
-        });
-        let mut total = MulticoreCampaignResult::default();
-        for s in &shards {
-            total.merge(s);
-        }
-        total
-    };
+    // Every trial forks its own stream from (seed, trial index), so the
+    // engine's work distribution cannot perturb any drawn value;
+    // parallelism only decides which worker runs a trial.
+    let c = *config;
+    let certified_term = certified_retry_term_us(config.cores);
+    let campaign = nlft_engine::indexed_campaign(
+        "core-multicore",
+        "multicore-trial",
+        config.trials,
+        MulticoreCampaignResult::default,
+        move |trial, _ctx, result: &mut MulticoreCampaignResult| {
+            run_multicore_trial(&c, certified_term, trial, result);
+        },
+        |into, from| into.merge(&from),
+    );
+    let engine = nlft_engine::EngineConfig::with_workers(config.threads.max(1));
+    let mut total = nlft_engine::run_trials(campaign, &engine).acc;
     let (set, map) = MulticoreExecutive::reference_workload(config.cores as usize);
     for c in certify(&set, &map, ProtocolKind::LeftRs, config.cores, 1) {
         if c.response.is_some() {

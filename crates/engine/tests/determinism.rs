@@ -1,0 +1,207 @@
+//! Schedule-independence of the executor: bitwise-identical
+//! accumulators at any worker count, tier ordering, checkpoint/resume,
+//! and the streaming-memory bound.
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::ToyCampaign;
+use nlft_engine::{
+    auto_block_size, run_campaign, run_campaign_with, run_sequential, run_sequential_with,
+    CampaignOptions, EngineConfig, ResumePoint, Tier, TrialCampaign, TrialCtx,
+};
+
+#[test]
+fn executor_matches_sequential_reference_bitwise_at_any_worker_count() {
+    let campaign = ToyCampaign::new(0x0E06_1E5C, 997);
+    let reference = run_sequential(&campaign, &EngineConfig::default());
+    assert_eq!(reference.report.completed, 997);
+    for workers in [1usize, 2, 3, 5, 8] {
+        let run = run_campaign(campaign.clone(), &EngineConfig::with_workers(workers));
+        // PartialEq on the accumulator compares every float bit.
+        assert_eq!(
+            run.acc, reference.acc,
+            "accumulator drifted at {workers} workers"
+        );
+        assert_eq!(run.report.completed, 997);
+        assert!(run.report.panicked.is_empty() && run.report.timed_out.is_empty());
+    }
+}
+
+#[test]
+fn block_size_choice_is_a_function_of_trials_not_workers() {
+    // Different explicit block sizes are allowed to change float
+    // association, but a fixed block size must give the same bits
+    // regardless of workers — and the integer parts must not move at
+    // all, whatever the block size.
+    let campaign = ToyCampaign::new(77, 500);
+    let bs17: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&w| {
+            let cfg = EngineConfig {
+                workers: w,
+                block_size: Some(17),
+                ..EngineConfig::default()
+            };
+            run_campaign(campaign.clone(), &cfg).acc
+        })
+        .collect();
+    assert_eq!(bs17[0], bs17[1]);
+    let auto = run_sequential(&campaign, &EngineConfig::default()).acc;
+    assert_eq!(auto.checksum, bs17[0].checksum);
+    assert_eq!(auto.hits, bs17[0].hits);
+    assert_eq!(auto.latencies, bs17[0].latencies);
+    assert_eq!(auto.survival, bs17[0].survival);
+}
+
+#[test]
+fn smoke_tier_runs_before_standard_on_one_worker() {
+    // An order-logging campaign: the last quarter of trials are smoke
+    // tier (see ToyCampaign::tier) and must all execute first.
+    #[derive(Clone)]
+    struct Logger {
+        trials: u64,
+        smoke_cut: u64,
+        order: std::sync::Arc<Mutex<Vec<u64>>>,
+    }
+    impl TrialCampaign for Logger {
+        type Acc = ();
+        fn trials(&self) -> u64 {
+            self.trials
+        }
+        fn label(&self) -> String {
+            "tier-logger".to_string()
+        }
+        fn rng_label(&self) -> String {
+            "tier-trial".to_string()
+        }
+        fn tier(&self, trial: u64) -> Tier {
+            if trial >= self.smoke_cut {
+                Tier::Smoke
+            } else {
+                Tier::Standard
+            }
+        }
+        fn empty(&self) {}
+        fn run_trial(&self, trial: u64, _ctx: &TrialCtx<'_>, _acc: &mut ()) {
+            self.order.lock().unwrap().push(trial);
+        }
+        fn merge(&self, _into: &mut (), _from: ()) {}
+    }
+    let logger = Logger {
+        trials: 120,
+        smoke_cut: 90,
+        order: std::sync::Arc::new(Mutex::new(Vec::new())),
+    };
+    let cfg = EngineConfig {
+        workers: 1,
+        block_size: Some(10),
+        ..EngineConfig::default()
+    };
+    run_campaign(logger.clone(), &cfg);
+    let order = logger.order.lock().unwrap();
+    assert_eq!(order.len(), 120);
+    let first_standard = order.iter().position(|&t| t < 90).unwrap();
+    assert!(
+        order[..first_standard].iter().all(|&t| t >= 90),
+        "smoke trials must all run before the first standard trial on one worker"
+    );
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_run_bitwise() {
+    let campaign = ToyCampaign::new(0xC0FFEE, 640);
+    let cfg = EngineConfig {
+        workers: 3,
+        block_size: Some(32),
+        checkpoint_every: 100,
+        ..EngineConfig::default()
+    };
+    let checkpoints: Mutex<Vec<ResumePoint<common::ToyAcc>>> = Mutex::new(Vec::new());
+    let full = run_campaign_with(
+        campaign.clone(),
+        &cfg,
+        CampaignOptions {
+            resume: None,
+            on_checkpoint: Some(&|done, acc: &common::ToyAcc| {
+                checkpoints.lock().unwrap().push(ResumePoint {
+                    trials_done: done,
+                    acc: acc.clone(),
+                });
+            }),
+        },
+    );
+    let checkpoints = checkpoints.into_inner().unwrap();
+    assert!(
+        checkpoints.len() >= 5,
+        "expected several checkpoints, got {}",
+        checkpoints.len()
+    );
+    // Checkpoints land on block boundaries and carry the exact prefix.
+    for cp in &checkpoints {
+        assert_eq!(cp.trials_done % 32, 0);
+        assert_eq!(cp.acc.hits.trials(), cp.trials_done);
+    }
+    // Resume from a mid-run checkpoint on a *different* worker count:
+    // the finished accumulator must be bit-identical to the
+    // uninterrupted run (same block partition: resume lands on a block
+    // boundary and uses the same block size).
+    let mid = checkpoints[2].clone();
+    for (resumer, label) in [(5usize, "executor"), (0, "sequential")] {
+        let cfg_resume = EngineConfig {
+            workers: resumer.max(1),
+            block_size: Some(32),
+            ..EngineConfig::default()
+        };
+        let opts = CampaignOptions {
+            resume: Some(mid.clone()),
+            on_checkpoint: None,
+        };
+        let resumed = if resumer == 0 {
+            run_sequential_with(&campaign, &cfg_resume, opts)
+        } else {
+            run_campaign_with(campaign.clone(), &cfg_resume, opts)
+        };
+        assert_eq!(resumed.acc, full.acc, "resume drifted on {label} path");
+        assert_eq!(
+            resumed.report.completed,
+            640 - mid.trials_done,
+            "resume re-ran the folded prefix on {label} path"
+        );
+    }
+}
+
+#[test]
+fn streaming_fold_buffer_stays_bounded_by_workers() {
+    let campaign = ToyCampaign::new(9, 4000);
+    let cfg = EngineConfig {
+        workers: 4,
+        block_size: Some(4),
+        ..EngineConfig::default()
+    };
+    let run = run_campaign(campaign, &cfg);
+    assert_eq!(run.report.blocks, 1000);
+    let cap = 4 * 4 + 4 + 4; // pending cap + one in flight per worker
+    assert!(
+        run.report.max_pending_blocks <= cap,
+        "fold buffer grew to {} blocks (cap {cap}) — memory is no longer O(workers)",
+        run.report.max_pending_blocks
+    );
+}
+
+#[test]
+fn auto_block_size_is_clamped_and_trials_only() {
+    assert_eq!(auto_block_size(0), 1);
+    assert_eq!(auto_block_size(100), 1);
+    assert_eq!(auto_block_size(2_560), 10);
+    assert_eq!(auto_block_size(10_000_000), 4096);
+}
+
+#[test]
+fn empty_campaign_completes() {
+    let campaign = ToyCampaign::new(3, 0);
+    let run = run_campaign(campaign.clone(), &EngineConfig::with_workers(3));
+    assert_eq!(run.report.completed, 0);
+    assert_eq!(run.acc, campaign.empty());
+}

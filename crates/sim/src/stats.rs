@@ -138,6 +138,25 @@ impl OnlineStats {
         level.z() * self.std_dev() / (self.count as f64).sqrt()
     }
 
+    /// Raw accumulator state `(count, mean, m2, min, max)`, for
+    /// checkpoint serialisation. Round-trips exactly through
+    /// [`OnlineStats::from_raw`].
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::to_raw`] output.
+    pub fn from_raw(raw: (u64, f64, f64, f64, f64)) -> Self {
+        let (count, mean, m2, min, max) = raw;
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -312,6 +331,74 @@ impl Histogram {
         self.overflow
     }
 
+    /// Lower bound of the binned range.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper (exclusive) bound of the binned range.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Rebuilds a histogram from raw state (checkpoint deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid grid (see [`Histogram::new`]) or if `count`
+    /// does not equal the sum of all bins plus under/overflow.
+    pub fn from_raw(
+        low: f64,
+        high: f64,
+        bins: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        count: u64,
+    ) -> Self {
+        let mut h = Histogram::new(low, high, bins.len());
+        let total = bins
+            .iter()
+            .fold(underflow.saturating_add(overflow), |t, &b| {
+                t.saturating_add(b)
+            });
+        assert_eq!(total, count, "histogram count inconsistent with bins");
+        h.bins = bins;
+        h.underflow = underflow;
+        h.overflow = overflow;
+        h.count = count;
+        h
+    }
+
+    /// Merges another histogram collected over the identical bin grid.
+    ///
+    /// All counters add saturating, so two near-full under/overflow
+    /// counters degrade to `u64::MAX` instead of wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin grids differ (bounds compared bit-for-bit,
+    /// same bin count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.low.to_bits() == other.low.to_bits()
+                && self.high.to_bits() == other.high.to_bits()
+                && self.bins.len() == other.bins.len(),
+            "histogram bin grids differ: [{}, {}) x{} vs [{}, {}) x{}",
+            self.low,
+            self.high,
+            self.bins.len(),
+            other.low,
+            other.high,
+            other.bins.len()
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a = a.saturating_add(*b);
+        }
+        self.underflow = self.underflow.saturating_add(other.underflow);
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+    }
+
     /// Approximate quantile (0..=1) by linear walk over the bins.
     ///
     /// Returns `None` when empty. Under/overflow observations count toward
@@ -408,6 +495,34 @@ impl SurvivalCurve {
     /// Number of replications recorded.
     pub fn replications(&self) -> u64 {
         self.replications
+    }
+
+    /// Raw survivor counts per grid point (checkpoint serialisation).
+    pub fn survivors(&self) -> &[u64] {
+        &self.survivors
+    }
+
+    /// Rebuilds a curve from raw state (checkpoint deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid grid (see [`SurvivalCurve::new`]), a
+    /// survivor vector of the wrong length, or any survivor count
+    /// exceeding `replications`.
+    pub fn from_raw(grid: Vec<f64>, survivors: Vec<u64>, replications: u64) -> Self {
+        let mut c = SurvivalCurve::new(grid);
+        assert_eq!(
+            survivors.len(),
+            c.grid.len(),
+            "survivor vector length mismatch"
+        );
+        assert!(
+            survivors.iter().all(|&s| s <= replications),
+            "survivors exceed replications"
+        );
+        c.survivors = survivors;
+        c.replications = replications;
+        c
     }
 
     /// Estimated reliability at each grid point.
@@ -555,6 +670,89 @@ mod tests {
         let q99 = h.quantile(0.99).unwrap();
         assert!(q25 <= q50 && q50 <= q99);
         assert!((q50 - 50.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        let mut combined = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.5, 3.0] {
+            a.record(x);
+            combined.record(x);
+        }
+        for x in [3.5, 9.9, 12.0, 42.0] {
+            b.record(x);
+            combined.record(x);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, combined);
+        assert_eq!(merged.count(), 7);
+        assert_eq!(merged.underflow(), 1);
+        assert_eq!(merged.overflow(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.record(0.3);
+        let before = a.clone();
+        a.merge(&Histogram::new(0.0, 1.0, 4));
+        assert_eq!(a, before);
+        let mut empty = Histogram::new(0.0, 1.0, 4);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_flows() {
+        let mut a = Histogram::from_raw(0.0, 1.0, vec![0], u64::MAX - 1, u64::MAX, u64::MAX);
+        let mut b = Histogram::new(0.0, 1.0, 1);
+        b.record(-1.0);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.underflow(), u64::MAX);
+        assert_eq!(a.overflow(), u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin grids differ")]
+    fn histogram_merge_rejects_mismatched_grid() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.5, -3.0] {
+            s.record(x);
+        }
+        assert_eq!(OnlineStats::from_raw(s.to_raw()), s);
+
+        let mut h = Histogram::new(-5.0, 5.0, 10);
+        for x in [-9.0, -4.9, 0.0, 4.9, 5.0] {
+            h.record(x);
+        }
+        let rebuilt = Histogram::from_raw(
+            h.low(),
+            h.high(),
+            h.bins().to_vec(),
+            h.underflow(),
+            h.overflow(),
+            h.count(),
+        );
+        assert_eq!(rebuilt, h);
+
+        let mut c = SurvivalCurve::new(vec![1.0, 2.0]);
+        c.record_failure(1.5);
+        c.record_survivor();
+        let rebuilt =
+            SurvivalCurve::from_raw(c.grid().to_vec(), c.survivors().to_vec(), c.replications());
+        assert_eq!(rebuilt, c);
     }
 
     #[test]

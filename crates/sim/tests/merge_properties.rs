@@ -1,0 +1,259 @@
+//! Merge-algebra property suite for the four `sim::stats` accumulators.
+//!
+//! The campaign engine folds per-trial accumulators into block partials
+//! and block partials into the campaign total, so its determinism
+//! guarantee rests on two algebraic facts checked here across 10 000
+//! random cases (8 properties × 1 250 cases each):
+//!
+//! * **merge associativity** — `(a ⊕ b) ⊕ c` equals `a ⊕ (b ⊕ c)`;
+//! * **shard-split invariance** — recording a stream sequentially equals
+//!   splitting it at arbitrary cut points (empty shards included) and
+//!   merging the shard accumulators in order.
+//!
+//! Counters are compared bit-for-bit; `OnlineStats` moments (mean, M2)
+//! are compared to 1e-9 relative tolerance since float addition is only
+//! approximately associative.
+
+use nlft_sim::stats::{Histogram, OnlineStats, Proportion, SurvivalCurve};
+use nlft_testkit::prop::Suite;
+use nlft_testkit::rng::TkRng;
+use nlft_testkit::{prop_assert, prop_assert_eq};
+
+const SUITE: Suite = Suite::new(0x10E6_A16E).cases(1250);
+
+/// Random sample stream spanning the histogram range plus both flows.
+fn samples(r: &mut TkRng, max_len: usize) -> Vec<f64> {
+    let n = r.usize_range(0, max_len + 1);
+    (0..n).map(|_| r.f64_range(-25.0, 125.0)).collect()
+}
+
+/// A stream plus sorted cut points (duplicates allowed, so empty shards
+/// occur and the empty-merge identity is exercised).
+fn split_case(r: &mut TkRng) -> (Vec<f64>, Vec<usize>) {
+    let xs = samples(r, 240);
+    let k = r.usize_range(0, 9);
+    let mut cuts: Vec<usize> = (0..k).map(|_| r.usize_range(0, xs.len() + 1)).collect();
+    cuts.sort_unstable();
+    (xs, cuts)
+}
+
+/// Three independent streams for the associativity triple.
+fn triple_case(r: &mut TkRng) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    (samples(r, 80), samples(r, 80), samples(r, 80))
+}
+
+fn shards<'a>(xs: &'a [f64], cuts: &[usize]) -> Vec<&'a [f64]> {
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for &c in cuts {
+        out.push(&xs[prev..c]);
+        prev = c;
+    }
+    out.push(&xs[prev..]);
+    out
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn online(xs: &[f64]) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for &x in xs {
+        s.record(x);
+    }
+    s
+}
+
+fn proportion(xs: &[f64]) -> Proportion {
+    let mut p = Proportion::new();
+    for &x in xs {
+        p.record(x < 40.0);
+    }
+    p
+}
+
+fn histogram(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new(0.0, 100.0, 16);
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+fn survival(xs: &[f64]) -> SurvivalCurve {
+    let mut c = SurvivalCurve::new(vec![10.0, 30.0, 60.0, 90.0]);
+    for &x in xs {
+        if x < 100.0 {
+            c.record_failure(x);
+        } else {
+            c.record_survivor();
+        }
+    }
+    c
+}
+
+/// Counters of two `OnlineStats` are bit-identical and moments agree to
+/// 1e-9 relative tolerance.
+fn online_agree(l: &OnlineStats, r: &OnlineStats) -> Result<(), String> {
+    let (lc, lmean, lm2, lmin, lmax) = l.to_raw();
+    let (rc, rmean, rm2, rmin, rmax) = r.to_raw();
+    if lc != rc {
+        return Err(format!("count {lc} != {rc}"));
+    }
+    if lc > 0 && (lmin.to_bits() != rmin.to_bits() || lmax.to_bits() != rmax.to_bits()) {
+        return Err(format!("extrema ({lmin}, {lmax}) != ({rmin}, {rmax})"));
+    }
+    if !(rel_close(lmean, rmean) && rel_close(lm2, rm2)) {
+        return Err(format!("moments ({lmean}, {lm2}) != ({rmean}, {rm2})"));
+    }
+    Ok(())
+}
+
+#[test]
+fn online_stats_merge_is_associative() {
+    SUITE.check(
+        "online_stats_merge_is_associative",
+        triple_case,
+        |(a, b, c)| {
+            let mut left = online(a);
+            left.merge(&online(b));
+            left.merge(&online(c));
+            let mut bc = online(b);
+            bc.merge(&online(c));
+            let mut right = online(a);
+            right.merge(&bc);
+            if let Err(msg) = online_agree(&left, &right) {
+                prop_assert!(false, "associativity violated: {msg}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn online_stats_is_shard_split_invariant() {
+    SUITE.check(
+        "online_stats_is_shard_split_invariant",
+        split_case,
+        |(xs, cuts)| {
+            let sequential = online(xs);
+            let mut merged = OnlineStats::new();
+            for shard in shards(xs, cuts) {
+                merged.merge(&online(shard));
+            }
+            if let Err(msg) = online_agree(&sequential, &merged) {
+                prop_assert!(false, "shard split changed the result: {msg}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn proportion_merge_is_associative_bitwise() {
+    SUITE.check(
+        "proportion_merge_is_associative_bitwise",
+        triple_case,
+        |(a, b, c)| {
+            let mut left = proportion(a);
+            left.merge(&proportion(b));
+            left.merge(&proportion(c));
+            let mut bc = proportion(b);
+            bc.merge(&proportion(c));
+            let mut right = proportion(a);
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn proportion_is_shard_split_invariant_bitwise() {
+    SUITE.check(
+        "proportion_is_shard_split_invariant_bitwise",
+        split_case,
+        |(xs, cuts)| {
+            let sequential = proportion(xs);
+            let mut merged = Proportion::new();
+            for shard in shards(xs, cuts) {
+                merged.merge(&proportion(shard));
+            }
+            prop_assert_eq!(sequential, merged);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_merge_is_associative_bitwise() {
+    SUITE.check(
+        "histogram_merge_is_associative_bitwise",
+        triple_case,
+        |(a, b, c)| {
+            let mut left = histogram(a);
+            left.merge(&histogram(b));
+            left.merge(&histogram(c));
+            let mut bc = histogram(b);
+            bc.merge(&histogram(c));
+            let mut right = histogram(a);
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_is_shard_split_invariant_bitwise() {
+    SUITE.check(
+        "histogram_is_shard_split_invariant_bitwise",
+        split_case,
+        |(xs, cuts)| {
+            let sequential = histogram(xs);
+            let mut merged = Histogram::new(0.0, 100.0, 16);
+            for shard in shards(xs, cuts) {
+                merged.merge(&histogram(shard));
+            }
+            prop_assert_eq!(sequential, merged);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn survival_merge_is_associative_bitwise() {
+    SUITE.check(
+        "survival_merge_is_associative_bitwise",
+        triple_case,
+        |(a, b, c)| {
+            let mut left = survival(a);
+            left.merge(&survival(b));
+            left.merge(&survival(c));
+            let mut bc = survival(b);
+            bc.merge(&survival(c));
+            let mut right = survival(a);
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn survival_is_shard_split_invariant_bitwise() {
+    SUITE.check(
+        "survival_is_shard_split_invariant_bitwise",
+        split_case,
+        |(xs, cuts)| {
+            let sequential = survival(xs);
+            let mut merged = SurvivalCurve::new(vec![10.0, 30.0, 60.0, 90.0]);
+            for shard in shards(xs, cuts) {
+                merged.merge(&survival(shard));
+            }
+            prop_assert_eq!(sequential, merged);
+            Ok(())
+        },
+    );
+}

@@ -36,6 +36,20 @@ done
 echo "== scenario zoo: golden pins at 1/2/5 threads =="
 cargo run --release --offline -p nlft-bench --bin scenario_run -- verify
 
+# Engine differential gate: one zoo scenario re-run through the
+# work-stealing executor (forced even at one worker) must reproduce the
+# same golden pin as the sequential reference above — `run` re-checks
+# the pin via the acceptance clause. Also exercises watchdog arming and
+# a checkpoint/resume round trip through the CLI flags.
+echo "== scenario zoo: engine path vs legacy pin =="
+ckpt="$(mktemp)"
+trap 'rm -f "$ckpt"' EXIT
+cargo run --release --offline -p nlft-bench --bin scenario_run -- \
+    run babbling-wheel --engine --threads 4 --trial-budget-ms 10000 \
+    --checkpoint "$ckpt" --checkpoint-every 4
+cargo run --release --offline -p nlft-bench --bin scenario_run -- \
+    run babbling-wheel --engine --resume "$ckpt"
+
 # Bench trajectory: re-measure the groups in the committed baseline and
 # compare. Timing deltas are advisory only (hardware varies between
 # machines), so slowdowns print warnings; golden-digest drift — a
@@ -43,7 +57,7 @@ cargo run --release --offline -p nlft-bench --bin scenario_run -- verify
 echo "== bench: substrates + fig12 + campaigns vs BENCH_BASELINE.json =="
 cargo bench --offline -p nlft-bench --bench substrates -- --samples 10 >/dev/null
 cargo bench --offline -p nlft-bench --bench fig12_system_reliability -- --samples 10 >/dev/null
-for group in net_storm startup diagnosis value_domain weakly_hard multicore scenario; do
+for group in net_storm startup diagnosis value_domain weakly_hard multicore scenario engine; do
     cargo bench --offline -p nlft-bench --bench "$group" -- --samples 10 >/dev/null
 done
 cargo run --release --offline -p nlft-bench --bin bench_compare -- compare

@@ -22,6 +22,9 @@
 //!   membership, duplex replication, state resynchronisation.
 //! * [`core`] — the NLFT framework proper: node policies and
 //!   fault-injection campaigns estimating `C_D`, `P_T`, `P_OM`, `P_FS`.
+//! * [`engine`] — the fleet-scale campaign engine: a work-stealing trial
+//!   executor with panic isolation, trial watchdogs, streaming statistics
+//!   and checkpoint/resume, deterministic at any worker count.
 //! * [`reliability`] — SHARPE-style analysis: Markov chains, reliability
 //!   block diagrams, BDD fault trees, hierarchical composition.
 //! * [`bbw`] — the brake-by-wire case study: the paper's analytic models
@@ -68,6 +71,7 @@
 
 pub use nlft_bbw as bbw;
 pub use nlft_core as core;
+pub use nlft_engine as engine;
 pub use nlft_kernel as kernel;
 pub use nlft_machine as machine;
 pub use nlft_net as net;
